@@ -1,0 +1,206 @@
+package migrrdma
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§5), plus microbenchmarks of the data-path
+// interposition and the design-choice ablations. Custom metrics carry
+// the quantity each figure reports (blackout milliseconds, WBS
+// microseconds, Gbps, JCT seconds) so `go test -bench=. -benchmem`
+// regenerates the evaluation end to end.
+//
+// The heavyweight sweeps (4096 QPs, the full Fig. 3 grid) live in
+// cmd/migrbench; benchmarks here use representative points so the whole
+// suite completes in minutes.
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/core"
+	"migrrdma/internal/experiments"
+	"migrrdma/internal/hdfs"
+	"migrrdma/internal/migros"
+)
+
+// --- Figure 3: blackout breakdown ---------------------------------------------
+
+func benchFig3(b *testing.B, qps int, sender, preSetup bool) {
+	b.Helper()
+	var last experiments.Fig3Row
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Fig3(qps, sender, preSetup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	b.ReportMetric(float64(last.Blackout)/1e6, "blackout-ms")
+	b.ReportMetric(float64(last.DumpOthers)/1e6, "dumpothers-ms")
+	b.ReportMetric(float64(last.RestoreRDMA)/1e6, "restorerdma-ms")
+}
+
+func BenchmarkFig3Sender16QPPreSetup(b *testing.B)    { benchFig3(b, 16, true, true) }
+func BenchmarkFig3Sender16QPNoPreSetup(b *testing.B)  { benchFig3(b, 16, true, false) }
+func BenchmarkFig3Sender128QPPreSetup(b *testing.B)   { benchFig3(b, 128, true, true) }
+func BenchmarkFig3Sender128QPNoPreSetup(b *testing.B) { benchFig3(b, 128, true, false) }
+func BenchmarkFig3Recv16QPPreSetup(b *testing.B)      { benchFig3(b, 16, false, true) }
+func BenchmarkFig3Recv16QPNoPreSetup(b *testing.B)    { benchFig3(b, 16, false, false) }
+
+// --- Figure 4: wait-before-stop -------------------------------------------------
+
+func benchFig4(b *testing.B, qps, msg, partners int) {
+	b.Helper()
+	var last experiments.Fig4Row
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Fig4(qps, msg, partners)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	b.ReportMetric(float64(last.WBS)/1e3, "wbs-us")
+	b.ReportMetric(float64(last.Theory)/1e3, "theory-us")
+	b.ReportMetric(float64(last.WBS)/float64(last.Theory), "wbs/theory")
+}
+
+func BenchmarkFig4aQP8(b *testing.B)       { benchFig4(b, 8, 4096, 1) }
+func BenchmarkFig4aQP64(b *testing.B)      { benchFig4(b, 64, 4096, 1) }
+func BenchmarkFig4bMsg512(b *testing.B)    { benchFig4(b, 16, 512, 1) }
+func BenchmarkFig4bMsg64K(b *testing.B)    { benchFig4(b, 16, 65536, 1) }
+func BenchmarkFig4cPartners2(b *testing.B) { benchFig4(b, 2, 4096, 2) }
+func BenchmarkFig4cPartners4(b *testing.B) { benchFig4(b, 4, 4096, 4) }
+
+// --- Table 4: virtualization overhead (microbenchmarks) -------------------------
+
+func BenchmarkTable4TranslateSend(b *testing.B) {
+	p := core.NewTranslationProbe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TranslateSend()
+	}
+}
+
+func BenchmarkTable4TranslateWrite(b *testing.B) {
+	p := core.NewTranslationProbe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TranslateWrite()
+	}
+}
+
+func BenchmarkTable4TranslateRead(b *testing.B) {
+	p := core.NewTranslationProbe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TranslateRead()
+	}
+}
+
+func BenchmarkTable4TranslateRecv(b *testing.B) {
+	p := core.NewTranslationProbe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TranslateRecv()
+	}
+}
+
+func BenchmarkTable4TranslateCQE(b *testing.B) {
+	p := core.NewTranslationProbe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TranslateCQE()
+	}
+}
+
+func BenchmarkTable4CopyBaselineSend(b *testing.B) {
+	p := core.NewTranslationProbe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CopySendBaseline()
+	}
+}
+
+// BenchmarkTable4Overhead reports the end-to-end Table 4 rows as
+// metrics (overhead % per verb against the paper's native baselines).
+func BenchmarkTable4Overhead(b *testing.B) {
+	var rows []experiments.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table4()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.OverheadPct, r.Op+"-overhead-%")
+	}
+}
+
+// --- Figure 5: throughput timeline ----------------------------------------------
+
+func benchFig5(b *testing.B, sender bool) {
+	b.Helper()
+	var last experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(sender)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.BaselineGbps, "baseline-gbps")
+	b.ReportMetric(float64(last.ObservedBlackout)/1e6, "blackout-ms")
+	b.ReportMetric(last.RecoveredGbps, "recovered-gbps")
+}
+
+func BenchmarkFig5MigrateSender(b *testing.B)   { benchFig5(b, true) }
+func BenchmarkFig5MigrateReceiver(b *testing.B) { benchFig5(b, false) }
+
+// --- Figure 6: Hadoop -------------------------------------------------------------
+
+func benchFig6(b *testing.B, scenario string) {
+	b.Helper()
+	var last experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Fig6(hdfs.TestDFSIO, scenario)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	b.ReportMetric(last.JCT.Seconds(), "jct-s")
+	b.ReportMetric(last.TputGbps, "tput-gbps")
+}
+
+func BenchmarkFig6DFSIOBaseline(b *testing.B) { benchFig6(b, "baseline") }
+func BenchmarkFig6DFSIOMigrRDMA(b *testing.B) { benchFig6(b, "migrrdma") }
+func BenchmarkFig6DFSIOFailover(b *testing.B) { benchFig6(b, "failover") }
+
+// --- §6: MigrOS comparison ---------------------------------------------------------
+
+func BenchmarkMigrOSComparison(b *testing.B) {
+	var gap time.Duration
+	for i := 0; i < b.N; i++ {
+		p := migros.DefaultParams(1024)
+		gap = p.MigrOS().Total() - p.MigrRDMA().Total()
+	}
+	b.ReportMetric(float64(gap)/1e6, "migros-extra-ms")
+}
+
+// --- Ablations ----------------------------------------------------------------------
+
+func BenchmarkAblationKeyTableArray(b *testing.B) {
+	rows := experiments.AblationKeyTable([]int{128})
+	for i := 0; i < b.N; i++ {
+		_ = rows
+	}
+	b.ReportMetric(rows[0].ArrayNS, "array-ns")
+	b.ReportMetric(rows[0].ListNS, "list-ns")
+}
+
+func BenchmarkAblationRKeyCache(b *testing.B) {
+	var row experiments.RKeyCacheRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationRKeyCache(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row = r
+	}
+	b.ReportMetric(row.CachedOps/row.UncachedOps, "cache-speedup")
+}

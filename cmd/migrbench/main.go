@@ -1,0 +1,210 @@
+// Command migrbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	migrbench -exp all
+//	migrbench -exp fig3 -qps 16,64,256,1024,4096
+//	migrbench -exp fig4a|fig4b|fig4c|fig5|fig6|table4
+//	migrbench -exp migros|latency|loss
+//	migrbench -exp ablation-keytable|ablation-wbs|ablation-rkey|ablation-partner
+//
+// Output is a textual rendition of each table/figure: the same rows or
+// series the paper reports, produced by the same workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"migrrdma/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss")
+	qps := flag.String("qps", "16,64,256,1024", "comma-separated QP counts for fig3/fig4a/migros")
+	sizes := flag.String("sizes", "512,4096,65536,524288", "message sizes for fig4b")
+	partners := flag.String("partners", "1,2,4", "partner counts for fig4c")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("\n════ %s ════\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(completed in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig3") {
+		run("Figure 3 — blackout breakdown (±pre-setup, sender/receiver)", func() error {
+			rows, err := experiments.Fig3Sweep(ints(*qps))
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return err
+		})
+	}
+	if want("fig4a") {
+		run("Figure 4(a) — wait-before-stop vs #QPs", func() error {
+			rows, err := experiments.Fig4a(ints(*qps))
+			printRows(rows)
+			return err
+		})
+	}
+	if want("fig4b") {
+		run("Figure 4(b) — wait-before-stop vs message size", func() error {
+			rows, err := experiments.Fig4b(ints(*sizes))
+			printRows(rows)
+			return err
+		})
+	}
+	if want("fig4c") {
+		run("Figure 4(c) — wait-before-stop vs #partners (one-to-many)", func() error {
+			rows, err := experiments.Fig4c(ints(*partners))
+			printRows(rows)
+			return err
+		})
+	}
+	if want("table4") {
+		run("Table 4 — data-path virtualization overhead", func() error {
+			for _, r := range experiments.Table4() {
+				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+	if want("fig5") {
+		run("Figure 5 — partner throughput during live migration", func() error {
+			for _, sender := range []bool{true, false} {
+				res, err := experiments.Fig5(sender)
+				if err != nil {
+					return err
+				}
+				fmt.Println(res)
+				printSeries(res)
+			}
+			return nil
+		})
+	}
+	if want("fig6") {
+		run("Figure 6 — RDMA-Hadoop: baseline vs MigrRDMA vs failover", func() error {
+			rows, err := experiments.Fig6Sweep()
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return err
+		})
+	}
+	if want("migros") {
+		run("§6 — MigrOS vs MigrRDMA blackout analysis", func() error {
+			for _, r := range experiments.MigrOSCompare(ints(*qps)) {
+				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+	if want("ablation-keytable") {
+		run("Ablation — dense key array vs LubeRDMA linked list", func() error {
+			for _, r := range experiments.AblationKeyTable([]int{4, 32, 128, 1024}) {
+				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+	if want("ablation-wbs") {
+		run("Ablation — wait-before-stop vs drop-and-replay", func() error {
+			for _, r := range experiments.AblationWBS(ints(*qps)) {
+				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+	if want("ablation-partner") {
+		run("Ablation — partner spare QPs vs QP reset reuse", func() error {
+			for _, r := range experiments.AblationPartnerPreSetup(ints(*qps)) {
+				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+	if want("ablation-rkey") {
+		run("Ablation — remote key cache on/off", func() error {
+			r, err := experiments.AblationRKeyCache(500)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		})
+	}
+	if want("latency") {
+		run("Per-op latency across a live migration (Fig. 5's per-op view)", func() error {
+			prof, err := experiments.LatencyAcrossMigration()
+			if err != nil {
+				return err
+			}
+			fmt.Println(prof)
+			return nil
+		})
+	}
+	if want("loss") {
+		run("Robustness — migration under packet loss (§3.4 timeout path)", func() error {
+			for _, p := range []float64{0.01, 0.05} {
+				r, err := experiments.MigrationUnderLoss(p, 300*time.Millisecond)
+				if err != nil {
+					return err
+				}
+				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+}
+
+func ints(csv string) []int {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func printRows(rows []experiments.Fig4Row) {
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+}
+
+// printSeries renders the 5 ms throughput timeline as a sparkline-ish
+// text series around the migration window.
+func printSeries(res experiments.Fig5Result) {
+	from := res.MigStart - 50*time.Millisecond
+	to := res.MigEnd + 50*time.Millisecond
+	for _, s := range res.Samples {
+		if s.T < from || s.T > to {
+			continue
+		}
+		bar := int(s.Gbps / 2)
+		if bar > 50 {
+			bar = 50
+		}
+		marks := ""
+		if s.T >= res.MigStart && s.T <= res.MigEnd {
+			marks = " *migration*"
+		}
+		fmt.Printf("  t=%8v %6.1f Gbps |%s%s\n", s.T.Round(time.Millisecond), s.Gbps, strings.Repeat("#", bar), marks)
+	}
+}

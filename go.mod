@@ -1,0 +1,3 @@
+module migrrdma
+
+go 1.22

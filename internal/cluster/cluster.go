@@ -1,0 +1,161 @@
+// Package cluster assembles the simulated testbed: hosts that each
+// carry a fabric port, an RNIC, an out-of-band control hub and a
+// checkpoint/restore tool — the paper's six-server, single-switch,
+// 100 Gbps environment (§5.1).
+package cluster
+
+import (
+	"encoding/binary"
+	"time"
+
+	"migrrdma/internal/criu"
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/oob"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/sim"
+)
+
+// Host is one server.
+type Host struct {
+	Name  string
+	Sched *sim.Scheduler
+	Net   *fabric.Network
+	Mux   *fabric.Mux
+	Dev   *rnic.Device
+	Hub   *oob.Hub
+	CRIU  *criu.Tool
+
+	xferSeq  uint64
+	xferWait map[uint64]*sim.Cond
+	rxCount  map[uint64]struct{} // transfers already acked
+}
+
+// Cluster is the whole testbed.
+type Cluster struct {
+	Sched *sim.Scheduler
+	Net   *fabric.Network
+	Hosts map[string]*Host
+}
+
+// Config selects component parameters for every host.
+type Config struct {
+	Fabric fabric.Config
+	NIC    rnic.Config
+	CRIU   criu.Config
+	Seed   int64
+}
+
+// New builds a cluster with the named hosts.
+func New(cfg Config, names ...string) *Cluster {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := sim.New(seed)
+	net := fabric.New(s, cfg.Fabric)
+	c := &Cluster{Sched: s, Net: net, Hosts: make(map[string]*Host)}
+	for _, name := range names {
+		mux := fabric.NewMux(net, name)
+		h := &Host{
+			Name:     name,
+			Sched:    s,
+			Net:      net,
+			Mux:      mux,
+			Dev:      rnic.NewDevice(net, mux, name, cfg.NIC),
+			Hub:      oob.NewHub(net, mux, name),
+			xferWait: make(map[uint64]*sim.Cond),
+			rxCount:  make(map[uint64]struct{}),
+		}
+		h.CRIU = criu.New(h, cfg.CRIU)
+		mux.Register(portXfer, h.onXfer)
+		mux.Register(portXferAck, h.onXferAck)
+		c.Hosts[name] = h
+	}
+	return c
+}
+
+// Host returns the named host, panicking if absent.
+func (c *Cluster) Host(name string) *Host {
+	h, ok := c.Hosts[name]
+	if !ok {
+		panic("cluster: unknown host " + name)
+	}
+	return h
+}
+
+// --- criu.HostServices -------------------------------------------------------
+
+// Sleep advances virtual time for the calling proc.
+func (h *Host) Sleep(d time.Duration) { h.Sched.Sleep(d) }
+
+// Now returns the virtual time.
+func (h *Host) Now() time.Duration { return h.Sched.Now() }
+
+// Node returns the host's fabric node name.
+func (h *Host) Node() string { return h.Name }
+
+const (
+	portXfer    = "xfer"
+	portXferAck = "xfer-ack"
+	xferChunk   = 64 << 10
+	// xferOverhead approximates per-chunk TCP segmentation overhead.
+	xferOverhead = 1060 // ~16 segments × 66 B headers per 64 KiB chunk
+)
+
+// TransferTo streams size bytes to the peer at link pace (the TCP bulk
+// transfer CRIU uses for images; the paper's MigrRDMA transfers state
+// over TCP, §7). It blocks until the peer has received the final byte,
+// and contends with RDMA traffic for the same links — the source of the
+// pre-copy brownout in Fig. 5.
+func (h *Host) TransferTo(peer string, size int) {
+	if size <= 0 {
+		return
+	}
+	h.xferSeq++
+	id := h.xferSeq
+	done := sim.NewCond(h.Sched, "xfer-done")
+	h.xferWait[id] = done
+	sent := 0
+	for sent < size {
+		n := size - sent
+		if n > xferChunk {
+			n = xferChunk
+		}
+		final := sent+n >= size
+		var hdr [17]byte
+		binary.BigEndian.PutUint64(hdr[:], id)
+		if final {
+			hdr[8] = 1
+		}
+		wire := n + xferOverhead*n/xferChunk
+		h.Net.Send(fabric.Frame{
+			Src: h.Name, Dst: peer, Port: portXfer,
+			Size: wire, Data: hdr[:],
+		})
+		// Self-clock at link rate; concurrent traffic shows up as
+		// queueing delay on top.
+		h.Sched.Sleep(h.Net.SerializationTime(wire))
+		sent += n
+	}
+	done.Wait()
+	delete(h.xferWait, id)
+}
+
+// onXfer runs on the receiving host: the final chunk triggers an ack.
+func (h *Host) onXfer(f fabric.Frame) {
+	if len(f.Data) < 9 || f.Data[8] != 1 {
+		return
+	}
+	h.Net.Send(fabric.Frame{
+		Src: h.Name, Dst: f.Src, Port: portXferAck,
+		Size: 64, Data: f.Data[:9],
+	})
+}
+
+// onXferAck wakes the sender blocked in TransferTo.
+func (h *Host) onXferAck(f fabric.Frame) {
+	id := binary.BigEndian.Uint64(f.Data)
+	if c, ok := h.xferWait[id]; ok {
+		c.Broadcast()
+	}
+}

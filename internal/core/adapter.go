@@ -1,0 +1,40 @@
+package core
+
+import (
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/oob"
+)
+
+// oobAdapter binds the daemon's control protocol to the host's
+// out-of-band hub.
+type oobAdapter struct {
+	ep *oob.Endpoint
+}
+
+// probeTimeout bounds the hello probe; a missing peer daemon (the §6
+// hybrid case) shows up as a timed-out hello rather than a hang. Other
+// control RPCs (suspension fan-out, partner pre-setup) legitimately
+// block for as long as wait-before-stop or QP setup takes, so they
+// carry no timeout.
+const probeTimeout = 50 * time.Millisecond
+
+func newOOBAdapter(h *cluster.Host) *oobAdapter {
+	return &oobAdapter{ep: h.Hub.Endpoint(EndpointName)}
+}
+
+func (a *oobAdapter) Handle(kind string, h func(fromNode string, body []byte) []byte) {
+	a.ep.Handle(kind, func(m oob.Msg) []byte { return h(m.FromNode, m.Body) })
+}
+
+func (a *oobAdapter) Call(toNode, kind string, body []byte) ([]byte, bool) {
+	if kind == "hello" {
+		return a.ep.CallTimeout(toNode, EndpointName, kind, body, probeTimeout)
+	}
+	return a.ep.CallTimeout(toNode, EndpointName, kind, body, 0)
+}
+
+func (a *oobAdapter) Send(toNode, kind string, body []byte) {
+	a.ep.Send(toNode, EndpointName, kind, body)
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/verbs"
+)
+
+// Daemon is the per-host MigrRDMA control endpoint. Conceptually it is
+// the driver-resident half of the system: it owns the device-wide
+// physical→virtual QPN translation table (shared read-only with every
+// session's library, §3.3), tracks the sessions on its host, and serves
+// the out-of-band protocol — partner notification (§3.2), suspension
+// fan-out and n_sent exchange (§3.4), and rkey/QPN fetches (§3.3).
+type Daemon struct {
+	host *cluster.Host
+	dev  *rnic.Device
+	ep   endpointAPI
+
+	qpn      qpnTable
+	sessions []*Session
+	// byPhys maps a physical QPN to the session owning it (for rkey
+	// fetch routing and n_sent delivery).
+	byPhys map[uint32]*Session
+
+	// staging holds restores in progress on this host, keyed by process
+	// name (the migration destination side).
+	staging map[string]*Staged
+
+	// movedVQPN records virtual QPNs whose owning process migrated away
+	// and the node it now lives on, so fetches can be redirected.
+	movedVQPN map[uint32]string
+
+	wbs        WBSConfig
+	helloCache map[string]bool
+
+	// LastPartnerWBS records the most recent partner-side
+	// wait-before-stop result on this host (for the Fig. 4 harness).
+	LastPartnerWBS WBSResult
+}
+
+// endpointAPI abstracts the oob endpoint (narrowed for tests).
+type endpointAPI interface {
+	Handle(kind string, h func(fromNode string, body []byte) []byte)
+	Call(toNode, kind string, body []byte) ([]byte, bool)
+	Send(toNode, kind string, body []byte)
+}
+
+// EndpointName is the oob endpoint every MigrRDMA daemon listens on.
+const EndpointName = "migrrdma"
+
+// NewDaemon starts the MigrRDMA daemon on a host.
+func NewDaemon(h *cluster.Host) *Daemon {
+	d := &Daemon{
+		host:      h,
+		dev:       h.Dev,
+		byPhys:    make(map[uint32]*Session),
+		staging:   make(map[string]*Staged),
+		movedVQPN: make(map[uint32]string),
+		wbs:       DefaultWBSConfig(),
+	}
+	d.ep = newOOBAdapter(h)
+	d.installHandlers()
+	return d
+}
+
+// Node returns the daemon's host node name.
+func (d *Daemon) Node() string { return d.host.Name }
+
+// Host returns the daemon's host.
+func (d *Daemon) Host() *cluster.Host { return d.host }
+
+// SetWBSConfig overrides wait-before-stop tuning.
+func (d *Daemon) SetWBSConfig(cfg WBSConfig) { d.wbs = cfg }
+
+// register adds a session to the daemon's registries.
+func (d *Daemon) register(s *Session) {
+	d.sessions = append(d.sessions, s)
+	s.daemon = d
+}
+
+// unregister removes a migrated-away session.
+func (d *Daemon) unregister(s *Session) {
+	for i, e := range d.sessions {
+		if e == s {
+			d.sessions = append(d.sessions[:i], d.sessions[i+1:]...)
+			break
+		}
+	}
+	for phys, owner := range d.byPhys {
+		if owner == s {
+			delete(d.byPhys, phys)
+		}
+	}
+}
+
+// mapQPN installs a physical→virtual QPN mapping for a session's QP.
+func (d *Daemon) mapQPN(phys, virt uint32, s *Session) {
+	d.qpn.set(phys, virt)
+	d.byPhys[phys] = s
+}
+
+// unmapQPN removes a physical QPN mapping (old QP fully drained).
+func (d *Daemon) unmapQPN(phys uint32) {
+	d.qpn.clear(phys)
+	delete(d.byPhys, phys)
+}
+
+// translateQPN translates a physical QPN on this host's device.
+func (d *Daemon) translateQPN(phys uint32) (uint32, bool) { return d.qpn.lookup(phys) }
+
+// --- Wire messages -----------------------------------------------------------
+
+type fetchRKeyReq struct {
+	RQPN  uint32
+	VRKey uint32
+}
+
+type fetchRKeyResp struct {
+	Phys uint32
+	Err  string
+}
+
+type fetchQPNReq struct{ VQPN uint32 }
+
+type fetchQPNResp struct {
+	Node  string // node the QP currently lives on
+	Phys  uint32
+	Moved string // non-empty: retry at this node
+	Err   string
+}
+
+type nsentMsg struct {
+	DstQPN uint32
+	NSent  uint64
+}
+
+type suspendForReq struct{ SrcNode string }
+
+type suspendForResp struct {
+	ElapsedNS int64
+	TimedOut  bool
+}
+
+// notifyPair is one (partner physical QPN, migrated virtual QPN) entry
+// of the §3.2 notification message.
+type notifyPair struct {
+	PartnerQPN uint32
+	VQPN       uint32
+}
+
+type notifyReq struct {
+	Proc     string
+	DestNode string
+	Pairs    []notifyPair
+}
+
+type connectNewReq struct {
+	Proc        string
+	VQPN        uint32
+	PartnerNode string
+	PartnerQPN  uint32
+}
+
+type connectNewResp struct {
+	DestQPN uint32
+	Err     string
+}
+
+type switchReq struct {
+	Proc     string
+	SrcNode  string
+	DestNode string
+}
+
+func enc(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic("core: encode control message: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func dec(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// --- Handlers ----------------------------------------------------------------
+
+func (d *Daemon) installHandlers() {
+	d.ep.Handle("hello", func(_ string, _ []byte) []byte { return []byte("ok") })
+	d.ep.Handle("fetch-rkey", d.hFetchRKey)
+	d.ep.Handle("fetch-qpn", d.hFetchQPN)
+	d.ep.Handle("suspend-for", d.hSuspendFor)
+	d.ep.Handle("notify-migr", d.hNotify)
+	d.ep.Handle("connect-new", d.hConnectNew)
+	d.ep.Handle("switch-to", d.hSwitch)
+	d.ep.Handle("nsent", d.hNSent)
+}
+
+func (d *Daemon) hFetchRKey(_ string, body []byte) []byte {
+	var req fetchRKeyReq
+	if err := dec(body, &req); err != nil {
+		return enc(fetchRKeyResp{Err: err.Error()})
+	}
+	s, ok := d.byPhys[req.RQPN]
+	if !ok {
+		return enc(fetchRKeyResp{Err: fmt.Sprintf("no session owns QPN %#x", req.RQPN)})
+	}
+	phys, ok := s.rkeys.lookup(req.VRKey)
+	if !ok {
+		return enc(fetchRKeyResp{Err: fmt.Sprintf("unknown virtual rkey %#x", req.VRKey)})
+	}
+	return enc(fetchRKeyResp{Phys: phys})
+}
+
+func (d *Daemon) hFetchQPN(_ string, body []byte) []byte {
+	var req fetchQPNReq
+	if err := dec(body, &req); err != nil {
+		return enc(fetchQPNResp{Err: err.Error()})
+	}
+	// Find the session QP whose *virtual* QPN matches.
+	for _, s := range d.sessions {
+		if qp, ok := s.byVQPN[req.VQPN]; ok {
+			return enc(fetchQPNResp{Node: d.Node(), Phys: qp.v.QPN()})
+		}
+	}
+	if node, ok := d.movedVQPN[req.VQPN]; ok {
+		return enc(fetchQPNResp{Moved: node})
+	}
+	return enc(fetchQPNResp{Err: fmt.Sprintf("unknown virtual QPN %#x", req.VQPN)})
+}
+
+func (d *Daemon) hNSent(_ string, body []byte) []byte {
+	var m nsentMsg
+	if err := dec(body, &m); err != nil {
+		return nil
+	}
+	if s, ok := d.byPhys[m.DstQPN]; ok {
+		s.deliverNSent(m.DstQPN, m.NSent)
+	}
+	return nil
+}
+
+// hSuspendFor runs the partner side of stop-and-copy: suspend every QP
+// destined for the migration source and conduct wait-before-stop,
+// blocking the caller until it terminates.
+func (d *Daemon) hSuspendFor(_ string, body []byte) []byte {
+	var req suspendForReq
+	if err := dec(body, &req); err != nil {
+		return enc(suspendForResp{})
+	}
+	var worst WBSResult
+	for _, s := range d.sessions {
+		qps := s.SuspendPeer(req.SrcNode)
+		if len(qps) == 0 {
+			continue
+		}
+		res := s.WaitBeforeStop(qps, d.wbs)
+		if res.Elapsed > worst.Elapsed {
+			worst = res
+		}
+	}
+	d.LastPartnerWBS = worst
+	return enc(suspendForResp{ElapsedNS: int64(worst.Elapsed), TimedOut: worst.TimedOut})
+}
+
+// hNotify implements the partner pre-setup of §3.2: for each listed
+// local QP, create a spare QP sharing the same CQ/PD/SRQ, connect it to
+// the migration destination, and stash it for the later switch-over.
+func (d *Daemon) hNotify(_ string, body []byte) []byte {
+	var req notifyReq
+	if err := dec(body, &req); err != nil {
+		return []byte(err.Error())
+	}
+	for _, pair := range req.Pairs {
+		s, ok := d.byPhys[pair.PartnerQPN]
+		if !ok {
+			continue
+		}
+		qp := s.qpByPhys(pair.PartnerQPN)
+		if qp == nil {
+			continue
+		}
+		// The old and new QP share the same CQ so completion routing
+		// stays transparent; PD and SRQ are likewise reused (§3.2).
+		nv := s.ctx.CreateQP(qp.pd.v, qp.typ, qp.sendCQ.v, qp.recvCQ.v, srqV(qp.srq), qp.caps)
+		if err := nv.Modify(rnic.ModifyAttr{State: rnic.StateInit}); err != nil {
+			return []byte(err.Error())
+		}
+		resp, ok := d.call(req.DestNode, "connect-new", enc(connectNewReq{
+			Proc: req.Proc, VQPN: pair.VQPN,
+			PartnerNode: d.Node(), PartnerQPN: nv.QPN(),
+		}))
+		if !ok {
+			return []byte("connect-new: no response from " + req.DestNode)
+		}
+		var cr connectNewResp
+		if err := dec(resp, &cr); err != nil || cr.Err != "" {
+			return []byte("connect-new: " + cr.Err)
+		}
+		if err := nv.Modify(rnic.ModifyAttr{State: rnic.StateRTR, RemoteNode: req.DestNode, RemoteQPN: cr.DestQPN}); err != nil {
+			return []byte(err.Error())
+		}
+		if err := nv.Modify(rnic.ModifyAttr{State: rnic.StateRTS}); err != nil {
+			return []byte(err.Error())
+		}
+		qp.pendingNew = nv
+	}
+	return nil
+}
+
+// hConnectNew runs on the migration destination: the partner asks the
+// staged QP for vqpn to connect to its fresh QP.
+func (d *Daemon) hConnectNew(_ string, body []byte) []byte {
+	var req connectNewReq
+	if err := dec(body, &req); err != nil {
+		return enc(connectNewResp{Err: err.Error()})
+	}
+	st, ok := d.staging[req.Proc]
+	if !ok {
+		return enc(connectNewResp{Err: "no staged restore for " + req.Proc})
+	}
+	nv, ok := st.qpByVQPN[req.VQPN]
+	if !ok {
+		keys := make([]uint32, 0, len(st.qpByVQPN))
+		for k := range st.qpByVQPN {
+			keys = append(keys, k)
+		}
+		return enc(connectNewResp{Err: fmt.Sprintf("no staged QP for vqpn %#x (have %#x, metas %d, qps %d)", req.VQPN, keys, len(st.qpMeta), len(st.qps))})
+	}
+	if err := nv.Modify(rnic.ModifyAttr{State: rnic.StateRTR, RemoteNode: req.PartnerNode, RemoteQPN: req.PartnerQPN}); err != nil {
+		return enc(connectNewResp{Err: err.Error()})
+	}
+	if err := nv.Modify(rnic.ModifyAttr{State: rnic.StateRTS}); err != nil {
+		return enc(connectNewResp{Err: err.Error()})
+	}
+	return enc(connectNewResp{DestQPN: nv.QPN()})
+}
+
+// hSwitch runs on partners after the destination restore completed:
+// activate the spare QPs (map the virtual QPN to the new QP, §3.2),
+// invalidate remote caches pointing at the source, replay pending
+// receives and post intercepted WRs.
+func (d *Daemon) hSwitch(_ string, body []byte) []byte {
+	var req switchReq
+	if err := dec(body, &req); err != nil {
+		return []byte(err.Error())
+	}
+	for _, s := range d.sessions {
+		var resumed []*QP
+		for _, qp := range s.sortedQPs() {
+			if qp.pendingNew == nil {
+				continue
+			}
+			old := qp.v
+			qp.oldV = old
+			qp.v = qp.pendingNew
+			qp.pendingNew = nil
+			// The wrapper now stands for the spare QP: re-key it to the
+			// spare's roadmap record so a later migration of this
+			// process replays the QP that actually exists (the old QP's
+			// creation record disappears when it is destroyed below).
+			delete(s.qps, qp.id)
+			qp.id = qp.v.ID
+			s.qps[qp.id] = qp
+			// Old physical → virtual stays mapped until the old QP's
+			// completions drain; new physical maps to the same virtual.
+			d.mapQPN(qp.v.QPN(), qp.vqpn, s)
+			resumed = append(resumed, qp)
+		}
+		if len(resumed) == 0 {
+			continue
+		}
+		s.InvalidateRemoteCaches(req.SrcNode)
+		if err := s.Resume(resumed); err != nil {
+			return []byte(err.Error())
+		}
+		// Wait-before-stop guaranteed the old QPs are drained; retire
+		// them now (§3.4 "old QPs ... are destroyed").
+		for _, qp := range resumed {
+			if qp.oldV != nil {
+				oldPhys := qp.oldV.QPN()
+				qp.oldV.Destroy()
+				d.unmapQPN(oldPhys)
+				qp.oldV = nil
+			}
+		}
+	}
+	return nil
+}
+
+// sortedQPs returns the session's QPs in virtual-QPN order for
+// deterministic iteration.
+func (s *Session) sortedQPs() []*QP {
+	out := make([]*QP, 0, len(s.qps))
+	for _, qp := range s.qps {
+		out = append(out, qp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].vqpn < out[j].vqpn })
+	return out
+}
+
+// qpByPhys finds the session QP with the given physical QPN.
+func (s *Session) qpByPhys(phys uint32) *QP {
+	for _, qp := range s.qps {
+		if qp.v.QPN() == phys {
+			return qp
+		}
+	}
+	return nil
+}
+
+func srqV(srq *SRQ) *verbs.SRQ {
+	if srq == nil {
+		return nil
+	}
+	return srq.v
+}
+
+// --- Client helpers ------------------------------------------------------------
+
+// call issues a blocking control RPC to another node's daemon.
+func (d *Daemon) call(node, kind string, body []byte) ([]byte, bool) {
+	return d.ep.Call(node, kind, body)
+}
+
+// fetchRKey asks the node owning physical QPN rqpn to translate vrkey.
+func (d *Daemon) fetchRKey(node string, rqpn, vrkey uint32) (uint32, error) {
+	if node == d.Node() {
+		// Loopback: the peer process is on the same host.
+		if s, ok := d.byPhys[rqpn]; ok {
+			if phys, ok := s.rkeys.lookup(vrkey); ok {
+				return phys, nil
+			}
+		}
+		return 0, fmt.Errorf("core: local rkey fetch failed for %#x", vrkey)
+	}
+	resp, ok := d.call(node, "fetch-rkey", enc(fetchRKeyReq{RQPN: rqpn, VRKey: vrkey}))
+	if !ok {
+		return 0, fmt.Errorf("core: rkey fetch: %s unreachable", node)
+	}
+	var r fetchRKeyResp
+	if err := dec(resp, &r); err != nil {
+		return 0, err
+	}
+	if r.Err != "" {
+		return 0, fmt.Errorf("core: rkey fetch: %s", r.Err)
+	}
+	return r.Phys, nil
+}
+
+// fetchQPN resolves a (node, virtual QPN) to its current node and
+// physical QPN, following at most one relocation redirect.
+func (d *Daemon) fetchQPN(node string, vqpn uint32) (string, uint32, error) {
+	for hops := 0; hops < 3; hops++ {
+		resp, ok := d.call(node, "fetch-qpn", enc(fetchQPNReq{VQPN: vqpn}))
+		if !ok {
+			return "", 0, fmt.Errorf("core: qpn fetch: %s unreachable", node)
+		}
+		var r fetchQPNResp
+		if err := dec(resp, &r); err != nil {
+			return "", 0, err
+		}
+		if r.Moved != "" {
+			node = r.Moved
+			continue
+		}
+		if r.Err != "" {
+			return "", 0, fmt.Errorf("core: qpn fetch: %s", r.Err)
+		}
+		return r.Node, r.Phys, nil
+	}
+	return "", 0, fmt.Errorf("core: qpn fetch: too many redirects")
+}
+
+// sendNSent delivers this side's n_sent to the peer QP (§3.4).
+func (d *Daemon) sendNSent(node string, dstQPN uint32, nSent uint64) {
+	if node == d.Node() {
+		if s, ok := d.byPhys[dstQPN]; ok {
+			s.deliverNSent(dstQPN, nSent)
+		}
+		return
+	}
+	d.ep.Send(node, "nsent", enc(nsentMsg{DstQPN: dstQPN, NSent: nSent}))
+}
+
+// Hello probes whether node runs a MigrRDMA daemon (§6 negotiation).
+func (d *Daemon) Hello(node string) bool {
+	if node == d.Node() {
+		return true
+	}
+	_, ok := d.call(node, "hello", nil)
+	return ok
+}
+
+// PeerSupports reports (with caching) whether node runs MigrRDMA.
+func (d *Daemon) PeerSupports(node string) bool {
+	if v, ok := d.helloCache[node]; ok {
+		return v
+	}
+	v := d.Hello(node)
+	if d.helloCache == nil {
+		d.helloCache = make(map[string]bool)
+	}
+	d.helloCache[node] = v
+	return v
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/task"
+)
+
+// newSessionHost builds one host with a daemon and a session holding a
+// registered MR and an RTS-less QP, for handler-level tests.
+func newSessionHost(t *testing.T) (*cluster.Cluster, *Daemon, *Session, *MR, *QP) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Seed: 5}, "h", "peer")
+	d := NewDaemon(cl.Host("h"))
+	NewDaemon(cl.Host("peer"))
+	var s *Session
+	var mr *MR
+	var qp *QP
+	cl.Sched.Go("setup", func() {
+		p := task.New(cl.Sched, "p")
+		s = NewSession(p, d)
+		p.AS.Map(0x100000, 1<<16, "buf")
+		pd := s.AllocPD()
+		cq := s.CreateCQ(64, nil)
+		var err error
+		mr, err = s.RegMR(pd, 0x100000, 1<<16, rnic.AccessLocalWrite|rnic.AccessRemoteWrite)
+		if err != nil {
+			t.Error(err)
+		}
+		qp = s.CreateQP(pd, QPConfig{Type: rnic.RC, SendCQ: cq, RecvCQ: cq})
+	})
+	cl.Sched.RunFor(50 * time.Millisecond)
+	return cl, d, s, mr, qp
+}
+
+func TestFetchRKeyHandler(t *testing.T) {
+	cl, d, _, mr, qp := newSessionHost(t)
+	cl.Sched.Go("test", func() {
+		// A peer asks: translate this virtual rkey of the process that
+		// owns this physical QPN.
+		resp := d.hFetchRKey("peer", enc(fetchRKeyReq{RQPN: qp.v.QPN(), VRKey: mr.RKey()}))
+		var r fetchRKeyResp
+		if err := dec(resp, &r); err != nil {
+			t.Error(err)
+			return
+		}
+		if r.Err != "" {
+			t.Errorf("fetch-rkey error: %s", r.Err)
+		}
+		if r.Phys == mr.RKey() {
+			t.Error("physical rkey equals the virtual one — no virtualization happened")
+		}
+		// An attacker guessing a virtual rkey the process never assigned
+		// is rejected (§3.3 security note).
+		resp = d.hFetchRKey("peer", enc(fetchRKeyReq{RQPN: qp.v.QPN(), VRKey: 0x7777}))
+		dec(resp, &r)
+		if r.Err == "" {
+			t.Error("bogus virtual rkey resolved")
+		}
+		// An unknown QPN (no owning process) is rejected too.
+		resp = d.hFetchRKey("peer", enc(fetchRKeyReq{RQPN: 0xABCDEF, VRKey: mr.RKey()}))
+		dec(resp, &r)
+		if r.Err == "" {
+			t.Error("rkey fetch for unowned QPN resolved")
+		}
+	})
+	cl.Sched.RunFor(time.Second)
+}
+
+func TestFetchQPNHandlerAndRedirect(t *testing.T) {
+	cl, d, _, _, qp := newSessionHost(t)
+	cl.Sched.Go("test", func() {
+		resp := d.hFetchQPN("peer", enc(fetchQPNReq{VQPN: qp.VQPN()}))
+		var r fetchQPNResp
+		dec(resp, &r)
+		if r.Err != "" || r.Node != "h" || r.Phys != qp.v.QPN() {
+			t.Errorf("fetch-qpn = %+v", r)
+		}
+		// Simulate the owner having migrated away: the daemon redirects.
+		d.movedVQPN[0x424242] = "elsewhere"
+		resp = d.hFetchQPN("peer", enc(fetchQPNReq{VQPN: 0x424242}))
+		dec(resp, &r)
+		if r.Moved != "elsewhere" {
+			t.Errorf("expected redirect, got %+v", r)
+		}
+		// Entirely unknown QPN errors.
+		resp = d.hFetchQPN("peer", enc(fetchQPNReq{VQPN: 0x99999}))
+		dec(resp, &r)
+		if r.Err == "" {
+			t.Error("unknown virtual QPN resolved")
+		}
+	})
+	cl.Sched.RunFor(time.Second)
+}
+
+func TestNSentDelivery(t *testing.T) {
+	cl, d, _, _, qp := newSessionHost(t)
+	cl.Sched.Go("test", func() {
+		d.hNSent("peer", enc(nsentMsg{DstQPN: qp.v.QPN(), NSent: 321}))
+		if !qp.peerNSentKnown || qp.peerNSent != 321 {
+			t.Errorf("nsent not delivered: known=%v val=%d", qp.peerNSentKnown, qp.peerNSent)
+		}
+	})
+	cl.Sched.RunFor(time.Second)
+}
+
+func TestHelloAndPeerSupportsCache(t *testing.T) {
+	cl := cluster.New(cluster.Config{Seed: 5}, "a", "b", "bare")
+	da := NewDaemon(cl.Host("a"))
+	NewDaemon(cl.Host("b"))
+	// "bare" runs no daemon at all.
+	cl.Sched.Go("test", func() {
+		if !da.PeerSupports("b") {
+			t.Error("daemon-running peer reported unsupported")
+		}
+		if da.PeerSupports("bare") {
+			t.Error("bare peer reported as MigrRDMA-capable")
+		}
+		// Cached: immediate second answer without another probe.
+		start := cl.Sched.Now()
+		if da.PeerSupports("bare") {
+			t.Error("cache flipped the answer")
+		}
+		if cl.Sched.Now() != start {
+			t.Error("cached PeerSupports consumed time (re-probed)")
+		}
+	})
+	cl.Sched.RunFor(5 * time.Second)
+}
+
+func TestQPNTableSharedPerDevice(t *testing.T) {
+	cl, d, s, _, qp := newSessionHost(t)
+	cl.Sched.Go("test", func() {
+		// The library translates through the daemon's shared table.
+		v, ok := d.translateQPN(qp.v.QPN())
+		if !ok || v != qp.VQPN() {
+			t.Errorf("translateQPN = %#x,%v", v, ok)
+		}
+		// Unmapping (old QP fully drained) removes the entry.
+		d.unmapQPN(qp.v.QPN())
+		if _, ok := d.translateQPN(qp.v.QPN()); ok {
+			t.Error("unmapped QPN still translates")
+		}
+		_ = s
+	})
+	cl.Sched.RunFor(time.Second)
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/criu"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/task"
+)
+
+// Plugin is the MigrRDMA CRIU plugin (§4): it checkpoints the
+// indirection layer on the source and rebuilds equivalent RDMA
+// communications on the destination using the Table-3 restore calls.
+// One Plugin instance drives one migration.
+type Plugin struct {
+	Src, Dst *Daemon
+
+	sess       *Session
+	staged     *Staged
+	partnerWBS WBSResult
+}
+
+var _ criu.Plugin = (*Plugin)(nil)
+
+// NewPlugin creates a plugin for migrating a process from Src's host to
+// Dst's host.
+func NewPlugin(src, dst *Daemon) *Plugin {
+	return &Plugin{Src: src, Dst: dst}
+}
+
+// Session returns the session being migrated (available after Attach,
+// PreDump or FinalDump).
+func (pl *Plugin) Session() *Session { return pl.sess }
+
+// Attach binds the plugin to the process being migrated.
+func (pl *Plugin) Attach(p *task.Process) error {
+	s, err := sessionOf(p)
+	if err != nil {
+		return err
+	}
+	pl.sess = s
+	return nil
+}
+
+// sessionOf extracts the MigrRDMA session from a process.
+func sessionOf(p *task.Process) (*Session, error) {
+	s, ok := p.Attachment.(*Session)
+	if !ok || s == nil {
+		return nil, fmt.Errorf("core: process %s has no MigrRDMA session", p.Name)
+	}
+	return s, nil
+}
+
+// PreDump checkpoints the full RDMA roadmap at the start of pre-copy
+// (Fig. 2b ①').
+func (pl *Plugin) PreDump(p *task.Process) ([]byte, error) {
+	s, err := sessionOf(p)
+	if err != nil {
+		return nil, err
+	}
+	pl.sess = s
+	return encodeBlob(s.Checkpoint(false))
+}
+
+// FinalDump checkpoints the difference since PreDump plus the final
+// virtualization metadata (Fig. 2b ⑤').
+func (pl *Plugin) FinalDump(p *task.Process) ([]byte, error) {
+	s, err := sessionOf(p)
+	if err != nil {
+		return nil, err
+	}
+	pl.sess = s
+	return encodeBlob(s.Checkpoint(true))
+}
+
+// PreRestore claims MR-backing memory at its original virtual addresses
+// on the destination (§3.2); it is quick and must run before CRIU's
+// temporary mappings. The long part — replaying the roadmap and partner
+// notification — happens in RunPreSetup, which overlaps memory pre-copy.
+func (pl *Plugin) PreRestore(r *criu.Restore, img *criu.Image, blob []byte) error {
+	b, err := DecodeBlob(blob)
+	if err != nil {
+		return err
+	}
+	st, err := pl.Dst.RestoreContext(r, img, b)
+	if err != nil {
+		return err
+	}
+	pl.staged = st
+	return nil
+}
+
+// RunPreSetup replays the roadmap on the destination device and then
+// runs partner notification — the RDMA pre-setup of §3.2. It blocks for
+// the full (milliseconds-per-QP) control-path cost and is meant to run
+// concurrently with memory pre-copy.
+func (pl *Plugin) RunPreSetup() error {
+	if err := pl.staged.Replay(); err != nil {
+		return err
+	}
+	return pl.NotifyPartners()
+}
+
+// PostRestore applies the final RDMA diff, swaps the session onto the
+// destination resources, and re-arms the data path (Fig. 2b ⑥'+⑦).
+// Partner switch-over (SwitchPartners) must run between the swap and
+// Resume; runc's migration driver sequences that.
+func (pl *Plugin) PostRestore(r *criu.Restore, p *task.Process, blob []byte) error {
+	s, err := sessionOf(p)
+	if err != nil {
+		return err
+	}
+	final, err := DecodeBlob(blob)
+	if err != nil {
+		return err
+	}
+	if pl.staged == nil {
+		// No pre-setup (the baseline of §5.2): build everything now,
+		// inside the blackout.
+		st, err := pl.Dst.RestoreContext(r, nil, final)
+		if err != nil {
+			return err
+		}
+		pl.staged = st
+		if err := st.Replay(); err != nil {
+			return err
+		}
+		if err := pl.NotifyPartners(); err != nil {
+			return err
+		}
+	} else if err := pl.staged.applyFinal(final); err != nil {
+		return err
+	}
+	return pl.adopt(s)
+}
+
+// adopt swaps the session's underlying objects for the staged ones and
+// registers it with the destination daemon. The session is left
+// suspended; ResumeMigrated completes step ⑦ after partners switched.
+func (pl *Plugin) adopt(s *Session) error {
+	st := pl.staged
+	if err := st.bind(s); err != nil {
+		return err
+	}
+	// Move the registration: the source daemon forgets the session (and
+	// remembers where its virtual QPNs went), the destination daemon
+	// adopts it.
+	pl.Src.unregister(s)
+	for _, qp := range s.sortedQPs() {
+		pl.Src.movedVQPN[qp.vqpn] = pl.Dst.Node()
+	}
+	pl.Dst.register(s)
+	for _, qp := range s.sortedQPs() {
+		pl.Dst.mapQPN(qp.v.QPN(), qp.vqpn, s)
+	}
+	delete(pl.Dst.staging, s.Proc.Name)
+	return nil
+}
+
+// NotifyPartners implements the §3.2 notification: for every partner
+// node, send the migration destination's address and the list of the
+// partner's physical QPNs connected to the migrated service; each
+// partner pre-establishes spare QPs to the destination. It blocks until
+// every partner finished pre-setup.
+func (pl *Plugin) NotifyPartners() error {
+	s := pl.sess
+	byNode := make(map[string][]notifyPair)
+	var nodes []string
+	for _, qp := range s.sortedQPs() {
+		if qp.typ != rnic.RC || qp.v.RemoteNode() == "" {
+			continue
+		}
+		node := qp.v.RemoteNode()
+		if _, seen := byNode[node]; !seen {
+			nodes = append(nodes, node)
+		}
+		byNode[node] = append(byNode[node], notifyPair{PartnerQPN: qp.v.RemoteQPN(), VQPN: qp.vqpn})
+	}
+	for _, node := range nodes {
+		req := notifyReq{Proc: s.Proc.Name, DestNode: pl.Dst.Node(), Pairs: byNode[node]}
+		resp, ok := pl.Src.call(node, "notify-migr", enc(req))
+		if !ok {
+			return fmt.Errorf("core: partner %s unreachable for notification", node)
+		}
+		if len(resp) > 0 {
+			return fmt.Errorf("core: partner %s pre-setup: %s", node, resp)
+		}
+	}
+	return nil
+}
+
+// SuspendPartners tells every partner to suspend its QPs toward the
+// migration source and run wait-before-stop; it blocks until all of
+// them finish (§3.4) and returns the slowest partner's result. It runs
+// concurrently with the source's own wait-before-stop.
+func (pl *Plugin) SuspendPartners() error {
+	s := pl.sess
+	seen := map[string]bool{}
+	pl.partnerWBS = WBSResult{}
+	for _, qp := range s.sortedQPs() {
+		node := qp.v.RemoteNode()
+		if node == "" || node == pl.Src.Node() || seen[node] {
+			continue
+		}
+		seen[node] = true
+		resp, ok := pl.Src.call(node, "suspend-for", enc(suspendForReq{SrcNode: pl.Src.Node()}))
+		if !ok {
+			return fmt.Errorf("core: partner %s unreachable for suspension", node)
+		}
+		var sr suspendForResp
+		if err := dec(resp, &sr); err == nil {
+			if d := time.Duration(sr.ElapsedNS); d > pl.partnerWBS.Elapsed {
+				pl.partnerWBS = WBSResult{Elapsed: d, TimedOut: sr.TimedOut}
+			}
+		}
+	}
+	return nil
+}
+
+// WorstPartnerWBS reports the slowest partner-side wait-before-stop of
+// the last SuspendPartners call.
+func (pl *Plugin) WorstPartnerWBS() WBSResult { return pl.partnerWBS }
+
+// SuspendSource suspends all of the migrated service's QPs and runs its
+// wait-before-stop, returning the result (§3.4).
+func (pl *Plugin) SuspendSource() WBSResult {
+	qps := pl.sess.SuspendAll()
+	return pl.sess.WaitBeforeStop(qps, pl.Src.wbs)
+}
+
+// SwitchPartners activates the partners' spare QPs (step right before
+// ⑦, §3.2). The destination session must already be registered.
+func (pl *Plugin) SwitchPartners() error {
+	s := pl.sess
+	seen := map[string]bool{}
+	for _, qp := range s.sortedQPs() {
+		node := qp.v.RemoteNode() // the partner's node does not change
+		if node == "" || seen[node] {
+			continue
+		}
+		seen[node] = true
+		resp, ok := pl.Dst.call(node, "switch-to", enc(switchReq{
+			Proc: s.Proc.Name, SrcNode: pl.Src.Node(), DestNode: pl.Dst.Node(),
+		}))
+		if !ok {
+			return fmt.Errorf("core: partner %s unreachable for switch", node)
+		}
+		if len(resp) > 0 {
+			return fmt.Errorf("core: partner %s switch: %s", node, resp)
+		}
+	}
+	return nil
+}
+
+// ResumeMigrated re-arms the migrated session's data path: intercepted
+// WRs are posted and pending RECVs replayed on the new QPs (⑦).
+func (pl *Plugin) ResumeMigrated() error {
+	return pl.sess.Resume(pl.sess.sortedQPs())
+}
+
+// ReclaimSource destroys the original RDMA resources on the migration
+// source ("the migration source reclaims all the resources", §3.1).
+func (pl *Plugin) ReclaimSource() {
+	st := pl.staged
+	for _, old := range st.srcQPs {
+		phys := old.QPN()
+		old.Destroy()
+		pl.Src.unmapQPN(phys)
+	}
+	for _, mr := range st.srcMRs {
+		mr.Dereg()
+	}
+	for _, cq := range st.srcCQs {
+		cq.Destroy()
+	}
+	for _, srq := range st.srcSRQs {
+		srq.Destroy()
+	}
+	for _, pd := range st.srcPDs {
+		pd.Dealloc()
+	}
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+
+	"migrrdma/internal/criu"
+	"migrrdma/internal/mem"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/verbs"
+)
+
+// Staged is an in-progress RDMA restoration on the migration
+// destination: the MigrRDMA Host Lib's working state. It maps the
+// roadmap's original object IDs to freshly created resources on the
+// destination device; the IDs are stable across migrations so the same
+// process can migrate again later.
+type Staged struct {
+	daemon *Daemon
+	ctx    *verbs.Context
+	blob   *Blob
+
+	pds   map[verbs.ObjID]*verbs.PD
+	cqs   map[verbs.ObjID]*verbs.CQ
+	chans map[verbs.ObjID]*verbs.CompChannel
+	srqs  map[verbs.ObjID]*verbs.SRQ
+	mrs   map[verbs.ObjID]*verbs.MR
+	mws   map[verbs.ObjID]*verbs.MW
+	dms   map[verbs.ObjID]*verbs.DM
+	qps   map[verbs.ObjID]*verbs.QP
+
+	// qpByVQPN lets partner connect-new requests find staged QPs.
+	qpByVQPN map[uint32]*verbs.QP
+	// qpMeta keeps per-QP restore metadata by object ID.
+	qpMeta map[verbs.ObjID]QPMeta
+
+	// deferred holds MR records whose registration waits for full
+	// memory restoration (registered during the pre-copy on the source,
+	// §3.2 "we restore the conflicting MRs at the end of stop-and-copy").
+	deferred []RecordDTO
+
+	// Old (source-side) objects captured at bind time for reclamation.
+	srcCtx  *verbs.Context
+	srcPDs  []*verbs.PD
+	srcMRs  []*verbs.MR
+	srcCQs  []*verbs.CQ
+	srcSRQs []*verbs.SRQ
+	srcQPs  []*verbs.QP
+}
+
+// RestoreContext is ibv_restore_context (Table 3): it opens the
+// destination device for the restoring process and replays the roadmap.
+// img may be nil when there is no partial restore (the no-presetup
+// baseline); MR memory must then already be at its original addresses.
+func (d *Daemon) RestoreContext(r *criu.Restore, img *criu.Image, b *Blob) (*Staged, error) {
+	st := &Staged{
+		daemon:   d,
+		ctx:      verbs.OpenDevice(d.dev, r.AS),
+		blob:     b,
+		pds:      make(map[verbs.ObjID]*verbs.PD),
+		cqs:      make(map[verbs.ObjID]*verbs.CQ),
+		chans:    make(map[verbs.ObjID]*verbs.CompChannel),
+		srqs:     make(map[verbs.ObjID]*verbs.SRQ),
+		mrs:      make(map[verbs.ObjID]*verbs.MR),
+		mws:      make(map[verbs.ObjID]*verbs.MW),
+		dms:      make(map[verbs.ObjID]*verbs.DM),
+		qps:      make(map[verbs.ObjID]*verbs.QP),
+		qpByVQPN: make(map[uint32]*verbs.QP),
+		qpMeta:   make(map[verbs.ObjID]QPMeta),
+	}
+	// Fresh objects must never reuse roadmap IDs.
+	var maxID verbs.ObjID
+	for _, rec := range b.Records {
+		if rec.Ev.ID > maxID {
+			maxID = rec.Ev.ID
+		}
+	}
+	st.ctx.SetNextObjID(maxID + 1)
+	for _, m := range b.QPs {
+		st.qpMeta[m.ID] = m
+	}
+	// Claim MR-backing memory at original addresses before anything
+	// else maps (§3.2 "restore the MR's memory structures before the
+	// memory restoration starts"). The roadmap replay itself runs later
+	// via Replay, overlapping memory pre-copy.
+	if img != nil {
+		if err := st.claimMRMemory(r, img, b.Records); err != nil {
+			return nil, err
+		}
+	}
+	d.staging[b.Proc] = st
+	return st, nil
+}
+
+// Replay re-executes the checkpointed roadmap on the destination
+// device. With pre-setup it runs during partial restore; the baseline
+// runs it inside the blackout.
+func (st *Staged) Replay() error { return st.replay(st.blob.Records) }
+
+// claimMRMemory maps every VMA containing a to-be-registered MR at its
+// original virtual address and restores its pages.
+func (st *Staged) claimMRMemory(r *criu.Restore, img *criu.Image, recs []RecordDTO) error {
+	for _, rec := range recs {
+		if rec.Ev.Kind != verbs.EvRegMR {
+			continue
+		}
+		for _, vrec := range img.VMAs {
+			if vrec.Device {
+				continue
+			}
+			if rec.Ev.Addr < vrec.Start+mem.Addr(vrec.Len) && vrec.Start < rec.Ev.Addr+mem.Addr(rec.Ev.Len) {
+				if err := r.MapAtOriginal(img, vrec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// replay re-executes the roadmap's control-path calls on the
+// destination device: the Table-3 restore entry points. RC QPs stop at
+// INIT; partner notification connects them. With pre-setup this runs
+// during partial restore; the no-presetup baseline pays the same cost
+// inside the blackout.
+func (st *Staged) replay(recs []RecordDTO) error {
+	for _, rec := range recs {
+		if err := st.replayOne(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayOne restores a single resource.
+func (st *Staged) replayOne(rec RecordDTO) error {
+	ev := rec.Ev
+	switch ev.Kind {
+	case verbs.EvAllocPD:
+		st.pds[ev.ID] = st.ctx.AllocPD() // ibv_restore_pd
+
+	case verbs.EvCreateCompChannel:
+		st.chans[ev.ID] = st.ctx.CreateCompChannel()
+
+	case verbs.EvCreateCQ: // ibv_restore_cq
+		st.cqs[ev.ID] = st.ctx.CreateCQ(ev.CQCap, st.chans[ev.Channel])
+
+	case verbs.EvCreateSRQ:
+		st.srqs[ev.ID] = st.ctx.CreateSRQ()
+
+	case verbs.EvRegMR:
+		pd, ok := st.pds[ev.PD]
+		if !ok {
+			return fmt.Errorf("core: restore MR %d: missing PD %d", ev.ID, ev.PD)
+		}
+		if !st.ctx.Mem().Mapped(ev.Addr, ev.Len) {
+			// The backing memory is not at its original address yet
+			// (registered on the source during pre-copy, or the
+			// no-presetup baseline before full restore): defer to
+			// stop-and-copy (§3.2).
+			st.deferred = append(st.deferred, rec)
+			return nil
+		}
+		mr, err := st.ctx.RegMR(pd, ev.Addr, ev.Len, ev.Access)
+		if err != nil {
+			return fmt.Errorf("core: restore MR %d: %w", ev.ID, err)
+		}
+		st.mrs[ev.ID] = mr
+
+	case verbs.EvBindMW:
+		mr, ok := st.mrs[ev.MR]
+		if !ok {
+			// Parent MR deferred: defer the window too.
+			st.deferred = append(st.deferred, rec)
+			return nil
+		}
+		mw, err := st.ctx.BindMW(mr, ev.Addr, ev.Len, ev.Access)
+		if err != nil {
+			return fmt.Errorf("core: restore MW %d: %w", ev.ID, err)
+		}
+		st.mws[ev.ID] = mw
+
+	case verbs.EvAllocDM:
+		dm, err := st.ctx.AllocDM(ev.Len)
+		if err != nil {
+			return fmt.Errorf("core: restore DM %d: %w", ev.ID, err)
+		}
+		// §3.3: re-allocate on the new NIC, then mremap to the original
+		// virtual address.
+		if err := dm.Remap(ev.Addr); err != nil {
+			return fmt.Errorf("core: restore DM %d remap: %w", ev.ID, err)
+		}
+		st.dms[ev.ID] = dm
+
+	case verbs.EvCreateQP: // ibv_restore_qp
+		pd, ok := st.pds[ev.PD]
+		if !ok {
+			return fmt.Errorf("core: restore QP %d: missing PD %d", ev.ID, ev.PD)
+		}
+		scq, rcq := st.cqs[ev.SendCQ], st.cqs[ev.RecvCQ]
+		if scq == nil || rcq == nil {
+			return fmt.Errorf("core: restore QP %d: missing CQs", ev.ID)
+		}
+		qp := st.ctx.CreateQP(pd, ev.QPType, scq, rcq, st.srqs[ev.SRQ], ev.Caps)
+		st.qps[ev.ID] = qp
+		meta := st.qpMeta[ev.ID]
+		if meta.VQPN != 0 {
+			st.qpByVQPN[meta.VQPN] = qp
+		}
+		// Advance the state machine: RC stops at INIT (the partner
+		// exchange completes the connection); UD replays to its final
+		// state directly.
+		if meta.State >= rnic.StateInit {
+			if err := qp.Modify(rnic.ModifyAttr{State: rnic.StateInit}); err != nil {
+				return err
+			}
+		}
+		if ev.QPType == rnic.UD && meta.State >= rnic.StateRTR {
+			if err := qp.Modify(rnic.ModifyAttr{State: rnic.StateRTR}); err != nil {
+				return err
+			}
+			if meta.State >= rnic.StateRTS {
+				if err := qp.Modify(rnic.ModifyAttr{State: rnic.StateRTS}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// applyFinal merges the stop-and-copy difference blob: resources
+// created on the source during pre-copy are restored now (deferred MRs
+// first — their memory reached its original address when CRIU
+// finalized), and resources destroyed during pre-copy are released.
+func (st *Staged) applyFinal(final *Blob) error {
+	for _, m := range final.QPs {
+		st.qpMeta[m.ID] = m
+	}
+	deferred := st.deferred
+	st.deferred = nil
+	for _, rec := range deferred {
+		if err := st.replayOne(rec); err != nil {
+			return err
+		}
+	}
+	for _, rec := range final.Records {
+		if err := st.replayOne(rec); err != nil {
+			return err
+		}
+	}
+	if len(st.deferred) > 0 {
+		return fmt.Errorf("core: %d MRs still unmappable after full restore", len(st.deferred))
+	}
+	for _, id := range final.Destroyed {
+		st.destroyStaged(id)
+	}
+	return nil
+}
+
+// destroyStaged releases a staged resource that the source destroyed
+// during pre-copy.
+func (st *Staged) destroyStaged(id verbs.ObjID) {
+	if mr, ok := st.mrs[id]; ok {
+		mr.Dereg()
+		delete(st.mrs, id)
+	}
+	if qp, ok := st.qps[id]; ok {
+		qp.Destroy()
+		delete(st.qps, id)
+	}
+	if cq, ok := st.cqs[id]; ok {
+		cq.Destroy()
+		delete(st.cqs, id)
+	}
+	if srq, ok := st.srqs[id]; ok {
+		srq.Destroy()
+		delete(st.srqs, id)
+	}
+	if mw, ok := st.mws[id]; ok {
+		mw.Dealloc()
+		delete(st.mws, id)
+	}
+	if dm, ok := st.dms[id]; ok {
+		dm.Free()
+		delete(st.dms, id)
+	}
+	if pd, ok := st.pds[id]; ok {
+		pd.Dealloc()
+		delete(st.pds, id)
+	}
+}
+
+// bind swaps a session's wrappers onto the staged destination objects
+// and updates the shared translation tables — "map the new RDMA
+// resources into the restored processes" (Fig. 2b ⑥').
+func (st *Staged) bind(s *Session) error {
+	// The old context must stop feeding the roadmap: destroying the
+	// source-side resources during reclamation is not an application
+	// action and must not delete the creation records a future
+	// migration replays.
+	st.srcCtx = s.ctx
+	st.srcCtx.SetRecorder(nil)
+	st.ctx.SetRecorder(s.ind)
+	s.ctx = st.ctx
+	for id, pd := range s.pds {
+		nv, ok := st.pds[id]
+		if !ok {
+			return fmt.Errorf("core: bind: PD %d not staged", id)
+		}
+		st.srcPDs = append(st.srcPDs, pd.v)
+		pd.v = nv
+	}
+	for id, mr := range s.mrs {
+		nv, ok := st.mrs[id]
+		if !ok {
+			return fmt.Errorf("core: bind: MR %d not staged", id)
+		}
+		st.srcMRs = append(st.srcMRs, mr.v)
+		mr.v = nv
+		s.lkeys.update(mr.vlkey, nv.LKey())
+		s.rkeys.update(mr.vrkey, nv.RKey())
+	}
+	for id, mw := range s.mws {
+		nv, ok := st.mws[id]
+		if !ok {
+			return fmt.Errorf("core: bind: MW %d not staged", id)
+		}
+		mw.v = nv
+		s.rkeys.update(mw.vrkey, nv.RKey())
+	}
+	for id, dm := range s.dms {
+		nv, ok := st.dms[id]
+		if !ok {
+			return fmt.Errorf("core: bind: DM %d not staged", id)
+		}
+		dm.v = nv
+	}
+	for _, cq := range s.cqs {
+		nv, ok := st.cqs[cq.id]
+		if !ok {
+			return fmt.Errorf("core: bind: CQ %d not staged", cq.id)
+		}
+		st.srcCQs = append(st.srcCQs, cq.v)
+		cq.v = nv
+	}
+	for id, srq := range s.srqs {
+		nv, ok := st.srqs[id]
+		if !ok {
+			return fmt.Errorf("core: bind: SRQ %d not staged", id)
+		}
+		st.srcSRQs = append(st.srcSRQs, srq.v)
+		srq.v = nv
+	}
+	for id, ch := range s.chans() {
+		if nv, ok := st.chans[id]; ok {
+			ch.v = nv
+		}
+	}
+	for id, qp := range s.qps {
+		nv, ok := st.qps[id]
+		if !ok {
+			return fmt.Errorf("core: bind: QP %d not staged", id)
+		}
+		oldPhys := qp.v.QPN()
+		st.srcQPs = append(st.srcQPs, qp.v)
+		qp.v = nv
+		// Completions already harvested into fake CQs carry the old
+		// physical QPN; the temporary table translates them (§3.4).
+		qp.sendCQ.tempQPN[oldPhys] = qp.vqpn
+		qp.recvCQ.tempQPN[oldPhys] = qp.vqpn
+	}
+	return nil
+}
+
+// chans enumerates the session's completion-channel wrappers.
+func (s *Session) chans() map[verbs.ObjID]*CompChannel { return s.chanMap }

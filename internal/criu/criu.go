@@ -1,0 +1,362 @@
+// Package criu reimplements the checkpoint/restore engine the paper
+// builds on (CRIU): memory pre-dump, iterative dirty-page pre-copy,
+// image transfer over the network, and a restore path split into
+// *partial restore* and *full restore* exactly as §4 splits it.
+//
+// Two CRIU behaviours that shape MigrRDMA's design are reproduced
+// faithfully:
+//
+//   - During partial restore CRIU maps the application's memory at a
+//     TEMPORARY address range and only remaps it to the original virtual
+//     addresses at the final restore iteration (§2.2 challenge 1). MR
+//     registration needs original addresses, so the MigrRDMA plugin must
+//     claim MR-backing VMAs early via MapAtOriginal.
+//   - Dump cost grows superlinearly with the number of memory mappings
+//     ("inefficient CRIU implementation for large and complicated memory
+//     structures", §5.2), which is why DumpOthers grows with #QPs even
+//     with RDMA pre-setup.
+package criu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"migrrdma/internal/mem"
+	"migrrdma/internal/task"
+)
+
+// Config is the cost model of the checkpoint/restore engine.
+type Config struct {
+	DumpBase    time.Duration // fixed dump overhead
+	DumpPerVMA  time.Duration // per-mapping walk cost
+	VMAExponent float64       // superlinearity of the mapping walk
+	DumpPerPage time.Duration // per dumped page
+	RestPerPage time.Duration // per restored page
+	FreezeLat   time.Duration // cgroup freezer stop
+	ThawLat     time.Duration // process resume
+	RemapLat    time.Duration // final mremap of the temporary area, per VMA
+	// TempBase is where partial restore places memory temporarily.
+	TempBase mem.Addr
+}
+
+// DefaultConfig mirrors observed CRIU behaviour on the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		DumpBase:    70 * time.Millisecond,
+		DumpPerVMA:  18 * time.Microsecond,
+		VMAExponent: 1.30,
+		DumpPerPage: 150 * time.Nanosecond,
+		RestPerPage: 250 * time.Nanosecond,
+		FreezeLat:   5 * time.Millisecond,
+		ThawLat:     50 * time.Millisecond,
+		RemapLat:    12 * time.Microsecond,
+		TempBase:    0x7000_0000_0000,
+	}
+}
+
+// VMARec describes one mapping in an image.
+type VMARec struct {
+	Start  mem.Addr
+	Len    uint64
+	Name   string
+	Device bool
+}
+
+// PageRec is one page of image content.
+type PageRec struct {
+	Addr mem.Addr
+	Data []byte
+}
+
+// Image is a checkpoint image: the memory table, page contents, and the
+// RDMA plugin's blob.
+type Image struct {
+	Proc       string
+	Final      bool
+	VMAs       []VMARec
+	Pages      []PageRec
+	PluginBlob []byte
+}
+
+// ByteSize approximates the on-wire image size.
+func (img *Image) ByteSize() int {
+	n := 256 + len(img.PluginBlob) + 64*len(img.VMAs)
+	n += len(img.Pages) * (mem.PageSize + 16)
+	return n
+}
+
+// Plugin is the checkpoint/restore extension point the MigrRDMA plugin
+// implements (§4). All hooks run in managed procs and may block.
+type Plugin interface {
+	// PreDump checkpoints RDMA state on the migration source at the
+	// start of pre-copy (Fig. 2b ①').
+	PreDump(p *task.Process) ([]byte, error)
+	// FinalDump dumps the stop-and-copy difference of RDMA state plus
+	// virtualization info (Fig. 2b ⑤').
+	FinalDump(p *task.Process) ([]byte, error)
+	// PreRestore runs at the start of partial restore on the migration
+	// destination: it claims MR-backing VMAs at their original virtual
+	// addresses (using img's memory table and pages) and pre-establishes
+	// RDMA communication (Fig. 2b ②').
+	PreRestore(r *Restore, img *Image, blob []byte) error
+	// PostRestore runs after full memory restoration: it maps the new
+	// RDMA resources into the restored process and re-arms the data
+	// path (Fig. 2b ⑥' and ⑦).
+	PostRestore(r *Restore, p *task.Process, blob []byte) error
+}
+
+// Tool is the checkpoint/restore engine instance on one host.
+type Tool struct {
+	cfg Config
+	// Host services, provided by the cluster.
+	host HostServices
+}
+
+// HostServices is what the tool needs from its host: a scheduler and a
+// timed bulk transfer path to other hosts.
+type HostServices interface {
+	Sleep(d time.Duration)
+	Now() time.Duration
+	// TransferTo moves size bytes to the peer host at link pace,
+	// blocking until fully received by the peer.
+	TransferTo(peer string, size int)
+	Node() string
+}
+
+// New creates a tool bound to host services. Zero config fields take
+// defaults.
+func New(host HostServices, cfg Config) *Tool {
+	d := DefaultConfig()
+	if cfg.DumpBase == 0 {
+		cfg.DumpBase = d.DumpBase
+	}
+	if cfg.DumpPerVMA == 0 {
+		cfg.DumpPerVMA = d.DumpPerVMA
+	}
+	if cfg.VMAExponent == 0 {
+		cfg.VMAExponent = d.VMAExponent
+	}
+	if cfg.DumpPerPage == 0 {
+		cfg.DumpPerPage = d.DumpPerPage
+	}
+	if cfg.RestPerPage == 0 {
+		cfg.RestPerPage = d.RestPerPage
+	}
+	if cfg.FreezeLat == 0 {
+		cfg.FreezeLat = d.FreezeLat
+	}
+	if cfg.ThawLat == 0 {
+		cfg.ThawLat = d.ThawLat
+	}
+	if cfg.RemapLat == 0 {
+		cfg.RemapLat = d.RemapLat
+	}
+	if cfg.TempBase == 0 {
+		cfg.TempBase = d.TempBase
+	}
+	return &Tool{cfg: cfg, host: host}
+}
+
+// Config returns the tool's cost model.
+func (t *Tool) Config() Config { return t.cfg }
+
+// Freeze stops the process (cgroup freezer).
+func (t *Tool) Freeze(p *task.Process) {
+	p.Freeze()
+	t.host.Sleep(t.cfg.FreezeLat)
+}
+
+// Thaw resumes the process.
+func (t *Tool) Thaw(p *task.Process) {
+	t.host.Sleep(t.cfg.ThawLat)
+	p.Thaw()
+}
+
+// Dump checkpoints the process memory. With full=true it captures every
+// populated page (the first pre-copy iteration); otherwise only pages
+// dirtied since the previous dump. Dirty tracking is reset. Device
+// mappings (on-chip memory) are listed but their content is not dumped —
+// that is the RDMA plugin's job.
+func (t *Tool) Dump(p *task.Process, full bool) *Image {
+	img := &Image{Proc: p.Name}
+	vmas := p.AS.VMAs()
+	for _, v := range vmas {
+		img.VMAs = append(img.VMAs, VMARec{Start: v.Start, Len: v.Len, Name: v.Name, Device: v.Device})
+	}
+	var pages []mem.Addr
+	if full {
+		pages = p.AS.PopulatedPages()
+	} else {
+		pages = p.AS.DirtyPages()
+	}
+	for _, a := range pages {
+		if v := p.AS.FindVMA(a); v != nil && v.Device {
+			continue
+		}
+		img.Pages = append(img.Pages, PageRec{Addr: a, Data: p.AS.ReadPage(a)})
+	}
+	p.AS.ClearDirty()
+	walk := time.Duration(float64(t.cfg.DumpPerVMA) * math.Pow(float64(len(vmas)), t.cfg.VMAExponent))
+	t.host.Sleep(t.cfg.DumpBase + walk + time.Duration(len(img.Pages))*t.cfg.DumpPerPage)
+	return img
+}
+
+// DirtyPageCount reports how many pages would be in the next diff dump.
+func (t *Tool) DirtyPageCount(p *task.Process) int { return len(p.AS.DirtyPages()) }
+
+// Send transfers an image to the peer host at link pace.
+func (t *Tool) Send(img *Image, peer string) {
+	t.host.TransferTo(peer, img.ByteSize())
+}
+
+// --- Restore ---------------------------------------------------------------
+
+// Restore is an in-progress restoration on the migration destination.
+//
+// While the service still runs on the source (pre-copy), the restore
+// assembles the destination instance's memory in AS, a shadow address
+// space. FullRestore atomically installs AS as the process's memory and
+// thaws it — the moment the migrated instance starts running on the
+// destination.
+type Restore struct {
+	tool *Tool
+	// Proc is the process being migrated.
+	Proc *task.Process
+	// AS is the destination instance's memory under assembly.
+	AS *mem.AddressSpace
+
+	// claimed marks VMA start addresses the plugin placed at their
+	// original location (MR-backing memory, on-chip memory).
+	claimed map[mem.Addr]bool
+	// tempOf maps original VMA start → temporary location.
+	tempOf map[mem.Addr]mem.Addr
+	cursor mem.Addr
+
+	finalized bool
+}
+
+// BeginRestore opens a restoration for the process. The process keeps
+// running on the source; freezing happens at stop-and-copy.
+func (t *Tool) BeginRestore(p *task.Process) *Restore {
+	return &Restore{
+		tool:    t,
+		Proc:    p,
+		AS:      mem.NewAddressSpace(),
+		claimed: make(map[mem.Addr]bool),
+		tempOf:  make(map[mem.Addr]mem.Addr),
+		cursor:  t.cfg.TempBase,
+	}
+}
+
+// MapAtOriginal places one image VMA at its original virtual address and
+// restores its page content immediately. The MigrRDMA plugin calls this
+// for MR-backing structures before memory restoration starts, so MRs can
+// be registered with the application's own addresses (§3.2).
+func (r *Restore) MapAtOriginal(img *Image, rec VMARec) error {
+	if r.claimed[rec.Start] {
+		return nil
+	}
+	if _, err := r.AS.Map(rec.Start, rec.Len, rec.Name); err != nil {
+		return fmt.Errorf("criu: claim %s: %w", rec.Name, err)
+	}
+	r.claimed[rec.Start] = true
+	r.restorePagesInto(img, rec, rec.Start)
+	return nil
+}
+
+// PartialRestore maps every unclaimed, non-device VMA at a temporary
+// address and fills it with the image's pages (Fig. 2b ②). Device VMAs
+// are the plugin's responsibility.
+func (r *Restore) PartialRestore(img *Image) error {
+	for _, rec := range img.VMAs {
+		if rec.Device || r.claimed[rec.Start] {
+			continue
+		}
+		if _, ok := r.tempOf[rec.Start]; ok {
+			continue
+		}
+		tmp := r.cursor
+		r.cursor += mem.Addr(mem.PageCeil(rec.Len)) + mem.PageSize
+		if _, err := r.AS.Map(tmp, rec.Len, "criu-temp:"+rec.Name); err != nil {
+			return fmt.Errorf("criu: temp map %s: %w", rec.Name, err)
+		}
+		r.tempOf[rec.Start] = tmp
+	}
+	r.applyPages(img)
+	return nil
+}
+
+// ApplyDiff merges one pre-copy iteration's dirty pages (Fig. 2b merge
+// step).
+func (r *Restore) ApplyDiff(img *Image) { r.applyPages(img) }
+
+// applyPages writes image pages at their (possibly temporary) location.
+func (r *Restore) applyPages(img *Image) {
+	for _, pg := range img.Pages {
+		dst, ok := r.locate(img, pg.Addr)
+		if !ok {
+			continue // page of a VMA the image no longer lists
+		}
+		_ = r.AS.WriteClean(dst, pg.Data)
+	}
+	r.tool.host.Sleep(time.Duration(len(img.Pages)) * r.tool.cfg.RestPerPage)
+}
+
+// restorePagesInto writes the pages of one VMA record at an explicit
+// base (used by MapAtOriginal).
+func (r *Restore) restorePagesInto(img *Image, rec VMARec, base mem.Addr) {
+	n := 0
+	for _, pg := range img.Pages {
+		if pg.Addr >= rec.Start && pg.Addr < rec.Start+mem.Addr(rec.Len) {
+			_ = r.AS.WriteClean(base+(pg.Addr-rec.Start), pg.Data)
+			n++
+		}
+	}
+	r.tool.host.Sleep(time.Duration(n) * r.tool.cfg.RestPerPage)
+}
+
+// locate maps an original page address to its current location.
+func (r *Restore) locate(img *Image, a mem.Addr) (mem.Addr, bool) {
+	for _, rec := range img.VMAs {
+		if a >= rec.Start && a < rec.Start+mem.Addr(rec.Len) {
+			if r.claimed[rec.Start] || r.finalized {
+				return a, true
+			}
+			tmp, ok := r.tempOf[rec.Start]
+			if !ok {
+				return 0, false
+			}
+			return tmp + (a - rec.Start), true
+		}
+	}
+	return 0, false
+}
+
+// Finalize performs the final restore iteration: apply the last diff,
+// then remap every temporary area to its original virtual address
+// (Fig. 2b ⑥). The process stays frozen until FullRestore.
+func (r *Restore) Finalize(final *Image) error {
+	r.applyPages(final)
+	for orig, tmp := range r.tempOf {
+		if err := r.AS.Remap(tmp, orig); err != nil {
+			return fmt.Errorf("criu: final remap: %w", err)
+		}
+	}
+	r.tool.host.Sleep(time.Duration(len(r.tempOf)) * r.tool.cfg.RemapLat)
+	r.tempOf = make(map[mem.Addr]mem.Addr)
+	r.finalized = true
+	return nil
+}
+
+// FullRestore installs the assembled memory as the process's address
+// space and thaws it (the FullRestore command runc signals over the
+// UNIX socket in §4). From this instant the migrated instance runs on
+// the destination.
+func (r *Restore) FullRestore() {
+	if !r.finalized {
+		panic("criu: FullRestore before Finalize")
+	}
+	r.Proc.AS = r.AS
+	r.tool.Thaw(r.Proc)
+}

@@ -1,0 +1,237 @@
+package criu
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"migrrdma/internal/mem"
+	"migrrdma/internal/sim"
+	"migrrdma/internal/task"
+)
+
+// fakeHost satisfies HostServices on a bare scheduler with an
+// instantaneous (but counted) transfer path.
+type fakeHost struct {
+	s           *sim.Scheduler
+	transferred int
+}
+
+func (f *fakeHost) Sleep(d time.Duration)         { f.s.Sleep(d) }
+func (f *fakeHost) Now() time.Duration            { return f.s.Now() }
+func (f *fakeHost) Node() string                  { return "fake" }
+func (f *fakeHost) TransferTo(peer string, n int) { f.transferred += n }
+
+func newTool(s *sim.Scheduler) (*Tool, *fakeHost) {
+	h := &fakeHost{s: s}
+	return New(h, Config{}), h
+}
+
+func TestDumpCapturesPopulatedThenDirty(t *testing.T) {
+	s := sim.New(1)
+	tool, _ := newTool(s)
+	p := task.New(s, "p")
+	s.Go("test", func() {
+		p.AS.Map(0x1000, 16*mem.PageSize, "heap")
+		p.AS.Write(0x1000, []byte("a"))
+		p.AS.Write(0x1000+4*mem.PageSize, []byte("b"))
+		full := tool.Dump(p, true)
+		if len(full.Pages) != 2 {
+			t.Errorf("full dump has %d pages, want 2", len(full.Pages))
+		}
+		// Nothing dirtied since: the diff must be empty.
+		if diff := tool.Dump(p, false); len(diff.Pages) != 0 {
+			t.Errorf("clean diff has %d pages", len(diff.Pages))
+		}
+		p.AS.Write(0x1000+8*mem.PageSize, []byte("c"))
+		if diff := tool.Dump(p, false); len(diff.Pages) != 1 {
+			t.Errorf("diff has %d pages, want 1", len(diff.Pages))
+		}
+	})
+	s.Run()
+}
+
+func TestDumpSkipsDeviceVMAs(t *testing.T) {
+	s := sim.New(1)
+	tool, _ := newTool(s)
+	p := task.New(s, "p")
+	s.Go("test", func() {
+		p.AS.Map(0x1000, mem.PageSize, "heap")
+		p.AS.MapDevice(0x9000, mem.PageSize, "on-chip")
+		p.AS.Write(0x1000, []byte{1})
+		p.AS.Write(0x9000, []byte{2})
+		img := tool.Dump(p, true)
+		for _, pg := range img.Pages {
+			if pg.Addr == 0x9000 {
+				t.Error("device page dumped")
+			}
+		}
+		found := false
+		for _, v := range img.VMAs {
+			if v.Start == 0x9000 && v.Device {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("device VMA missing from memory table")
+		}
+	})
+	s.Run()
+}
+
+func TestPartialRestoreUsesTempAddresses(t *testing.T) {
+	s := sim.New(1)
+	tool, _ := newTool(s)
+	src := task.New(s, "src")
+	s.Go("test", func() {
+		src.AS.Map(0x10000, 2*mem.PageSize, "heap")
+		src.AS.Write(0x10000, []byte("payload"))
+		img := tool.Dump(src, true)
+
+		r := tool.BeginRestore(src)
+		if err := r.PartialRestore(img); err != nil {
+			t.Fatal(err)
+		}
+		// §3.2: the memory is NOT at its original address during
+		// partial restore…
+		if r.AS.Mapped(0x10000, 1) {
+			t.Error("partial restore mapped memory at the original address")
+		}
+		// …and moves there only at Finalize.
+		if err := r.Finalize(&Image{Proc: "src"}); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 7)
+		if err := r.AS.Read(0x10000, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte("payload")) {
+			t.Errorf("restored content %q", got)
+		}
+	})
+	s.Run()
+}
+
+func TestMapAtOriginalClaimsEarly(t *testing.T) {
+	s := sim.New(1)
+	tool, _ := newTool(s)
+	src := task.New(s, "src")
+	s.Go("test", func() {
+		src.AS.Map(0x10000, mem.PageSize, "mr-buffer")
+		src.AS.Map(0x20000, mem.PageSize, "heap")
+		src.AS.Write(0x10000, []byte("mr-data"))
+		img := tool.Dump(src, true)
+
+		r := tool.BeginRestore(src)
+		// The plugin claims the MR VMA first…
+		if err := r.MapAtOriginal(img, img.VMAs[0]); err != nil {
+			t.Fatal(err)
+		}
+		if !r.AS.Mapped(0x10000, 1) {
+			t.Fatal("claimed VMA not at original address")
+		}
+		got := make([]byte, 7)
+		r.AS.Read(0x10000, got)
+		if !bytes.Equal(got, []byte("mr-data")) {
+			t.Errorf("claimed content %q", got)
+		}
+		// …and PartialRestore leaves it alone while temp-mapping the rest.
+		if err := r.PartialRestore(img); err != nil {
+			t.Fatal(err)
+		}
+		if r.AS.Mapped(0x20000, 1) {
+			t.Error("unclaimed VMA landed at its original address during partial restore")
+		}
+	})
+	s.Run()
+}
+
+func TestApplyDiffMergesIntoTemp(t *testing.T) {
+	s := sim.New(1)
+	tool, _ := newTool(s)
+	src := task.New(s, "src")
+	s.Go("test", func() {
+		src.AS.Map(0x10000, mem.PageSize, "heap")
+		src.AS.Write(0x10000, []byte("v1"))
+		img := tool.Dump(src, true)
+		r := tool.BeginRestore(src)
+		r.PartialRestore(img)
+		// Source keeps running and dirties the page.
+		src.AS.Write(0x10000, []byte("v2"))
+		diff := tool.Dump(src, false)
+		r.ApplyDiff(diff)
+		r.Finalize(&Image{Proc: "src"})
+		got := make([]byte, 2)
+		r.AS.Read(0x10000, got)
+		if string(got) != "v2" {
+			t.Errorf("after diff merge: %q", got)
+		}
+	})
+	s.Run()
+}
+
+func TestFullRestoreSwapsAddressSpaceAndThaws(t *testing.T) {
+	s := sim.New(1)
+	tool, _ := newTool(s)
+	p := task.New(s, "p")
+	s.Go("test", func() {
+		p.AS.Map(0x10000, mem.PageSize, "heap")
+		p.AS.Write(0x10000, []byte("x"))
+		img := tool.Dump(p, true)
+		r := tool.BeginRestore(p)
+		r.PartialRestore(img)
+		tool.Freeze(p)
+		if !p.Frozen() {
+			t.Fatal("freeze did not freeze")
+		}
+		r.Finalize(&Image{Proc: "p"})
+		r.FullRestore()
+		if p.Frozen() {
+			t.Fatal("full restore did not thaw")
+		}
+		if p.AS != r.AS {
+			t.Fatal("address space not swapped")
+		}
+	})
+	s.Run()
+}
+
+func TestDumpCostGrowsSuperlinearly(t *testing.T) {
+	s := sim.New(1)
+	// Suppress the fixed dump cost so only the VMA walk is measured.
+	tool := New(&fakeHost{s: s}, Config{DumpBase: time.Nanosecond})
+	cost := func(vmas int) time.Duration {
+		p := task.New(s, "p")
+		var d time.Duration
+		s.Go("measure", func() {
+			for i := 0; i < vmas; i++ {
+				p.AS.Map(mem.Addr(0x10000+i*0x10000), mem.PageSize, "m")
+			}
+			start := s.Now()
+			tool.Dump(p, true)
+			d = s.Now() - start
+		})
+		s.Run()
+		return d
+	}
+	c10, c100 := cost(10), cost(100)
+	if float64(c100) < 10*float64(c10) {
+		t.Fatalf("dump cost not superlinear: 10 VMAs %v, 100 VMAs %v", c10, c100)
+	}
+}
+
+func TestFullRestorePanicsBeforeFinalize(t *testing.T) {
+	s := sim.New(1)
+	tool, _ := newTool(s)
+	p := task.New(s, "p")
+	s.Go("test", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		r := tool.BeginRestore(p)
+		r.FullRestore()
+	})
+	s.Run()
+}

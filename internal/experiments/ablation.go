@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"migrrdma/internal/core"
+	"migrrdma/internal/migros"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+)
+
+// This file contains the ablation studies of DESIGN.md §4: the design
+// choices the paper argues for, each compared against its alternative.
+
+// --- Key-table ablation: dense array (MigrRDMA) vs move-to-front
+// linked list (LubeRDMA, §6) ---------------------------------------------------
+
+// KeyTableRow compares one configuration.
+type KeyTableRow struct {
+	MRs     int
+	Skewed  bool // hot-key access vs uniform round-robin
+	ArrayNS float64
+	ListNS  float64
+}
+
+// String renders a row.
+func (r KeyTableRow) String() string {
+	pattern := "uniform"
+	if r.Skewed {
+		pattern = "skewed"
+	}
+	return fmt.Sprintf("MRs=%-5d %-8s array=%6.1f ns  list=%8.1f ns  (x%.1f)",
+		r.MRs, pattern, r.ArrayNS, r.ListNS, r.ListNS/r.ArrayNS)
+}
+
+// lubeList is the §6 description of LubeRDMA's translation structure: a
+// linked list of (virtual, physical) pairs with move-to-front on hit.
+type lubeList struct {
+	head *lubeNode
+}
+
+type lubeNode struct {
+	virt, phys uint32
+	next       *lubeNode
+}
+
+func (l *lubeList) assign(virt, phys uint32) {
+	l.head = &lubeNode{virt: virt, phys: phys, next: l.head}
+}
+
+func (l *lubeList) lookup(virt uint32) (uint32, bool) {
+	var prev *lubeNode
+	for n := l.head; n != nil; n = n.next {
+		if n.virt == virt {
+			if prev != nil { // move to front
+				prev.next = n.next
+				n.next = l.head
+				l.head = n
+			}
+			return n.phys, true
+		}
+		prev = n
+	}
+	return 0, false
+}
+
+// AblationKeyTable measures both structures under uniform and skewed
+// access for each MR count.
+func AblationKeyTable(mrCounts []int) []KeyTableRow {
+	var rows []KeyTableRow
+	for _, n := range mrCounts {
+		for _, skewed := range []bool{false, true} {
+			arr := newDenseArray(n)
+			list := &lubeList{}
+			for i := 0; i < n; i++ {
+				list.assign(uint32(i+1), uint32(i)*0x107+0x2000)
+			}
+			keys := accessPattern(n, skewed)
+			arrNS := measureLookups(func(k uint32) { arr.lookup(k) }, keys)
+			listNS := measureLookups(func(k uint32) { list.lookup(k) }, keys)
+			rows = append(rows, KeyTableRow{MRs: n, Skewed: skewed, ArrayNS: arrNS, ListNS: listNS})
+		}
+	}
+	return rows
+}
+
+// denseArray mirrors core's keyTable for the ablation (the real one is
+// internal to the session).
+type denseArray struct{ phys []uint32 }
+
+func newDenseArray(n int) *denseArray {
+	d := &denseArray{phys: make([]uint32, n)}
+	for i := range d.phys {
+		d.phys[i] = uint32(i)*0x107 + 0x2000
+	}
+	return d
+}
+
+func (d *denseArray) lookup(virt uint32) (uint32, bool) {
+	i := virt - 1
+	if i >= uint32(len(d.phys)) {
+		return 0, false
+	}
+	return d.phys[i], true
+}
+
+// accessPattern builds the key sequence: uniform round-robin over all
+// MRs, or skewed (90% to one hot key — LubeRDMA's best case).
+func accessPattern(n int, skewed bool) []uint32 {
+	keys := make([]uint32, 1024)
+	for i := range keys {
+		if skewed && i%10 != 0 {
+			keys[i] = 1
+		} else {
+			keys[i] = uint32(i%n) + 1
+		}
+	}
+	return keys
+}
+
+func measureLookups(f func(uint32), keys []uint32) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f(keys[i%len(keys)])
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
+// --- Wait-before-stop vs drop-and-replay (§3.4) -------------------------------
+
+// WBSAblationRow compares stop-and-copy strategies for in-flight WRs.
+type WBSAblationRow struct {
+	QPs           int
+	InflightBytes int64
+	// WaitBeforeStop: drain the wire before stopping (brownout, off the
+	// blackout path).
+	WBS time.Duration
+	// DropAndReplay: reset every QP to discard in-flight WRs (inside
+	// the blackout) and retransmit them after restore.
+	DropReset  time.Duration
+	DropReplay time.Duration
+}
+
+// String renders a row.
+func (r WBSAblationRow) String() string {
+	return fmt.Sprintf("QPs=%-5d inflight=%-10d wbs=%-12v drop: reset=%v (blackout!) + replay=%v",
+		r.QPs, r.InflightBytes, r.WBS.Round(time.Microsecond),
+		r.DropReset.Round(time.Microsecond), r.DropReplay.Round(time.Microsecond))
+}
+
+// AblationWBS contrasts the strategies analytically using the measured
+// NIC reset latency and link rate: replay costs what waiting costs (both
+// drain the same bytes), but discarding requires per-QP resets which are
+// both slow and inside the blackout — the paper's two reasons for
+// rejecting drop-and-replay.
+func AblationWBS(qpCounts []int) []WBSAblationRow {
+	nic := rnic.DefaultConfig()
+	const linkRate = 100e9
+	var rows []WBSAblationRow
+	for _, n := range qpCounts {
+		inflight := int64(n) * 64 * 4096
+		wire := time.Duration(float64(inflight*8) / linkRate * float64(time.Second))
+		rows = append(rows, WBSAblationRow{
+			QPs:           n,
+			InflightBytes: inflight,
+			WBS:           wire,
+			DropReset:     time.Duration(n) * nic.ResetQPLat,
+			DropReplay:    wire,
+		})
+	}
+	return rows
+}
+
+// --- rkey cache on/off (§3.3) ---------------------------------------------------
+
+// RKeyCacheRow compares one-sided op throughput with and without the
+// remote-key cache.
+type RKeyCacheRow struct {
+	Messages    int
+	CachedOps   float64 // completed ops/s with the cache
+	UncachedOps float64 // completed ops/s fetching every time
+	Fetches     int64   // remote fetches with the cache (should be ~1/MR)
+}
+
+// String renders the row.
+func (r RKeyCacheRow) String() string {
+	return fmt.Sprintf("msgs=%-6d cached=%.0f ops/s (fetches=%d)  uncached=%.0f ops/s  speedup=x%.1f",
+		r.Messages, r.CachedOps, r.Fetches, r.UncachedOps, r.CachedOps/r.UncachedOps)
+}
+
+// AblationRKeyCache runs small WRITE workloads with the cache enabled
+// and disabled.
+func AblationRKeyCache(messages int) (RKeyCacheRow, error) {
+	run := func(disable bool) (float64, int64, error) {
+		r := NewRig(29, "a", "b")
+		opts := perftest.Options{Verb: rnic.OpWrite, MsgSize: 64, QueueDepth: 1, NumQPs: 1, Messages: messages}
+		pair := r.StartPair("a", "b", opts)
+		var elapsed time.Duration
+		r.CL.Sched.Go("driver", func() {
+			pair.Client.WaitReady()
+			if disable {
+				pair.Client.Sess.DisableRKeyCache = true
+				pair.Client.Sess.InvalidateRemoteCaches("b")
+			}
+			start := r.CL.Sched.Now()
+			pair.Client.Wait()
+			elapsed = r.CL.Sched.Now() - start
+			pair.Server.Stop()
+		})
+		r.CL.Sched.RunFor(5 * time.Minute)
+		if elapsed == 0 {
+			return 0, 0, fmt.Errorf("rkey ablation (disable=%v) did not finish", disable)
+		}
+		return float64(messages) / elapsed.Seconds(), pair.Client.Sess.RKeyFetches, nil
+	}
+	cached, fetches, err := run(false)
+	if err != nil {
+		return RKeyCacheRow{}, err
+	}
+	uncached, _, err := run(true)
+	if err != nil {
+		return RKeyCacheRow{}, err
+	}
+	return RKeyCacheRow{Messages: messages, CachedOps: cached, UncachedOps: uncached, Fetches: fetches}, nil
+}
+
+// --- Partner pre-setup vs QP reset reuse (§3.2) ---------------------------------
+
+// PartnerPreSetupRow contrasts the partner-side strategies.
+type PartnerPreSetupRow struct {
+	QPs int
+	// SpareQP is MigrRDMA's choice: new QPs during pre-copy; only the
+	// switch-over touches the blackout.
+	SpareQPBrownout time.Duration
+	SpareQPBlackout time.Duration
+	// ResetReuse reuses old QPs via reset — possible only during
+	// stop-and-copy, so the whole cost lands in the blackout.
+	ResetReuseBlackout time.Duration
+}
+
+// String renders the row.
+func (r PartnerPreSetupRow) String() string {
+	return fmt.Sprintf("QPs=%-5d spare: brownout=%v blackout=%v   reset-reuse: blackout=%v",
+		r.QPs, r.SpareQPBrownout.Round(time.Microsecond), r.SpareQPBlackout.Round(time.Microsecond),
+		r.ResetReuseBlackout.Round(time.Microsecond))
+}
+
+// AblationPartnerPreSetup models both strategies from the NIC control
+// costs (§3.2's argument for spare QPs).
+func AblationPartnerPreSetup(qpCounts []int) []PartnerPreSetupRow {
+	nic := rnic.DefaultConfig()
+	connect := nic.CreateQPLat + nic.ModifyInitLat + nic.ModifyRTRLat + nic.ModifyRTSLat
+	reconnect := nic.ResetQPLat + nic.ModifyInitLat + nic.ModifyRTRLat + nic.ModifyRTSLat
+	var rows []PartnerPreSetupRow
+	for _, n := range qpCounts {
+		rows = append(rows, PartnerPreSetupRow{
+			QPs:                n,
+			SpareQPBrownout:    time.Duration(n) * connect,
+			SpareQPBlackout:    time.Duration(n) * 2 * time.Microsecond, // table switch only
+			ResetReuseBlackout: time.Duration(n) * reconnect,
+		})
+	}
+	return rows
+}
+
+// --- §6 MigrOS comparison ---------------------------------------------------------
+
+// MigrOSRow compares the systems at one QP count.
+type MigrOSRow struct {
+	QPs      int
+	MigrOS   migros.Breakdown
+	MigrRDMA migros.Breakdown
+}
+
+// String renders the row.
+func (r MigrOSRow) String() string {
+	return fmt.Sprintf("QPs=%-5d MigrOS: wait=%v xfer=%v replay=%v total=%v | MigrRDMA: wait=%v xfer=%v replay=%v total=%v",
+		r.QPs,
+		r.MigrOS.Wait.Round(time.Microsecond), r.MigrOS.Transfer.Round(time.Microsecond),
+		r.MigrOS.Replay.Round(time.Microsecond), r.MigrOS.Total().Round(time.Microsecond),
+		r.MigrRDMA.Wait.Round(time.Microsecond), r.MigrRDMA.Transfer.Round(time.Microsecond),
+		r.MigrRDMA.Replay.Round(time.Microsecond), r.MigrRDMA.Total().Round(time.Microsecond))
+}
+
+// MigrOSCompare runs the §6 analysis over the QP counts.
+func MigrOSCompare(qpCounts []int) []MigrOSRow {
+	var rows []MigrOSRow
+	for _, n := range qpCounts {
+		p := migros.DefaultParams(n)
+		rows = append(rows, MigrOSRow{QPs: n, MigrOS: p.MigrOS(), MigrRDMA: p.MigrRDMA()})
+	}
+	return rows
+}
+
+// --- Migration under packet loss (robustness; §3.4 timeout path) ---------------
+
+// LossRow reports a migration under fabric loss.
+type LossRow struct {
+	LossPct   float64
+	WBS       time.Duration
+	TimedOut  bool
+	Completed int64
+	Errors    int
+}
+
+// String renders the row.
+func (r LossRow) String() string {
+	return fmt.Sprintf("loss=%.1f%% wbs=%v timedout=%v completed=%d errors=%d",
+		r.LossPct*100, r.WBS.Round(time.Microsecond), r.TimedOut, r.Completed, r.Errors)
+}
+
+// MigrationUnderLoss migrates a sender while the fabric drops packets.
+func MigrationUnderLoss(loss float64, wbsTimeout time.Duration) (LossRow, error) {
+	r := NewRig(31, "src", "dst", "partner")
+	for _, d := range r.Daemons {
+		cfg := core.DefaultWBSConfig()
+		cfg.Timeout = wbsTimeout
+		d.SetWBSConfig(cfg)
+	}
+	opts := perftest.Options{Verb: rnic.OpSend, MsgSize: 4096, QueueDepth: 16, NumQPs: 2, Messages: 2000, CheckOrder: true}
+	pair := r.StartPair("src", "partner", opts)
+	var rep *runc.Report
+	var err error
+	r.CL.Sched.Go("driver", func() {
+		pair.Client.WaitReady()
+		r.CL.Sched.Sleep(settle)
+		// Loss hits only the RDMA data path; the control plane and image
+		// transfer are TCP-reliable on a real deployment.
+		r.CL.Net.SetPortLoss("src", rnic.PortRDMA, loss)
+		r.CL.Net.SetPortLoss("partner", rnic.PortRDMA, loss)
+		rep, err = r.Migrate(pair.ClientCont, "src", "dst", runc.DefaultMigrateOptions())
+		r.CL.Net.SetPortLoss("src", rnic.PortRDMA, 0)
+		r.CL.Net.SetPortLoss("partner", rnic.PortRDMA, 0)
+		pair.Client.Wait()
+		r.CL.Sched.Sleep(5 * time.Millisecond)
+		pair.Server.Stop()
+	})
+	r.CL.Sched.RunFor(10 * time.Minute)
+	if err != nil {
+		return LossRow{}, err
+	}
+	if rep == nil {
+		return LossRow{}, fmt.Errorf("loss=%v: migration did not complete", loss)
+	}
+	return LossRow{
+		LossPct: loss, WBS: rep.WBS.Elapsed, TimedOut: rep.WBS.TimedOut,
+		Completed: pair.Server.Stats.Completed,
+		Errors:    len(pair.Client.Stats.Errors) + len(pair.Server.Stats.Errors),
+	}, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// TestDebugFig4Stall reproduces the Fig4 rig at small scale with state
+// dumps; kept as a regression canary for the light-CRIU configuration.
+func TestDebugFig4Stall(t *testing.T) {
+	r := NewRigCfg(cluster.FastCheckpointTestbed(13), "src", "dst", "p0")
+	opts := perftest.Options{Verb: rnic.OpSend, MsgSize: 4096, QueueDepth: 64, NumQPs: 8, Messages: 0}
+	srv := perftest.NewServer(r.CL.Sched, "srv", opts)
+	cont := runc.NewContainer(r.CL.Host("p0"), "server")
+	cont.Start(func(tp *task.Process) { srv.Run(tp, r.Daemons["p0"]) })
+	cli := perftest.NewClient(r.CL.Sched, "cli", opts, perftest.Target{Node: "p0", Name: "srv"})
+	cliCont := runc.NewContainer(r.CL.Host("src"), "client")
+	r.CL.Sched.Go("start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, r.Daemons["src"]) })
+	})
+	migDone, cliDone := false, false
+	r.CL.Sched.Go("driver", func() {
+		cli.WaitReady()
+		r.CL.Sched.Sleep(settle)
+		_, err := r.Migrate(cliCont, "src", "dst", runc.DefaultMigrateOptions())
+		if err != nil {
+			t.Errorf("migrate: %v", err)
+			return
+		}
+		migDone = true
+		r.CL.Sched.Sleep(time.Millisecond)
+		cli.Stop()
+		cli.Wait()
+		cliDone = true
+		srv.Stop()
+	})
+	r.CL.Sched.RunFor(3 * time.Second)
+	if !migDone {
+		t.Fatalf("migration hung; blocked: %s", r.CL.Sched.BlockedReport())
+	}
+	if !cliDone {
+		for i, st := range cli.QPStates() {
+			t.Logf("qp %d: %s", i, st)
+		}
+		t.Logf("client errors: %v", cli.Stats.Errors)
+		t.Logf("server errors: %v", srv.Stats.Errors)
+		t.Fatal("client did not drain after Stop")
+	}
+}

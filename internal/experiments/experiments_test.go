@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/hdfs"
+)
+
+func TestFig4aTheoryShape(t *testing.T) {
+	rows, err := Fig4a([]int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%s", r)
+		if r.Theory == 0 {
+			t.Fatalf("zero theory value: %s", r)
+		}
+		// §5.4: measured ≤ theory for 4 KB messages (NIC already
+		// completed part of the window), within polling slack.
+		if r.WBS > r.Theory*3 {
+			t.Errorf("WBS %v far above theory %v", r.WBS, r.Theory)
+		}
+	}
+	if rows[1].WBS <= rows[0].WBS {
+		t.Errorf("WBS did not grow with QPs: %v vs %v", rows[0].WBS, rows[1].WBS)
+	}
+}
+
+func TestFig4bSmallMessagesCPUBound(t *testing.T) {
+	rows, err := Fig4b([]int{512, 65536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := rows[0], rows[1]
+	t.Logf("small: %s", small)
+	t.Logf("large: %s", large)
+	ratioSmall := float64(small.WBS) / float64(small.Theory)
+	ratioLarge := float64(large.WBS) / float64(large.Theory)
+	// §5.4: at 512 B the CPU cost of completion processing dominates
+	// (measured ≈ 6× theory); at large sizes the wire dominates.
+	if ratioSmall < 2 {
+		t.Errorf("512B WBS/theory = %.2f, want CPU-bound (≥2)", ratioSmall)
+	}
+	if ratioLarge > 2 {
+		t.Errorf("64KB WBS/theory = %.2f, want wire-bound (≤2)", ratioLarge)
+	}
+}
+
+func TestFig4cPartners(t *testing.T) {
+	rows, err := Fig4c([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%s", r)
+	}
+}
+
+func TestFig5SenderTimeline(t *testing.T) {
+	res, err := Fig5(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res)
+	if res.BaselineGbps < 50 {
+		t.Errorf("baseline %.1f Gbps, want near line rate", res.BaselineGbps)
+	}
+	if res.ObservedBlackout == 0 {
+		t.Error("no blackout observed in the timeline")
+	}
+	if res.ObservedBlackout > 2*time.Second {
+		t.Errorf("blackout %v implausibly long", res.ObservedBlackout)
+	}
+	if res.RecoveredGbps < res.BaselineGbps/2 {
+		t.Errorf("throughput did not recover: %.1f vs baseline %.1f", res.RecoveredGbps, res.BaselineGbps)
+	}
+}
+
+func TestFig5ReceiverTimeline(t *testing.T) {
+	res, err := Fig5(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res)
+	if res.ObservedBlackout == 0 {
+		t.Error("no blackout observed")
+	}
+	if res.RecoveredGbps < res.BaselineGbps/2 {
+		t.Errorf("throughput did not recover: %.1f vs %.1f", res.RecoveredGbps, res.BaselineGbps)
+	}
+}
+
+func TestTable4OverheadBand(t *testing.T) {
+	rows := Table4()
+	for _, r := range rows {
+		t.Logf("%s", r)
+		if r.OverheadPct <= 0 {
+			t.Errorf("%s: non-positive overhead", r.Op)
+		}
+		// The paper's band is 3–9% in C; Go's call/copy overheads put the
+		// uncontended measurement around 15–35% here (see EXPERIMENTS.md
+		// for the methodology). The structural claim — a small constant
+		// per-op cost, independent of the number of MRs — is what must
+		// hold; the bound below only guards against regressions that
+		// reintroduce per-op allocation or list walks.
+		if r.OverheadPct > 80 {
+			t.Errorf("%s: overhead %.1f%% — translation is no longer O(1)-cheap", r.Op, r.OverheadPct)
+		}
+		if r.AddedNS > 100 {
+			t.Errorf("%s: added %.1f ns per op — per-op allocation crept back in", r.Op, r.AddedNS)
+		}
+	}
+}
+
+func TestFig6MigrationBeatsFailover(t *testing.T) {
+	base, err := Fig6(hdfs.TestDFSIO, "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := Fig6(hdfs.TestDFSIO, "migrrdma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := Fig6(hdfs.TestDFSIO, "failover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", base)
+	t.Logf("%s", mig)
+	t.Logf("%s", fo)
+	extraMig := mig.JCT - base.JCT
+	extraFO := fo.JCT - base.JCT
+	if extraMig <= 0 {
+		t.Errorf("migration extra JCT %v should be positive", extraMig)
+	}
+	if extraFO < 4*extraMig {
+		t.Errorf("failover extra %v not clearly worse than migration extra %v", extraFO, extraMig)
+	}
+	if mig.TputGbps <= fo.TputGbps {
+		t.Errorf("migration Tput %.2f should beat failover %.2f", mig.TputGbps, fo.TputGbps)
+	}
+}
+
+func TestAblationKeyTable(t *testing.T) {
+	rows := AblationKeyTable([]int{64, 1024})
+	for _, r := range rows {
+		t.Logf("%s", r)
+		if !r.Skewed && r.ListNS < r.ArrayNS {
+			t.Errorf("MRs=%d uniform: list %0.1fns beat array %0.1fns", r.MRs, r.ListNS, r.ArrayNS)
+		}
+	}
+}
+
+func TestAblationWBSAndPartner(t *testing.T) {
+	for _, r := range AblationWBS([]int{64, 1024}) {
+		t.Logf("%s", r)
+	}
+	for _, r := range AblationPartnerPreSetup([]int{64, 1024}) {
+		t.Logf("%s", r)
+		if r.ResetReuseBlackout <= r.SpareQPBlackout {
+			t.Error("reset-reuse should cost more blackout than spare QPs")
+		}
+	}
+}
+
+func TestAblationRKeyCache(t *testing.T) {
+	row, err := AblationRKeyCache(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", row)
+	if row.CachedOps <= row.UncachedOps {
+		t.Errorf("cache should speed up one-sided ops: %.0f vs %.0f", row.CachedOps, row.UncachedOps)
+	}
+	if row.Fetches > 4 {
+		t.Errorf("cached run fetched %d times, want ~1", row.Fetches)
+	}
+}
+
+func TestMigrationUnderLossStillCorrect(t *testing.T) {
+	row, err := MigrationUnderLoss(0.02, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", row)
+	if row.Errors > 0 {
+		t.Errorf("correctness errors under loss: %d", row.Errors)
+	}
+	if row.Completed != 2000*2 {
+		t.Errorf("completed %d, want 4000", row.Completed)
+	}
+}
+
+func TestMigrOSCompareRows(t *testing.T) {
+	for _, r := range MigrOSCompare([]int{16, 256, 4096}) {
+		t.Logf("%s", r)
+		if r.MigrOS.Total() <= r.MigrRDMA.Total() {
+			t.Error("MigrOS should have the longer blackout")
+		}
+	}
+}

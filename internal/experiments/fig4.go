@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// Fig4Row is one point of the Fig. 4 wait-before-stop study.
+type Fig4Row struct {
+	QPs      int
+	MsgSize  int
+	Partners int
+
+	// WBS is the measured source-side wait-before-stop time; Theory is
+	// inflight_bytes/link_rate (footnote 2 of §5.4).
+	WBS      time.Duration
+	Theory   time.Duration
+	Blackout time.Duration
+	Comm     time.Duration
+}
+
+// String renders a table row.
+func (r Fig4Row) String() string {
+	return fmt.Sprintf("QPs=%-4d msg=%-7d partners=%d  WBS=%-12v theory=%-12v (x%.2f)  blackout=%-10v comm=%v",
+		r.QPs, r.MsgSize, r.Partners,
+		r.WBS.Round(time.Microsecond), r.Theory.Round(time.Microsecond),
+		float64(r.WBS)/float64(max64(1, int64(r.Theory))),
+		r.Blackout.Round(time.Microsecond), r.Comm.Round(time.Microsecond))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig4 measures wait-before-stop with n QPs of msgSize messages spread
+// over the given partner nodes (queue depth 64, §5.4). The migrated
+// container is the sender, so the full send window is in flight at
+// suspension time.
+func Fig4(n, msgSize, partners int) (Fig4Row, error) {
+	nodes := []string{"src", "dst"}
+	var targets []perftest.Target
+	var servers []*perftest.Server
+	for i := 0; i < partners; i++ {
+		nodes = append(nodes, fmt.Sprintf("p%d", i))
+	}
+	// Wait-before-stop is independent of checkpoint costs; the light
+	// CRIU configuration keeps the line-rate traffic window (and thus
+	// the simulated message count) small.
+	cfg := cluster.FastCheckpointTestbed(13)
+	r := NewRigCfg(cfg, nodes...)
+	opts := perftest.Options{Verb: rnic.OpSend, MsgSize: msgSize, QueueDepth: 64, NumQPs: n, Messages: 0}
+	// One perftest server per partner (the paper's one-to-many mode).
+	for i := 0; i < partners; i++ {
+		node := fmt.Sprintf("p%d", i)
+		srv := perftest.NewServer(r.CL.Sched, "srv", opts)
+		servers = append(servers, srv)
+		cont := runc.NewContainer(r.CL.Host(node), "server-"+node)
+		cont.Start(func(tp *task.Process) { srv.Run(tp, r.Daemons[node]) })
+		targets = append(targets, perftest.Target{Node: node, Name: "srv"})
+	}
+	cli := perftest.NewClient(r.CL.Sched, "cli", opts, targets...)
+	cliCont := runc.NewContainer(r.CL.Host("src"), "client")
+	r.CL.Sched.Go("start-client", func() {
+		for _, srv := range servers {
+			srv.WaitReady()
+		}
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, r.Daemons["src"]) })
+	})
+
+	var rep *runc.Report
+	var err error
+	r.CL.Sched.Go("driver", func() {
+		cli.WaitReady()
+		r.CL.Sched.Sleep(settle)
+		rep, err = r.Migrate(cliCont, "src", "dst", runc.DefaultMigrateOptions())
+		r.CL.Sched.Sleep(time.Millisecond)
+		cli.Stop()
+		cli.Wait()
+		for _, srv := range servers {
+			srv.Stop()
+		}
+	})
+	r.CL.Sched.RunFor(10 * time.Minute)
+	if err != nil {
+		return Fig4Row{}, err
+	}
+	if rep == nil {
+		return Fig4Row{}, fmt.Errorf("fig4: migration did not complete")
+	}
+	if rep.WBS.TimedOut {
+		return Fig4Row{}, fmt.Errorf("fig4: wait-before-stop timed out")
+	}
+	theory := time.Duration(rep.WBS.InflightBytes * 8 * int64(time.Second) / r.CL.Net.Rate())
+	return Fig4Row{
+		QPs: n, MsgSize: msgSize, Partners: partners,
+		WBS: rep.WBS.Elapsed, Theory: theory,
+		Blackout: rep.Blackout(), Comm: rep.CommBlackout,
+	}, nil
+}
+
+// Fig4a sweeps the QP count (message size 4 KB, one partner).
+func Fig4a(qps []int) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, n := range qps {
+		row, err := Fig4(n, 4096, 1)
+		if err != nil {
+			return rows, fmt.Errorf("fig4a n=%d: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4b sweeps the message size (16 QPs, one partner).
+func Fig4b(sizes []int) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, s := range sizes {
+		row, err := Fig4(16, s, 1)
+		if err != nil {
+			return rows, fmt.Errorf("fig4b size=%d: %w", s, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4c sweeps the number of partners, one QP per partner.
+func Fig4c(partners []int) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, p := range partners {
+		row, err := Fig4(p, 4096, p)
+		if err != nil {
+			return rows, fmt.Errorf("fig4c partners=%d: %w", p, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

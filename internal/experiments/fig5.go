@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/trace"
+)
+
+// Fig5Result is the partner-side real-time throughput study of §5.5.2:
+// a container transmitting 2 MB messages over 16 QPs migrates while the
+// partner's NIC counters are sampled every 5 ms.
+type Fig5Result struct {
+	MigrateSender bool
+	Samples       []trace.Sample
+
+	// BaselineGbps is the steady-state throughput before migration.
+	BaselineGbps float64
+	// BrownoutMinGbps is the lowest non-zero throughput during the
+	// migration (pre-copy contention dip).
+	BrownoutMinGbps float64
+	// ObservedBlackout is the longest zero-throughput span (≈150 ms in
+	// the paper).
+	ObservedBlackout time.Duration
+	// RecoveredGbps is the throughput after restoration completes.
+	RecoveredGbps float64
+
+	MigStart, MigEnd time.Duration
+	Report           *runc.Report
+}
+
+// String summarizes the run.
+func (r Fig5Result) String() string {
+	side := "receiver"
+	if r.MigrateSender {
+		side = "sender"
+	}
+	return fmt.Sprintf("migrate %s: baseline=%.1f Gbps brownout-min=%.1f Gbps blackout=%v recovered=%.1f Gbps",
+		side, r.BaselineGbps, r.BrownoutMinGbps, r.ObservedBlackout.Round(time.Millisecond), r.RecoveredGbps)
+}
+
+// Fig5 runs the experiment. migrateSender selects Fig. 5(a) (the
+// transmitting container migrates) versus 5(b) (the receiving one).
+func Fig5(migrateSender bool) (Fig5Result, error) {
+	r := NewRig(17, "src", "dst", "partner")
+	opts := perftest.Options{Verb: rnic.OpWrite, MsgSize: 2 << 20, QueueDepth: 4, NumQPs: 16, Messages: 0}
+	var pair *Pair
+	if migrateSender {
+		pair = r.StartPair("src", "partner", opts)
+	} else {
+		pair = r.StartPair("partner", "src", opts)
+	}
+	// Sample the partner's NIC: bytes received when the sender migrates,
+	// bytes transmitted when the receiver migrates.
+	sampler := trace.NewSampler(r.CL.Host("partner").Dev, 5*time.Millisecond, migrateSender)
+
+	res := Fig5Result{MigrateSender: migrateSender}
+	var err error
+	r.CL.Sched.Go("sampler", sampler.Run)
+	r.CL.Sched.Go("driver", func() {
+		pair.Client.WaitReady()
+		// Steady state for a while before migrating.
+		r.CL.Sched.Sleep(100 * time.Millisecond)
+		res.MigStart = r.CL.Sched.Now()
+		cont := pair.ClientCont
+		if !migrateSender {
+			cont = pair.ServerCont
+		}
+		res.Report, err = r.Migrate(cont, "src", "dst", runc.DefaultMigrateOptions())
+		res.MigEnd = r.CL.Sched.Now()
+		// Post-migration steady state.
+		r.CL.Sched.Sleep(100 * time.Millisecond)
+		sampler.Stop()
+		pair.Client.Stop()
+		pair.Client.Wait()
+		pair.Server.Stop()
+	})
+	r.CL.Sched.RunFor(10 * time.Minute)
+	if err != nil {
+		return res, err
+	}
+	if res.Report == nil {
+		return res, fmt.Errorf("fig5: migration did not complete")
+	}
+	res.Samples = sampler.Samples()
+	_, res.BaselineGbps = sampler.MinMax(res.MigStart-80*time.Millisecond, res.MigStart)
+	res.ObservedBlackout = sampler.ZeroSpan(res.MigStart, res.MigEnd+20*time.Millisecond)
+	min, _ := sampler.MinMaxNonZero(res.MigStart, res.MigEnd)
+	res.BrownoutMinGbps = min
+	_, res.RecoveredGbps = sampler.MinMax(res.MigEnd+20*time.Millisecond, res.MigEnd+100*time.Millisecond)
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/core"
+	"migrrdma/internal/hdfs"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// Fig6Row is one bar group of the Fig. 6 Hadoop study: job completion
+// time and application-perceived throughput for baseline, MigrRDMA
+// migration, and Hadoop-native failover.
+type Fig6Row struct {
+	Job      hdfs.JobKind
+	Scenario string // "baseline" | "migrrdma" | "failover"
+	JCT      time.Duration
+	TputGbps float64
+	Pi       float64
+}
+
+// String renders a table row.
+func (r Fig6Row) String() string {
+	s := fmt.Sprintf("%-10s %-9s JCT=%v", r.Job, r.Scenario, r.JCT.Round(time.Millisecond))
+	if r.Job == hdfs.TestDFSIO {
+		s += fmt.Sprintf("  Tput=%.1f Gbps", r.TputGbps)
+	} else {
+		s += fmt.Sprintf("  pi=%.4f", r.Pi)
+	}
+	return s
+}
+
+// fig6Rig builds the HDFS testbed: master, datanode, an active worker
+// in a container on w1, and (for failover) a backup worker on w2.
+type fig6Rig struct {
+	rig    *Rig
+	master *hdfs.Master
+	worker *hdfs.Worker
+	backup *hdfs.Worker
+	wCont  *runc.Container
+}
+
+func newFig6Rig(withBackup bool) *fig6Rig {
+	r := NewRig(23, "master", "datanode", "w1", "w2", "spare")
+	cfg := hdfs.DefaultMasterConfig()
+	f := &fig6Rig{rig: r}
+	f.master = hdfs.NewMaster(r.CL.Sched, r.CL.Host("master").Hub, cfg)
+	dn := hdfs.NewDataNode(r.CL.Sched, "dn0")
+	dnCont := runc.NewContainer(r.CL.Host("datanode"), "dn")
+	dnCont.Start(func(p *task.Process) { dn.Run(p, r.Daemons["datanode"]) })
+
+	f.worker = hdfs.NewWorker(r.CL.Sched, "w1", "master", "datanode", "dn0", cfg)
+	f.wCont = runc.NewContainer(r.CL.Host("w1"), "worker")
+	r.CL.Sched.Go("start-worker", func() {
+		dn.WaitReady()
+		f.wCont.Start(func(p *task.Process) { f.worker.Run(p, r.Daemons["w1"]) })
+	})
+	if withBackup {
+		f.backup = hdfs.NewWorker(r.CL.Sched, "w2", "master", "datanode", "dn0", cfg)
+		bCont := runc.NewContainer(r.CL.Host("w2"), "backup")
+		r.CL.Sched.Go("start-backup", func() {
+			dn.WaitReady()
+			bCont.Start(func(p *task.Process) { f.backup.Run(p, r.Daemons["w2"]) })
+		})
+	}
+	return f
+}
+
+// fig6Specs are the two Hadoop-provided tasks (§5.6), sized so the jobs
+// run for tens of seconds like the paper's.
+func fig6Spec(kind hdfs.JobKind) hdfs.JobSpec {
+	if kind == hdfs.TestDFSIO {
+		return hdfs.JobSpec{Kind: hdfs.TestDFSIO, Blocks: 300, BlockSize: 8 << 20, BlockCompute: 100 * time.Millisecond}
+	}
+	return hdfs.JobSpec{Kind: hdfs.EstimatePI, Rounds: 120, RoundTime: 250 * time.Millisecond, Samples: 50000}
+}
+
+// Fig6 runs one scenario of one job kind and returns the row.
+func Fig6(kind hdfs.JobKind, scenario string) (Fig6Row, error) {
+	f := newFig6Rig(scenario == "failover")
+	r := f.rig
+	var res hdfs.JobResult
+	var mErr error
+	r.CL.Sched.Go("driver", func() {
+		f.worker.WaitReady()
+		if f.backup != nil {
+			f.backup.WaitReady()
+		}
+		f.master.Submit(fig6Spec(kind), "w1")
+		switch scenario {
+		case "migrrdma":
+			// Operator maintenance mid-job: live-migrate the worker.
+			r.CL.Sched.Sleep(5 * time.Second)
+			m := &runc.Migrator{C: f.wCont, Dst: r.CL.Host("spare"),
+				Plug: core.NewPlugin(r.Daemons["w1"], r.Daemons["spare"]),
+				Opts: runc.DefaultMigrateOptions()}
+			_, mErr = m.Migrate()
+		case "failover":
+			r.CL.Sched.Go("failover-monitor", func() { f.master.MonitorFailover("w2") })
+			r.CL.Sched.Sleep(5 * time.Second)
+			f.worker.Kill()
+		}
+		res = f.master.Wait()
+	})
+	r.CL.Sched.RunFor(30 * time.Minute)
+	if mErr != nil {
+		return Fig6Row{}, mErr
+	}
+	if res.JCT == 0 {
+		return Fig6Row{}, fmt.Errorf("fig6 %v/%s: job did not finish", kind, scenario)
+	}
+	return Fig6Row{Job: kind, Scenario: scenario, JCT: res.JCT, TputGbps: res.TputGbps, Pi: res.Pi}, nil
+}
+
+// Fig6Sweep runs every scenario for both jobs.
+func Fig6Sweep() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, kind := range []hdfs.JobKind{hdfs.TestDFSIO, hdfs.EstimatePI} {
+		for _, sc := range []string{"baseline", "migrrdma", "failover"} {
+			row, err := Fig6(kind, sc)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

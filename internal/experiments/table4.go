@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"migrrdma/internal/core"
+)
+
+// Table4Row is one verb of the Table 4 virtualization-overhead study.
+//
+// The paper samples CPU cycles per verb invocation on the testbed and
+// finds the native data path costs 92–143 cycles while MigrRDMA adds
+// 4.6–8.3 cycles (3–9%). Our library is Go, not C, so a direct
+// cycle-count comparison would measure Go codegen, not the design. The
+// honest equivalent is Go-vs-Go: measure the native Go post path (WQE
+// copy + ring write + CQE read — work both libraries perform) and the
+// extra instructions MigrRDMA interposes (the table translations), and
+// report the relative overhead. For reference the added cost is also
+// converted to cycles against the paper's native baselines.
+type Table4Row struct {
+	Op string
+	// GoBaseNS is the measured Go-native per-op data-path cost.
+	GoBaseNS float64
+	// AddedNS is the measured cost of the interposed translations.
+	AddedNS float64
+	// OverheadPct is AddedNS / GoBaseNS — the Table 4 "extra overhead
+	// in the data path".
+	OverheadPct float64
+
+	// PaperBaseCycles and AddedCycles give the secondary, cross-language
+	// comparison against the paper's native cycle counts.
+	PaperBaseCycles  float64
+	AddedCycles      float64
+	PaperOverheadPct float64
+}
+
+// String renders a table row.
+func (r Table4Row) String() string {
+	return fmt.Sprintf("%-6s go-base=%6.1f ns  added=%5.2f ns  overhead=%5.1f%%   (vs paper base %5.1f cyc: +%4.1f cyc = %4.1f%%)",
+		r.Op, r.GoBaseNS, r.AddedNS, r.OverheadPct,
+		r.PaperBaseCycles, r.AddedCycles, r.PaperOverheadPct)
+}
+
+// clampPos floors benchmark noise at a twentieth of a nanosecond.
+func clampPos(v float64) float64 {
+	if v < 0.05 {
+		return 0.05
+	}
+	return v
+}
+
+// table4CPUGHz converts ns→cycles for the secondary comparison (the
+// testbed's E5-2698 v3 runs at 2.3–3 GHz; the paper itself assumes
+// "2–3 GHz typical cloud servers").
+const table4CPUGHz = 2.5
+
+// paperBaselines are Table 4's "w/o virtualization" cycle counts.
+var paperBaselines = map[string]float64{
+	"send":  92.4,
+	"recv":  94.9,
+	"write": 104.1,
+	"read":  143.3,
+}
+
+// Table4 benchmarks the guest library's data-path interposition and
+// reports per-verb overhead.
+func Table4() []Table4Row {
+	probe := core.NewTranslationProbe()
+	meas := func(f func()) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	// Go-native baseline work shared by both libraries: building the
+	// WQE (the WR copy), writing it into the queue ring, and reading
+	// the CQE back.
+	sendCopy := meas(probe.CopySendBaseline)
+	recvCopy := meas(probe.CopyRecvBaseline)
+	cqeCopy := meas(probe.CopyCQEBaseline)
+	wqe := meas(probe.WQEWriteBaseline)
+	goBase := map[string]float64{
+		"send":  sendCopy + wqe + cqeCopy,
+		"recv":  recvCopy + wqe + cqeCopy,
+		"write": sendCopy + wqe + cqeCopy,
+		"read":  sendCopy + wqe + cqeCopy,
+	}
+	// MigrRDMA's additions: the allocation-free translation pass on the
+	// request side (a plain library hands the WR to the device
+	// untouched) plus the completion-path QPN translation delta.
+	// Each Translate* probe copies the WR once (the post path's own
+	// parameter copy, which a plain library performs too) and then
+	// translates in place; the WR-copy baselines subtract that shared
+	// work, leaving only MigrRDMA's added instructions.
+	cqe := clampPos(meas(probe.TranslateCQE) - cqeCopy)
+	added := map[string]float64{
+		"send":  clampPos(meas(probe.TranslateSend)-sendCopy) + cqe,
+		"recv":  clampPos(meas(probe.TranslateRecv)-recvCopy) + cqe,
+		"write": clampPos(meas(probe.TranslateWrite)-sendCopy) + cqe,
+		"read":  clampPos(meas(probe.TranslateRead)-sendCopy) + cqe,
+	}
+	var rows []Table4Row
+	for _, op := range []string{"send", "recv", "write", "read"} {
+		ns := added[op]
+		cyc := ns * table4CPUGHz
+		rows = append(rows, Table4Row{
+			Op:               op,
+			GoBaseNS:         goBase[op],
+			AddedNS:          ns,
+			OverheadPct:      100 * ns / goBase[op],
+			PaperBaseCycles:  paperBaselines[op],
+			AddedCycles:      cyc,
+			PaperOverheadPct: 100 * cyc / paperBaselines[op],
+		})
+	}
+	return rows
+}

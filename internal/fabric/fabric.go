@@ -1,0 +1,202 @@
+// Package fabric models the data-center network the MigrRDMA testbed
+// runs on: hosts attached to a single switch through full-duplex links
+// with a configurable rate and propagation delay (the paper uses
+// 100 Gbps ConnectX-5 NICs behind an Arista 7260CX3-64 switch).
+//
+// The fabric is rate-accurate: a frame of S bytes occupies its egress
+// link for S*8/rate of virtual time, so end-to-end throughput, queueing
+// and the wait-before-stop theory value inflight_bytes/link_rate (paper
+// §5.4) all emerge from the model rather than being asserted.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/sim"
+)
+
+// Frame is one unit of transmission. Size is the on-wire size in bytes
+// (payload plus protocol overhead); Data is the encoded packet. Port
+// selects the consumer on the destination node when a Mux is installed
+// (RDMA traffic, migration image streams, out-of-band control).
+type Frame struct {
+	Src, Dst string
+	Port     string
+	Size     int
+	Data     []byte
+}
+
+// Handler consumes frames delivered to a node. Handlers run inline on
+// the scheduler loop and must not block; typical handlers enqueue the
+// frame and signal a condition variable.
+type Handler func(Frame)
+
+// Config describes link characteristics shared by every port.
+type Config struct {
+	// Rate is the link rate in bits per second (default 100 Gbps).
+	Rate int64
+	// PropDelay is the one-way propagation delay per hop (default 1 µs).
+	PropDelay time.Duration
+}
+
+// DefaultConfig mirrors the paper's testbed.
+func DefaultConfig() Config {
+	return Config{Rate: 100e9, PropDelay: 1 * time.Microsecond}
+}
+
+// Network is a single-switch fabric connecting named nodes.
+type Network struct {
+	sched *sim.Scheduler
+	cfg   Config
+	ports map[string]*port
+}
+
+type port struct {
+	name    string
+	handler Handler
+	// upBusy / downBusy are the times the node→switch and switch→node
+	// links finish serializing their last frame.
+	upBusy, downBusy time.Duration
+	// lossProb drops incoming frames with the given probability;
+	// lossPort restricts the drops to one port ("" = every port).
+	lossProb float64
+	lossPort string
+	// partitioned drops every frame to and from the node.
+	partitioned bool
+	// delivered and dropped count frames for tests and traces.
+	delivered, dropped int64
+	rxBytes, txBytes   int64
+}
+
+// New creates an empty network.
+func New(sched *sim.Scheduler, cfg Config) *Network {
+	if cfg.Rate == 0 {
+		cfg.Rate = DefaultConfig().Rate
+	}
+	if cfg.PropDelay == 0 {
+		cfg.PropDelay = DefaultConfig().PropDelay
+	}
+	return &Network{sched: sched, cfg: cfg, ports: make(map[string]*port)}
+}
+
+// Scheduler returns the scheduler the network runs on.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Rate returns the configured link rate in bits per second.
+func (n *Network) Rate() int64 { return n.cfg.Rate }
+
+// Attach connects a node to the switch. The handler receives every frame
+// addressed to name.
+func (n *Network) Attach(name string, h Handler) {
+	if _, dup := n.ports[name]; dup {
+		panic("fabric: duplicate node " + name)
+	}
+	n.ports[name] = &port{name: name, handler: h}
+}
+
+// SetHandler replaces the frame handler of an attached node. It is used
+// when a NIC object is rebuilt (e.g. in tests).
+func (n *Network) SetHandler(name string, h Handler) {
+	n.mustPort(name).handler = h
+}
+
+// SetLoss sets the probability that a frame leaving or entering the node
+// is dropped. Loss draws use the scheduler's deterministic RNG.
+func (n *Network) SetLoss(name string, p float64) {
+	pt := n.mustPort(name)
+	pt.lossProb, pt.lossPort = p, ""
+}
+
+// SetPortLoss drops only frames on the given mux port (e.g. the RDMA
+// data path while the TCP-like control and transfer paths stay
+// reliable, as on a real deployment).
+func (n *Network) SetPortLoss(name, port string, p float64) {
+	pt := n.mustPort(name)
+	pt.lossProb, pt.lossPort = p, port
+}
+
+// SetPartitioned isolates or reconnects a node.
+func (n *Network) SetPartitioned(name string, v bool) { n.mustPort(name).partitioned = v }
+
+// Stats reports frames delivered to and dropped on the way to name.
+func (n *Network) Stats(name string) (delivered, dropped int64) {
+	p := n.mustPort(name)
+	return p.delivered, p.dropped
+}
+
+func (n *Network) mustPort(name string) *port {
+	p, ok := n.ports[name]
+	if !ok {
+		panic("fabric: unknown node " + name)
+	}
+	return p
+}
+
+// SerializationTime returns the time a frame of size bytes occupies a
+// link. NIC transmit pacers use it to hand the fabric one frame per
+// serialization slot.
+func (n *Network) SerializationTime(size int) time.Duration {
+	return n.serialization(size)
+}
+
+// serialization returns the time a frame of size bytes occupies a link.
+func (n *Network) serialization(size int) time.Duration {
+	return time.Duration(int64(size) * 8 * int64(time.Second) / n.cfg.Rate)
+}
+
+// Send injects a frame at its source node. Delivery is scheduled through
+// the switch: the frame serializes onto the source uplink, propagates,
+// store-and-forwards through the switch onto the destination downlink,
+// and is handed to the destination handler. Send never blocks; queueing
+// appears as later delivery times.
+func (n *Network) Send(f Frame) {
+	src := n.mustPort(f.Src)
+	dst := n.mustPort(f.Dst)
+	now := n.sched.Now()
+	if src.partitioned || dst.partitioned {
+		dst.dropped++
+		return
+	}
+	if src.lossProb > 0 && (src.lossPort == "" || src.lossPort == f.Port) &&
+		n.sched.Rand().Float64() < src.lossProb {
+		dst.dropped++
+		return
+	}
+	ser := n.serialization(f.Size)
+	// Uplink: source NIC → switch.
+	start := now
+	if src.upBusy > start {
+		start = src.upBusy
+	}
+	src.upBusy = start + ser
+	src.txBytes += int64(f.Size)
+	arriveSwitch := src.upBusy + n.cfg.PropDelay
+	// Downlink: switch → destination NIC (store-and-forward).
+	egress := arriveSwitch
+	if dst.downBusy > egress {
+		egress = dst.downBusy
+	}
+	dst.downBusy = egress + ser
+	arrive := dst.downBusy + n.cfg.PropDelay
+	if dst.lossProb > 0 && (dst.lossPort == "" || dst.lossPort == f.Port) &&
+		n.sched.Rand().Float64() < dst.lossProb {
+		dst.dropped++
+		return
+	}
+	n.sched.AfterFunc(arrive-now, func() {
+		dst.delivered++
+		dst.rxBytes += int64(f.Size)
+		if dst.handler == nil {
+			panic(fmt.Sprintf("fabric: node %s has no handler", f.Dst))
+		}
+		dst.handler(f)
+	})
+}
+
+// Bytes reports cumulative bytes received and transmitted by the node,
+// used by the Fig. 5 throughput sampler.
+func (n *Network) Bytes(name string) (rx, tx int64) {
+	p := n.mustPort(name)
+	return p.rxBytes, p.txBytes
+}

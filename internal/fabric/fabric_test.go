@@ -1,0 +1,164 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/sim"
+)
+
+// newPair returns a network with nodes a and b, recording frames at b.
+func newPair(t *testing.T, cfg Config) (*sim.Scheduler, *Network, *[]Frame, *[]time.Duration) {
+	t.Helper()
+	s := sim.New(7)
+	n := New(s, cfg)
+	var got []Frame
+	var at []time.Duration
+	n.Attach("a", func(f Frame) {})
+	n.Attach("b", func(f Frame) {
+		got = append(got, f)
+		at = append(at, s.Now())
+	})
+	return s, n, &got, &at
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	cfg := Config{Rate: 1e9, PropDelay: 10 * time.Microsecond} // 1 Gbps
+	s, n, got, at := newPair(t, cfg)
+	s.Go("send", func() {
+		n.Send(Frame{Src: "a", Dst: "b", Size: 1250}) // 10 µs serialization at 1 Gbps
+	})
+	s.Run()
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(*got))
+	}
+	// 2 serializations (uplink + downlink) + 2 propagation delays.
+	want := 2*10*time.Microsecond + 2*10*time.Microsecond
+	if (*at)[0] != want {
+		t.Fatalf("arrival at %v, want %v", (*at)[0], want)
+	}
+}
+
+func TestThroughputMatchesLinkRate(t *testing.T) {
+	cfg := Config{Rate: 100e9, PropDelay: time.Microsecond}
+	s, n, got, at := newPair(t, cfg)
+	const frames, size = 1000, 4096
+	s.Go("send", func() {
+		for i := 0; i < frames; i++ {
+			n.Send(Frame{Src: "a", Dst: "b", Size: size})
+		}
+	})
+	s.Run()
+	if len(*got) != frames {
+		t.Fatalf("delivered %d, want %d", len(*got), frames)
+	}
+	last := (*at)[frames-1]
+	// Total bytes / elapsed should approximate the link rate.
+	gbps := float64(frames*size*8) / last.Seconds() / 1e9
+	if gbps < 95 || gbps > 101 {
+		t.Fatalf("achieved %.1f Gbps, want ≈100", gbps)
+	}
+}
+
+func TestFIFOPerFlow(t *testing.T) {
+	s, n, got, _ := newPair(t, Config{})
+	s.Go("send", func() {
+		for i := 0; i < 50; i++ {
+			n.Send(Frame{Src: "a", Dst: "b", Size: 100 + i, Data: []byte{byte(i)}})
+		}
+	})
+	s.Run()
+	for i, f := range *got {
+		if f.Data[0] != byte(i) {
+			t.Fatalf("frame %d out of order (got seq %d)", i, f.Data[0])
+		}
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	s := sim.New(3)
+	n := New(s, Config{})
+	n.Attach("a", func(Frame) {})
+	recv := 0
+	n.Attach("b", func(Frame) { recv++ })
+	n.SetLoss("a", 0.5)
+	s.Go("send", func() {
+		for i := 0; i < 1000; i++ {
+			n.Send(Frame{Src: "a", Dst: "b", Size: 64})
+		}
+	})
+	s.Run()
+	if recv < 350 || recv > 650 {
+		t.Fatalf("received %d of 1000 at 50%% loss", recv)
+	}
+	_, dropped := n.Stats("b")
+	if int(dropped)+recv != 1000 {
+		t.Fatalf("delivered+dropped = %d, want 1000", int(dropped)+recv)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s := sim.New(3)
+	n := New(s, Config{})
+	n.Attach("a", func(Frame) {})
+	recv := 0
+	n.Attach("b", func(Frame) { recv++ })
+	n.SetPartitioned("b", true)
+	s.Go("send", func() {
+		n.Send(Frame{Src: "a", Dst: "b", Size: 64})
+		n.SetPartitioned("b", false)
+		n.Send(Frame{Src: "a", Dst: "b", Size: 64})
+	})
+	s.Run()
+	if recv != 1 {
+		t.Fatalf("received %d, want 1 (one dropped during partition)", recv)
+	}
+}
+
+func TestByteCounters(t *testing.T) {
+	s, n, _, _ := newPair(t, Config{})
+	s.Go("send", func() {
+		n.Send(Frame{Src: "a", Dst: "b", Size: 1000})
+		n.Send(Frame{Src: "a", Dst: "b", Size: 500})
+	})
+	s.Run()
+	rx, _ := n.Bytes("b")
+	if rx != 1500 {
+		t.Fatalf("rx=%d, want 1500", rx)
+	}
+	_, tx := n.Bytes("a")
+	if tx != 1500 {
+		t.Fatalf("tx=%d, want 1500", tx)
+	}
+}
+
+func TestCrossTrafficSharesDownlink(t *testing.T) {
+	// Two senders into one receiver: the receiver downlink is the
+	// bottleneck, so total goodput should still be ≈ link rate.
+	s := sim.New(5)
+	cfg := Config{Rate: 100e9, PropDelay: time.Microsecond}
+	n := New(s, cfg)
+	n.Attach("a", func(Frame) {})
+	n.Attach("c", func(Frame) {})
+	var last time.Duration
+	recv := 0
+	n.Attach("b", func(Frame) { recv++; last = s.Now() })
+	const frames, size = 500, 4096
+	send := func(src string) func() {
+		return func() {
+			for i := 0; i < frames; i++ {
+				n.Send(Frame{Src: src, Dst: "b", Size: size})
+			}
+		}
+	}
+	s.Go("sa", send("a"))
+	s.Go("sc", send("c"))
+	s.Run()
+	if recv != 2*frames {
+		t.Fatalf("received %d, want %d", recv, 2*frames)
+	}
+	gbps := float64(2*frames*size*8) / last.Seconds() / 1e9
+	if gbps < 90 || gbps > 101 {
+		t.Fatalf("aggregate %.1f Gbps through shared downlink, want ≈100", gbps)
+	}
+}

@@ -1,0 +1,45 @@
+package fabric
+
+import (
+	"testing"
+
+	"migrrdma/internal/sim"
+)
+
+func TestMuxRoutesByPort(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, Config{})
+	n.Attach("a", func(Frame) {})
+	m := NewMux(n, "b")
+	var gotX, gotY int
+	m.Register("x", func(Frame) { gotX++ })
+	m.Register("y", func(Frame) { gotY++ })
+	s.Go("send", func() {
+		n.Send(Frame{Src: "a", Dst: "b", Port: "x", Size: 64})
+		n.Send(Frame{Src: "a", Dst: "b", Port: "y", Size: 64})
+		n.Send(Frame{Src: "a", Dst: "b", Port: "zzz", Size: 64}) // dropped
+	})
+	s.Run()
+	if gotX != 1 || gotY != 1 {
+		t.Fatalf("x=%d y=%d, want 1/1", gotX, gotY)
+	}
+}
+
+func TestMuxUnregister(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, Config{})
+	n.Attach("a", func(Frame) {})
+	m := NewMux(n, "b")
+	got := 0
+	m.Register("x", func(Frame) { got++ })
+	s.Go("send", func() {
+		n.Send(Frame{Src: "a", Dst: "b", Port: "x", Size: 64})
+		s.Sleep(1e6)
+		m.Unregister("x")
+		n.Send(Frame{Src: "a", Dst: "b", Port: "x", Size: 64})
+	})
+	s.Run()
+	if got != 1 {
+		t.Fatalf("got %d deliveries, want 1", got)
+	}
+}

@@ -1,0 +1,188 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// rig is a server + one or two clients on a four-host cluster.
+type rig struct {
+	cl      *cluster.Cluster
+	daemons map[string]*core.Daemon
+	srv     *Server
+	srvCont *runc.Container
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	names := []string{"server", "c1", "c2", "spare"}
+	cl := cluster.New(cluster.Config{Seed: 8}, names...)
+	r := &rig{cl: cl, daemons: map[string]*core.Daemon{}}
+	for _, n := range names {
+		r.daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	r.srv = NewServer(cl.Sched, "store", 64)
+	r.srvCont = runc.NewContainer(cl.Host("server"), "kv")
+	r.srvCont.Start(func(p *task.Process) { r.srv.Run(p, r.daemons["server"]) })
+	return r
+}
+
+func TestGetPutVersion(t *testing.T) {
+	r := newRig(t)
+	done := false
+	r.cl.Sched.Go("client", func() {
+		r.srv.WaitReady()
+		c, err := Dial(task.New(r.cl.Sched, "c1p"), r.daemons["c1"], "server", "store")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Put(7, []byte("seven")); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := c.Get(7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.HasPrefix(got, []byte("seven")) {
+			t.Errorf("Get(7) = %q", got[:8])
+		}
+		v, _ := c.Version(7)
+		if v != 1 {
+			t.Errorf("version = %d, want 1", v)
+		}
+		c.Put(7, []byte("seven2"))
+		if v, _ = c.Version(7); v != 2 {
+			t.Errorf("version = %d, want 2", v)
+		}
+		// Empty slot reads as zeroes.
+		got, _ = c.Get(8)
+		if !bytes.Equal(got, make([]byte, SlotSize)) {
+			t.Error("empty slot not zero")
+		}
+		// Bounds.
+		if _, err := c.Get(64); err == nil {
+			t.Error("out-of-range Get succeeded")
+		}
+		done = true
+	})
+	r.cl.Sched.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("client did not finish")
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	r := newRig(t)
+	done := false
+	r.cl.Sched.Go("clients", func() {
+		r.srv.WaitReady()
+		c1, err := Dial(task.New(r.cl.Sched, "c1p"), r.daemons["c1"], "server", "store")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c2, err := Dial(task.New(r.cl.Sched, "c2p"), r.daemons["c2"], "server", "store")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ok1, _ := c1.TryLock(3, 111)
+		ok2, _ := c2.TryLock(3, 222)
+		if !ok1 || ok2 {
+			t.Errorf("mutual exclusion broken: c1=%v c2=%v", ok1, ok2)
+		}
+		// Wrong owner cannot unlock.
+		if released, _ := c2.Unlock(3, 222); released {
+			t.Error("non-owner released the lock")
+		}
+		if released, _ := c1.Unlock(3, 111); !released {
+			t.Error("owner failed to release")
+		}
+		if ok2, _ = c2.TryLock(3, 222); !ok2 {
+			t.Error("lock not acquirable after release")
+		}
+		done = true
+	})
+	r.cl.Sched.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("clients did not finish")
+	}
+}
+
+func TestStoreSurvivesServerMigration(t *testing.T) {
+	r := newRig(t)
+	done := false
+	migrated := false
+	r.cl.Sched.Go("client", func() {
+		r.srv.WaitReady()
+		c, err := Dial(task.New(r.cl.Sched, "c1p"), r.daemons["c1"], "server", "store")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Put(1, []byte("pre-migration"))
+		// Hold a lock across the migration.
+		if ok, _ := c.TryLock(5, 99); !ok {
+			t.Error("lock failed")
+		}
+		// Keep reading while the server moves.
+		for !migrated {
+			got, err := c.Get(1)
+			if err != nil {
+				t.Errorf("Get during migration: %v", err)
+				return
+			}
+			if !bytes.HasPrefix(got, []byte("pre-migration")) {
+				t.Errorf("value corrupted during migration: %q", got[:16])
+				return
+			}
+			r.cl.Sched.Sleep(500 * time.Microsecond)
+		}
+		// Post-migration: the lock survives, writes land on the new host.
+		if ok, _ := c.TryLock(5, 100); ok {
+			t.Error("lock lost across migration")
+		}
+		if released, _ := c.Unlock(5, 99); !released {
+			t.Error("owner cannot release after migration")
+		}
+		if err := c.Put(2, []byte("post-migration")); err != nil {
+			t.Error(err)
+			return
+		}
+		got, _ := c.Get(2)
+		if !bytes.HasPrefix(got, []byte("post-migration")) {
+			t.Errorf("post-migration value %q", got[:16])
+		}
+		if v, _ := c.Version(2); v != 1 {
+			t.Errorf("post-migration version = %d", v)
+		}
+		done = true
+	})
+	r.cl.Sched.Go("operator", func() {
+		r.srv.WaitReady()
+		r.cl.Sched.Sleep(5 * time.Millisecond)
+		m := &runc.Migrator{C: r.srvCont, Dst: r.cl.Host("spare"),
+			Plug: core.NewPlugin(r.daemons["server"], r.daemons["spare"]),
+			Opts: runc.DefaultMigrateOptions()}
+		if _, err := m.Migrate(); err != nil {
+			t.Errorf("migration: %v", err)
+		}
+		migrated = true
+	})
+	r.cl.Sched.RunFor(2 * time.Minute)
+	if !done {
+		t.Fatal("client did not finish")
+	}
+	if r.srv.Sess.Node() != "spare" {
+		t.Fatalf("server on %s", r.srv.Sess.Node())
+	}
+}

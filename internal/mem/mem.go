@@ -1,0 +1,350 @@
+// Package mem models per-process virtual memory: page-granular address
+// spaces with mmap/mremap/munmap equivalents and dirty-page tracking.
+//
+// It is the substrate for two behaviours that drive MigrRDMA's design
+// (paper §3.2): CRIU's iterative pre-copy needs dirty diffs between
+// rounds, and CRIU's habit of restoring memory at a *temporary* virtual
+// address is what makes MR registration during partial restore hard —
+// the RNIC must be given the application's original virtual addresses.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the page granularity of every address space.
+const PageSize = 4096
+
+// Addr is a virtual address.
+type Addr uint64
+
+// PageFloor rounds a down to a page boundary.
+func PageFloor(a Addr) Addr { return a &^ (PageSize - 1) }
+
+// PageCeil rounds n up to a whole number of pages.
+func PageCeil(n uint64) uint64 { return (n + PageSize - 1) &^ (PageSize - 1) }
+
+// VMA is a mapped virtual memory area.
+type VMA struct {
+	Start Addr
+	Len   uint64 // always a multiple of PageSize
+	Name  string // diagnostic label ("heap", "mr-buffer", "criu-temp", ...)
+	// Device marks NIC on-chip memory mapped into the address space
+	// (ibv_alloc_dm); CRIU must not dump or restore its contents.
+	Device bool
+}
+
+// End returns the first address past the area.
+func (v VMA) End() Addr { return v.Start + Addr(v.Len) }
+
+// Contains reports whether [a, a+n) lies inside the area.
+func (v VMA) Contains(a Addr, n uint64) bool {
+	return a >= v.Start && a+Addr(n) <= v.End() && a+Addr(n) >= a
+}
+
+// FaultError reports an access to unmapped memory.
+type FaultError struct {
+	Addr Addr
+	Op   string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("mem: %s fault at %#x (unmapped)", e.Op, uint64(e.Addr))
+}
+
+type page struct {
+	data  []byte // nil until first write (zero page)
+	dirty bool
+}
+
+// AddressSpace is one process's virtual memory.
+type AddressSpace struct {
+	vmas  []*VMA // sorted by Start
+	pages map[Addr]*page
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[Addr]*page)}
+}
+
+// Map establishes a VMA at an explicit address. start must be
+// page-aligned; length is rounded up to whole pages. Overlap with an
+// existing mapping is an error (the simulation has no MAP_FIXED
+// clobbering).
+func (as *AddressSpace) Map(start Addr, length uint64, name string) (*VMA, error) {
+	return as.mapVMA(start, length, name, false)
+}
+
+// MapDevice establishes a device-memory VMA (on-chip memory).
+func (as *AddressSpace) MapDevice(start Addr, length uint64, name string) (*VMA, error) {
+	return as.mapVMA(start, length, name, true)
+}
+
+func (as *AddressSpace) mapVMA(start Addr, length uint64, name string, dev bool) (*VMA, error) {
+	if start%PageSize != 0 {
+		return nil, fmt.Errorf("mem: map at unaligned address %#x", uint64(start))
+	}
+	if length == 0 {
+		return nil, fmt.Errorf("mem: map of zero length")
+	}
+	length = PageCeil(length)
+	if as.overlaps(start, length) {
+		return nil, fmt.Errorf("mem: map [%#x,+%#x) overlaps existing mapping", uint64(start), length)
+	}
+	v := &VMA{Start: start, Len: length, Name: name, Device: dev}
+	as.insert(v)
+	return v, nil
+}
+
+// MapAnywhere maps length bytes at the lowest page-aligned gap at or
+// above hint.
+func (as *AddressSpace) MapAnywhere(hint Addr, length uint64, name string) (*VMA, error) {
+	return as.mapAnywhere(hint, length, name, false)
+}
+
+// MapAnywhereDevice is MapAnywhere for device memory (on-chip NIC
+// memory mapped into the process); CRIU does not dump its content.
+func (as *AddressSpace) MapAnywhereDevice(hint Addr, length uint64, name string) (*VMA, error) {
+	return as.mapAnywhere(hint, length, name, true)
+}
+
+func (as *AddressSpace) mapAnywhere(hint Addr, length uint64, name string, dev bool) (*VMA, error) {
+	length = PageCeil(length)
+	start := PageFloor(hint)
+	if start < PageSize {
+		start = PageSize // never map the zero page
+	}
+	for _, v := range as.vmas {
+		if v.Start >= start+Addr(length) {
+			break
+		}
+		if v.End() > start {
+			start = v.End()
+		}
+	}
+	return as.mapVMA(start, length, name, dev)
+}
+
+// Unmap removes the VMA starting exactly at start, discarding its pages.
+func (as *AddressSpace) Unmap(start Addr) error {
+	for i, v := range as.vmas {
+		if v.Start == start {
+			for a := v.Start; a < v.End(); a += PageSize {
+				delete(as.pages, a)
+			}
+			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: unmap: no mapping at %#x", uint64(start))
+}
+
+// Remap moves the VMA at old to new, carrying the backing pages with it
+// (the semantics of mremap(MREMAP_FIXED): the virtual address changes,
+// the physical contents do not). Dirty state travels with the pages.
+func (as *AddressSpace) Remap(old, new Addr) error {
+	if new%PageSize != 0 {
+		return fmt.Errorf("mem: remap to unaligned address %#x", uint64(new))
+	}
+	var v *VMA
+	for _, c := range as.vmas {
+		if c.Start == old {
+			v = c
+			break
+		}
+	}
+	if v == nil {
+		return fmt.Errorf("mem: remap: no mapping at %#x", uint64(old))
+	}
+	if new == old {
+		return nil
+	}
+	// Check the destination range is free (ignoring the source itself).
+	for _, c := range as.vmas {
+		if c == v {
+			continue
+		}
+		if new < c.End() && c.Start < new+Addr(v.Len) {
+			return fmt.Errorf("mem: remap destination [%#x,+%#x) overlaps %s", uint64(new), v.Len, c.Name)
+		}
+	}
+	moved := make(map[Addr]*page, v.Len/PageSize)
+	for off := Addr(0); off < Addr(v.Len); off += PageSize {
+		if pg, ok := as.pages[v.Start+off]; ok {
+			moved[new+off] = pg
+			delete(as.pages, v.Start+off)
+		}
+	}
+	for a, pg := range moved {
+		as.pages[a] = pg
+	}
+	v.Start = new
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+	return nil
+}
+
+// FindVMA returns the VMA containing a, or nil.
+func (as *AddressSpace) FindVMA(a Addr) *VMA {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End() > a })
+	if i < len(as.vmas) && as.vmas[i].Contains(a, 0) && a >= as.vmas[i].Start {
+		return as.vmas[i]
+	}
+	return nil
+}
+
+// VMAs returns the current mappings in address order. The returned slice
+// is a copy; the VMA pointers are live.
+func (as *AddressSpace) VMAs() []*VMA {
+	out := make([]*VMA, len(as.vmas))
+	copy(out, as.vmas)
+	return out
+}
+
+// Mapped reports whether the whole range [a, a+n) is mapped.
+func (as *AddressSpace) Mapped(a Addr, n uint64) bool {
+	for n > 0 {
+		v := as.FindVMA(a)
+		if v == nil {
+			return false
+		}
+		span := uint64(v.End() - a)
+		if span >= n {
+			return true
+		}
+		a, n = v.End(), n-span
+	}
+	return true
+}
+
+// Read copies len(buf) bytes at a into buf.
+func (as *AddressSpace) Read(a Addr, buf []byte) error {
+	return as.access(a, buf, false, true)
+}
+
+// Write copies buf to a, marking touched pages dirty.
+func (as *AddressSpace) Write(a Addr, buf []byte) error {
+	return as.access(a, buf, true, true)
+}
+
+// WriteClean copies buf to a without marking pages dirty. CRIU's restore
+// path uses it so a freshly restored image starts with a clean dirty set.
+func (as *AddressSpace) WriteClean(a Addr, buf []byte) error {
+	return as.access(a, buf, true, false)
+}
+
+func (as *AddressSpace) access(a Addr, buf []byte, write, markDirty bool) error {
+	op := "read"
+	if write {
+		op = "write"
+	}
+	for off := 0; off < len(buf); {
+		pa := PageFloor(a + Addr(off))
+		if as.FindVMA(pa) == nil {
+			return &FaultError{Addr: a + Addr(off), Op: op}
+		}
+		pg := as.pages[pa]
+		inPage := int(a + Addr(off) - pa)
+		n := PageSize - inPage
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		if write {
+			if pg == nil {
+				pg = &page{data: make([]byte, PageSize)}
+				as.pages[pa] = pg
+			} else if pg.data == nil {
+				pg.data = make([]byte, PageSize)
+			}
+			copy(pg.data[inPage:inPage+n], buf[off:off+n])
+			if markDirty {
+				pg.dirty = true
+			}
+		} else {
+			if pg == nil || pg.data == nil {
+				for i := off; i < off+n; i++ {
+					buf[i] = 0
+				}
+			} else {
+				copy(buf[off:off+n], pg.data[inPage:inPage+n])
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit value (used by ATOMIC verbs).
+func (as *AddressSpace) ReadU64(a Addr) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(a, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit value.
+func (as *AddressSpace) WriteU64(a Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return as.Write(a, b[:])
+}
+
+// DirtyPages returns the addresses of dirty pages in address order.
+func (as *AddressSpace) DirtyPages() []Addr {
+	var out []Addr
+	for a, pg := range as.pages {
+		if pg.dirty {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClearDirty resets dirty tracking (start of a pre-copy round).
+func (as *AddressSpace) ClearDirty() {
+	for _, pg := range as.pages {
+		pg.dirty = false
+	}
+}
+
+// PopulatedPages returns the addresses of pages that have content, in
+// address order. Untouched (all-zero) pages are omitted, as CRIU omits
+// them from images.
+func (as *AddressSpace) PopulatedPages() []Addr {
+	var out []Addr
+	for a, pg := range as.pages {
+		if pg.data != nil {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadPage returns a copy of the page at a (which must be page-aligned).
+func (as *AddressSpace) ReadPage(a Addr) []byte {
+	buf := make([]byte, PageSize)
+	pg := as.pages[a]
+	if pg != nil && pg.data != nil {
+		copy(buf, pg.data)
+	}
+	return buf
+}
+
+func (as *AddressSpace) overlaps(start Addr, length uint64) bool {
+	for _, v := range as.vmas {
+		if start < v.End() && v.Start < start+Addr(length) {
+			return true
+		}
+	}
+	return false
+}
+
+func (as *AddressSpace) insert(v *VMA) {
+	as.vmas = append(as.vmas, v)
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+}

@@ -1,0 +1,240 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapReadWrite(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x10000, 8192, "buf"); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello across a page boundary")
+	if err := as.Write(0x10000+PageSize-10, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := as.Read(0x10000+PageSize-10, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	as := NewAddressSpace()
+	err := as.Write(0x5000, []byte{1})
+	if _, ok := err.(*FaultError); !ok {
+		t.Fatalf("err = %v, want FaultError", err)
+	}
+	as.Map(0x5000, PageSize, "one")
+	// Access spilling past the end of the mapping must fault.
+	if err := as.Write(0x5000+PageSize-1, []byte{1, 2}); err == nil {
+		t.Fatal("cross-boundary write into unmapped page succeeded")
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, 4*PageSize, "a")
+	if _, err := as.Map(0x10000+2*PageSize, PageSize, "b"); err == nil {
+		t.Fatal("overlapping map succeeded")
+	}
+	if _, err := as.Map(0x10000+4*PageSize, PageSize, "b"); err != nil {
+		t.Fatalf("adjacent map failed: %v", err)
+	}
+}
+
+func TestMapAnywhereSkipsGaps(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x2000, PageSize, "a")
+	as.Map(0x4000, PageSize, "b")
+	v, err := as.MapAnywhere(0x1000, 2*PageSize, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Start != 0x5000 {
+		t.Fatalf("placed at %#x, want 0x5000 (first gap of 2 pages)", uint64(v.Start))
+	}
+}
+
+func TestUnmapDiscardsPages(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x8000, PageSize, "a")
+	as.Write(0x8000, []byte{42})
+	as.Unmap(0x8000)
+	as.Map(0x8000, PageSize, "a2")
+	var b [1]byte
+	as.Read(0x8000, b[:])
+	if b[0] != 0 {
+		t.Fatal("page content survived unmap")
+	}
+}
+
+func TestRemapKeepsContents(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x100000, 3*PageSize, "tmp")
+	as.Write(0x100000+123, []byte("payload"))
+	if err := as.Remap(0x100000, 0x700000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7)
+	if err := as.Read(0x700000+123, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("after remap read %q", got)
+	}
+	if as.Mapped(0x100000, 1) {
+		t.Fatal("old range still mapped after remap")
+	}
+}
+
+func TestRemapRejectsCollision(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x100000, PageSize, "src")
+	as.Map(0x200000, PageSize, "obstacle")
+	if err := as.Remap(0x100000, 0x200000); err == nil {
+		t.Fatal("remap onto an existing mapping succeeded")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, 4*PageSize, "buf")
+	as.Write(0x10000, []byte{1})
+	as.Write(0x10000+2*PageSize, []byte{1})
+	d := as.DirtyPages()
+	if len(d) != 2 || d[0] != 0x10000 || d[1] != 0x10000+2*PageSize {
+		t.Fatalf("dirty = %#v", d)
+	}
+	as.ClearDirty()
+	if len(as.DirtyPages()) != 0 {
+		t.Fatal("dirty set survived ClearDirty")
+	}
+	// WriteClean must not re-dirty.
+	as.WriteClean(0x10000, []byte{2})
+	if len(as.DirtyPages()) != 0 {
+		t.Fatal("WriteClean marked a page dirty")
+	}
+	var b [1]byte
+	as.Read(0x10000, b[:])
+	if b[0] != 2 {
+		t.Fatal("WriteClean did not write")
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, PageSize, "buf")
+	if err := as.WriteU64(0x10008, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.ReadU64(0x10008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafe {
+		t.Fatalf("got %#x", v)
+	}
+}
+
+func TestFindVMA(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x10000, 2*PageSize, "a")
+	as.Map(0x40000, PageSize, "b")
+	if v := as.FindVMA(0x10000 + PageSize); v == nil || v.Name != "a" {
+		t.Fatalf("FindVMA inside a = %v", v)
+	}
+	if v := as.FindVMA(0x30000); v != nil {
+		t.Fatalf("FindVMA in gap = %v", v)
+	}
+	if v := as.FindVMA(0x40000 + PageSize - 1); v == nil || v.Name != "b" {
+		t.Fatalf("FindVMA at end of b = %v", v)
+	}
+}
+
+// TestPropWriteReadRoundTrip checks that any write inside a mapping is
+// read back identically, at arbitrary offsets and lengths.
+func TestPropWriteReadRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	const base, size = Addr(0x100000), uint64(64 * PageSize)
+	as.Map(base, size, "arena")
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		a := base + Addr(uint64(off)%(size-uint64(len(data))))
+		if err := as.Write(a, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := as.Read(a, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropDirtyCoversWrites checks that after ClearDirty, every written
+// byte lies in some dirty page.
+func TestPropDirtyCoversWrites(t *testing.T) {
+	f := func(offs []uint16) bool {
+		as := NewAddressSpace()
+		const base, size = Addr(0x100000), uint64(16 * PageSize)
+		as.Map(base, size, "arena")
+		as.ClearDirty()
+		want := map[Addr]bool{}
+		for _, o := range offs {
+			a := base + Addr(uint64(o)%size)
+			as.Write(a, []byte{1})
+			want[PageFloor(a)] = true
+		}
+		got := map[Addr]bool{}
+		for _, a := range as.DirtyPages() {
+			got[a] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for a := range want {
+			if !got[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropRemapPreservesBytes checks mremap keeps every byte.
+func TestPropRemapPreservesBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{7}
+		}
+		if len(data) > 3*PageSize {
+			data = data[:3*PageSize]
+		}
+		as := NewAddressSpace()
+		as.Map(0x10000, 4*PageSize, "src")
+		as.Write(0x10000, data)
+		if err := as.Remap(0x10000, 0x900000); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		as.Read(0x900000, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package migros
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMigrOSBlackoutLonger(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		p := DefaultParams(n)
+		mos, mrd := p.MigrOS(), p.MigrRDMA()
+		if mos.Total() <= mrd.Total() {
+			t.Errorf("QPs=%d: MigrOS %v not longer than MigrRDMA %v", n, mos.Total(), mrd.Total())
+		}
+		// §6: steps 1 and 3 cost the same for both systems.
+		if mos.Wait != mrd.Wait || mos.Replay != mrd.Replay {
+			t.Errorf("QPs=%d: wait/replay should match: %+v vs %+v", n, mos, mrd)
+		}
+	}
+}
+
+func TestGapGrowsWithQPs(t *testing.T) {
+	gap := func(n int) int64 {
+		p := DefaultParams(n)
+		return int64(p.MigrOS().Total() - p.MigrRDMA().Total())
+	}
+	if !(gap(4096) > gap(256) && gap(256) > gap(16)) {
+		t.Fatalf("gap not monotone: %d %d %d", gap(16), gap(256), gap(4096))
+	}
+}
+
+func TestPropMigrOSNeverFaster(t *testing.T) {
+	f := func(qps uint16, inflightKB uint16, imageMB uint8) bool {
+		p := DefaultParams(int(qps%8192) + 1)
+		p.InflightBytes = int64(inflightKB) << 10
+		p.ImageBytes = int64(imageMB) << 20
+		return p.MigrOS().Total() >= p.MigrRDMA().Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package oob provides the out-of-band control channel RDMA
+// applications conventionally use to exchange connection metadata (QPNs,
+// rkeys, memory addresses) before RDMA communication starts — the role
+// TCP sockets play on the paper's testbed.
+//
+// MigrRDMA itself also relies on out-of-band messaging: the migration
+// source notifies partners of the destination's address and QPN lists
+// (§3.2), wait-before-stop exchanges n_sent counters (§3.4), and
+// partners fetch fresh physical rkeys/QPNs after restoration (§3.3).
+//
+// Each node runs a Hub demultiplexing frames (fabric port "oob") to
+// named endpoints. Endpoints support fire-and-forget sends, blocking
+// receives, and blocking request/response calls with registered
+// handlers.
+package oob
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/sim"
+)
+
+// Port is the fabric mux port control traffic travels on.
+const Port = "oob"
+
+// Msg is one delivered message.
+type Msg struct {
+	FromNode, FromEP string
+	Kind             string
+	Body             []byte
+
+	reqID   uint64
+	isReply bool
+}
+
+// Hub is the per-node demultiplexer.
+type Hub struct {
+	sched *sim.Scheduler
+	net   *fabric.Network
+	node  string
+	eps   map[string]*Endpoint
+}
+
+// NewHub attaches a hub to the node's mux.
+func NewHub(net *fabric.Network, mux *fabric.Mux, node string) *Hub {
+	h := &Hub{sched: net.Scheduler(), net: net, node: node, eps: make(map[string]*Endpoint)}
+	mux.Register(Port, h.onFrame)
+	return h
+}
+
+// Node returns the hub's fabric node name.
+func (h *Hub) Node() string { return h.node }
+
+// Endpoint creates (or returns) the named endpoint.
+func (h *Hub) Endpoint(name string) *Endpoint {
+	if ep, ok := h.eps[name]; ok {
+		return ep
+	}
+	ep := &Endpoint{
+		hub:      h,
+		name:     name,
+		inbox:    sim.NewChan[Msg](h.sched, "oob-inbox:"+name, 4096),
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]*call),
+	}
+	h.eps[name] = ep
+	return ep
+}
+
+// Close removes an endpoint; subsequent frames for it are dropped.
+func (h *Hub) Close(name string) { delete(h.eps, name) }
+
+// Handler serves a request and returns the reply body.
+type Handler func(Msg) []byte
+
+// Endpoint is a named mailbox on a node.
+type Endpoint struct {
+	hub      *Hub
+	name     string
+	inbox    *sim.Chan[Msg]
+	handlers map[string]Handler
+	pending  map[uint64]*call
+	nextReq  uint64
+}
+
+type call struct {
+	done *sim.Cond
+	resp []byte
+	ok   bool
+}
+
+// Name returns the endpoint name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Node returns the node the endpoint lives on.
+func (ep *Endpoint) Node() string { return ep.hub.node }
+
+// Send delivers a one-way message; it does not block.
+func (ep *Endpoint) Send(toNode, toEP, kind string, body []byte) {
+	ep.hub.send(wire{
+		fromEP: ep.name, toEP: toEP, kind: kind, body: body,
+	}, toNode)
+}
+
+// Recv blocks until a one-way message arrives.
+func (ep *Endpoint) Recv() Msg {
+	m, _ := ep.inbox.Recv()
+	return m
+}
+
+// TryRecv returns a pending one-way message without blocking.
+func (ep *Endpoint) TryRecv() (Msg, bool) { return ep.inbox.TryRecv() }
+
+// Handle registers a request handler for kind. Handlers run in a fresh
+// managed proc and may block.
+func (ep *Endpoint) Handle(kind string, h Handler) { ep.handlers[kind] = h }
+
+// Call sends a request and blocks until the reply arrives.
+func (ep *Endpoint) Call(toNode, toEP, kind string, body []byte) []byte {
+	resp, _ := ep.call(toNode, toEP, kind, body, 0)
+	return resp
+}
+
+// CallTimeout is Call with a deadline; ok is false when no reply
+// arrived in time (e.g. the peer runs no such endpoint).
+func (ep *Endpoint) CallTimeout(toNode, toEP, kind string, body []byte, timeout time.Duration) ([]byte, bool) {
+	return ep.call(toNode, toEP, kind, body, timeout)
+}
+
+func (ep *Endpoint) call(toNode, toEP, kind string, body []byte, timeout time.Duration) ([]byte, bool) {
+	ep.nextReq++
+	id := ep.nextReq
+	c := &call{done: sim.NewCond(ep.hub.sched, "oob-call")}
+	ep.pending[id] = c
+	ep.hub.send(wire{
+		fromEP: ep.name, toEP: toEP, kind: kind, body: body, reqID: id,
+	}, toNode)
+	for !c.ok {
+		if timeout > 0 {
+			if woken := c.done.WaitTimeout(timeout); !woken && !c.ok {
+				delete(ep.pending, id)
+				return nil, false
+			}
+		} else {
+			c.done.Wait()
+		}
+	}
+	delete(ep.pending, id)
+	return c.resp, true
+}
+
+// wire is the encoded control frame.
+type wire struct {
+	fromEP, toEP, kind string
+	body               []byte
+	reqID              uint64
+	isReply            bool
+}
+
+func (w wire) encode() []byte {
+	out := make([]byte, 0, 32+len(w.fromEP)+len(w.toEP)+len(w.kind)+len(w.body))
+	put := func(s []byte) []byte {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+		out = append(out, l[:]...)
+		return append(out, s...)
+	}
+	out = put([]byte(w.fromEP))
+	out = put([]byte(w.toEP))
+	out = put([]byte(w.kind))
+	out = put(w.body)
+	var id [9]byte
+	binary.BigEndian.PutUint64(id[:], w.reqID)
+	if w.isReply {
+		id[8] = 1
+	}
+	return append(out, id[:]...)
+}
+
+func decodeWire(b []byte) (wire, error) {
+	var w wire
+	take := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("oob: truncated frame")
+		}
+		n := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return nil, fmt.Errorf("oob: truncated field")
+		}
+		f := b[:n]
+		b = b[n:]
+		return f, nil
+	}
+	var err error
+	var f []byte
+	if f, err = take(); err != nil {
+		return w, err
+	}
+	w.fromEP = string(f)
+	if f, err = take(); err != nil {
+		return w, err
+	}
+	w.toEP = string(f)
+	if f, err = take(); err != nil {
+		return w, err
+	}
+	w.kind = string(f)
+	if f, err = take(); err != nil {
+		return w, err
+	}
+	w.body = f
+	if len(b) != 9 {
+		return w, fmt.Errorf("oob: bad trailer")
+	}
+	w.reqID = binary.BigEndian.Uint64(b)
+	w.isReply = b[8] == 1
+	return w, nil
+}
+
+// controlOverhead approximates TCP/IP framing for a control message.
+const controlOverhead = 66
+
+func (h *Hub) send(w wire, toNode string) {
+	data := w.encode()
+	h.net.Send(fabric.Frame{
+		Src: h.node, Dst: toNode, Port: Port,
+		Size: controlOverhead + len(data),
+		Data: data,
+	})
+}
+
+// onFrame dispatches an arriving control frame (inline, non-blocking).
+func (h *Hub) onFrame(f fabric.Frame) {
+	w, err := decodeWire(f.Data)
+	if err != nil {
+		return
+	}
+	ep, ok := h.eps[w.toEP]
+	if !ok {
+		return
+	}
+	if w.isReply {
+		if c, ok := ep.pending[w.reqID]; ok {
+			c.resp, c.ok = w.body, true
+			c.done.Broadcast()
+		}
+		return
+	}
+	msg := Msg{FromNode: f.Src, FromEP: w.fromEP, Kind: w.kind, Body: w.body, reqID: w.reqID}
+	if handler, ok := ep.handlers[w.kind]; ok {
+		// Handlers serve both RPCs and one-way messages; they run in
+		// their own proc so they may block. Only RPCs get a reply.
+		reqID := w.reqID
+		h.sched.Go("oob-handler:"+w.kind, func() {
+			resp := handler(msg)
+			if reqID != 0 {
+				h.send(wire{
+					fromEP: ep.name, toEP: w.fromEP, kind: w.kind,
+					body: resp, reqID: reqID, isReply: true,
+				}, f.Src)
+			}
+		})
+		return
+	}
+	if w.reqID != 0 {
+		return // RPC for an unhandled kind: drop; the caller times out
+	}
+	ep.inbox.TrySend(msg)
+}

@@ -1,0 +1,152 @@
+package oob
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/sim"
+)
+
+func twoHubs(t *testing.T) (*sim.Scheduler, *Hub, *Hub) {
+	t.Helper()
+	s := sim.New(11)
+	net := fabric.New(s, fabric.Config{})
+	ha := NewHub(net, fabric.NewMux(net, "a"), "a")
+	hb := NewHub(net, fabric.NewMux(net, "b"), "b")
+	return s, ha, hb
+}
+
+func TestSendRecv(t *testing.T) {
+	s, ha, hb := twoHubs(t)
+	var got Msg
+	s.Go("recv", func() {
+		got = hb.Endpoint("svc").Recv()
+	})
+	s.Go("send", func() {
+		ha.Endpoint("cli").Send("b", "svc", "hello", []byte("world"))
+	})
+	s.Run()
+	if got.Kind != "hello" || string(got.Body) != "world" || got.FromNode != "a" || got.FromEP != "cli" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCallReply(t *testing.T) {
+	s, ha, hb := twoHubs(t)
+	hb.Endpoint("svc").Handle("double", func(m Msg) []byte {
+		return append(m.Body, m.Body...)
+	})
+	var resp []byte
+	s.Go("call", func() {
+		resp = ha.Endpoint("cli").Call("b", "svc", "double", []byte("xy"))
+	})
+	s.Run()
+	if string(resp) != "xyxy" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	s, ha, hb := twoHubs(t)
+	hb.Endpoint("svc").Handle("echo", func(m Msg) []byte { return m.Body })
+	results := make([]string, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Go("call", func() {
+			results[i] = string(ha.Endpoint("cli").Call("b", "svc", "echo", []byte{byte('0' + i)}))
+		})
+	}
+	s.Run()
+	for i, r := range results {
+		if r != string(rune('0'+i)) {
+			t.Fatalf("call %d got %q", i, r)
+		}
+	}
+}
+
+func TestHandlerMayBlock(t *testing.T) {
+	s, ha, hb := twoHubs(t)
+	hb.Endpoint("svc").Handle("slow", func(m Msg) []byte {
+		s.Sleep(1e6) // 1 ms of virtual time inside the handler
+		return []byte("done")
+	})
+	var resp []byte
+	s.Go("call", func() {
+		resp = ha.Endpoint("cli").Call("b", "svc", "slow", nil)
+	})
+	s.Run()
+	if string(resp) != "done" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	w := wire{fromEP: "from", toEP: "to", kind: "k", body: []byte("payload"), reqID: 42, isReply: true}
+	got, err := decodeWire(w.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.fromEP != w.fromEP || got.toEP != w.toEP || got.kind != w.kind ||
+		string(got.body) != "payload" || got.reqID != 42 || !got.isReply {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestUnknownEndpointDropped(t *testing.T) {
+	s, ha, _ := twoHubs(t)
+	s.Go("send", func() {
+		ha.Endpoint("cli").Send("b", "nobody", "x", nil)
+	})
+	s.Run() // must terminate without panic
+}
+
+func TestCallTimeoutOnMissingEndpoint(t *testing.T) {
+	s, ha, _ := twoHubs(t)
+	var ok bool
+	var elapsed time.Duration
+	s.Go("call", func() {
+		start := s.Now()
+		_, ok = ha.Endpoint("cli").CallTimeout("b", "ghost", "ping", nil, 3*time.Millisecond)
+		elapsed = s.Now() - start
+	})
+	s.Run()
+	if ok {
+		t.Fatal("call to missing endpoint succeeded")
+	}
+	if elapsed < 3*time.Millisecond {
+		t.Fatalf("timed out after %v, want ≥3ms", elapsed)
+	}
+}
+
+func TestCallTimeoutStillDeliversInTime(t *testing.T) {
+	s, ha, hb := twoHubs(t)
+	hb.Endpoint("svc").Handle("echo", func(m Msg) []byte { return m.Body })
+	var resp []byte
+	var ok bool
+	s.Go("call", func() {
+		resp, ok = ha.Endpoint("cli").CallTimeout("b", "svc", "echo", []byte("hi"), 50*time.Millisecond)
+	})
+	s.Run()
+	if !ok || string(resp) != "hi" {
+		t.Fatalf("resp=%q ok=%v", resp, ok)
+	}
+}
+
+func TestHandlerServesOneWayMessages(t *testing.T) {
+	s, ha, hb := twoHubs(t)
+	var got []string
+	hb.Endpoint("svc").Handle("event", func(m Msg) []byte {
+		got = append(got, string(m.Body))
+		return nil // one-way: no reply expected
+	})
+	s.Go("send", func() {
+		ep := ha.Endpoint("cli")
+		ep.Send("b", "svc", "event", []byte("x"))
+		ep.Send("b", "svc", "event", []byte("y"))
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("handler received %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package perftest
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/mem"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/task"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MsgSize != 4096 || o.QueueDepth != 64 || o.NumQPs != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestSlotLayoutCheckOrder(t *testing.T) {
+	o := Options{MsgSize: 1024, QueueDepth: 4, NumQPs: 2, CheckOrder: true}.withDefaults()
+	if o.bufSize() != uint64(2*4*1024) {
+		t.Fatalf("bufSize = %d", o.bufSize())
+	}
+	seen := map[mem.Addr]bool{}
+	for qp := 0; qp < 2; qp++ {
+		for seq := uint64(0); seq < 4; seq++ {
+			a := o.slot(qp, seq)
+			if seen[a] {
+				t.Fatalf("slot collision at %#x", uint64(a))
+			}
+			seen[a] = true
+			if a < bufferArena || a+1024 > bufferArena+mem.Addr(o.bufSize()) {
+				t.Fatalf("slot %#x outside buffer", uint64(a))
+			}
+			// Slots wrap per QP: seq and seq+depth share an address.
+			if o.slot(qp, seq+4) != a {
+				t.Fatal("slot does not wrap at queue depth")
+			}
+		}
+	}
+}
+
+func TestSlotLayoutBandwidthMode(t *testing.T) {
+	o := Options{MsgSize: 1 << 20, QueueDepth: 64}.withDefaults()
+	// The shared buffer is capped; slots must stay in range regardless.
+	for seq := uint64(0); seq < 1000; seq++ {
+		a := o.slot(0, seq)
+		if a < bufferArena || a+mem.Addr(o.MsgSize) > bufferArena+mem.Addr(o.bufSize()) {
+			t.Fatalf("seq %d slot %#x outside capped buffer", seq, uint64(a))
+		}
+	}
+}
+
+// newPairRig builds a testbed and runs a client/server pair to
+// completion, returning both sides.
+func runPair(t *testing.T, opts Options) (*Client, *Server) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Seed: 9}, "a", "b")
+	da, db := core.NewDaemon(cl.Host("a")), core.NewDaemon(cl.Host("b"))
+	srv := NewServer(cl.Sched, "srv", opts)
+	sp := task.New(cl.Sched, "server")
+	cl.Sched.Go("server", func() { srv.Run(sp, db) })
+	cli := NewClient(cl.Sched, "cli", opts, Target{Node: "b", Name: "srv"})
+	cp := task.New(cl.Sched, "client")
+	cl.Sched.Go("client-start", func() {
+		srv.WaitReady()
+		cl.Sched.Go("client", func() { cli.Run(cp, da) })
+		cli.Wait()
+		cl.Sched.Sleep(2 * time.Millisecond)
+		srv.Stop()
+	})
+	cl.Sched.RunFor(time.Minute)
+	return cli, srv
+}
+
+func TestReadVerbPair(t *testing.T) {
+	cli, _ := runPair(t, Options{Verb: rnic.OpRead, MsgSize: 8192, QueueDepth: 4, NumQPs: 2, Messages: 50})
+	if cli.Stats.Completed != 100 {
+		t.Fatalf("completed %d, want 100", cli.Stats.Completed)
+	}
+	if len(cli.Stats.Errors) > 0 {
+		t.Fatalf("errors: %v", cli.Stats.Errors)
+	}
+}
+
+func TestAtomicVerbPair(t *testing.T) {
+	cli, _ := runPair(t, Options{Verb: rnic.OpFetchAdd, MsgSize: 8, QueueDepth: 1, NumQPs: 1, Messages: 20})
+	if cli.Stats.Completed != 20 {
+		t.Fatalf("completed %d, want 20", cli.Stats.Completed)
+	}
+	if len(cli.Stats.Errors) > 0 {
+		t.Fatalf("errors: %v", cli.Stats.Errors)
+	}
+}
+
+func TestEventModeServer(t *testing.T) {
+	opts := Options{Verb: rnic.OpSend, MsgSize: 512, QueueDepth: 8, NumQPs: 1, Messages: 40, UseEvents: true}
+	cli, srv := runPair(t, opts)
+	if cli.Stats.Completed != 40 {
+		t.Fatalf("client completed %d", cli.Stats.Completed)
+	}
+	if srv.Stats.Completed != 40 {
+		t.Fatalf("server received %d (interrupt mode)", srv.Stats.Completed)
+	}
+	if len(srv.Stats.Errors) > 0 {
+		t.Fatalf("server errors: %v", srv.Stats.Errors)
+	}
+}
+
+func TestPostGapThrottles(t *testing.T) {
+	fast, _ := runPair(t, Options{Verb: rnic.OpWrite, MsgSize: 4096, QueueDepth: 8, Messages: 100})
+	_ = fast
+	cl := cluster.New(cluster.Config{Seed: 9}, "a", "b")
+	da, db := core.NewDaemon(cl.Host("a")), core.NewDaemon(cl.Host("b"))
+	opts := Options{Verb: rnic.OpWrite, MsgSize: 4096, QueueDepth: 8, Messages: 100, PostGap: 100 * time.Microsecond}
+	srv := NewServer(cl.Sched, "srv", opts)
+	cl.Sched.Go("server", func() { srv.Run(task.New(cl.Sched, "s"), db) })
+	cli := NewClient(cl.Sched, "cli", opts, Target{Node: "b", Name: "srv"})
+	var elapsed time.Duration
+	cl.Sched.Go("driver", func() {
+		srv.WaitReady()
+		start := cl.Sched.Now()
+		cl.Sched.Go("client", func() { cli.Run(task.New(cl.Sched, "c"), da) })
+		cli.Wait()
+		elapsed = cl.Sched.Now() - start
+		srv.Stop()
+	})
+	cl.Sched.RunFor(time.Minute)
+	// 100 posts with a 100 µs gap take ≥ 10 ms.
+	if elapsed < 10*time.Millisecond {
+		t.Fatalf("throttled run finished in %v", elapsed)
+	}
+}
+
+func TestLatencyMode(t *testing.T) {
+	cli, _ := runPair(t, Options{Verb: rnic.OpWrite, MsgSize: 64, NumQPs: 1, Messages: 200, LatencyMode: true})
+	if cli.Stats.Completed != 200 {
+		t.Fatalf("completed %d", cli.Stats.Completed)
+	}
+	if len(cli.Stats.LatSamples) != 200 {
+		t.Fatalf("collected %d latency samples", len(cli.Stats.LatSamples))
+	}
+	avg, p99 := cli.Stats.LatAvg(), cli.Stats.LatPercentile(99)
+	// One 64 B WRITE round trip: ~2 serializations + 4 propagation hops
+	// plus engine handling — single-digit microseconds on this fabric.
+	if avg < 2*time.Microsecond || avg > 50*time.Microsecond {
+		t.Fatalf("avg latency %v implausible", avg)
+	}
+	if p99 < cli.Stats.LatPercentile(50) {
+		t.Fatalf("p99 %v below p50 %v", p99, cli.Stats.LatPercentile(50))
+	}
+	t.Logf("write_lat 64B: avg=%v p50=%v p99=%v", avg, cli.Stats.LatPercentile(50), p99)
+}
+
+func TestLatencyAcrossMigrationSpike(t *testing.T) {
+	// Latency samples straddling a live migration: most ops stay fast;
+	// the ones overlapping the blackout spike to ~the blackout length.
+	// (Driven from the runc package in practice; here we only check the
+	// sampling plumbing tolerates long gaps.)
+	cli, _ := runPair(t, Options{Verb: rnic.OpRead, MsgSize: 1024, NumQPs: 1, Messages: 100, LatencyMode: true})
+	if cli.Stats.LatPercentile(100) == 0 {
+		t.Fatal("no max latency recorded")
+	}
+}

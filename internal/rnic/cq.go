@@ -1,0 +1,162 @@
+package rnic
+
+import (
+	"encoding/binary"
+	"time"
+
+	"migrrdma/internal/mem"
+	"migrrdma/internal/sim"
+)
+
+// CQ is a completion queue. Entries accumulate in device-owned storage
+// until software polls them; an optional completion channel delivers
+// interrupt-style events when the CQ is armed (ibv_req_notify_cq).
+type CQ struct {
+	Handle uint32
+	dev    *Device
+	cap    int
+	queue  []CQE
+	// Overrun records that a completion was dropped because the CQ was
+	// full — a fatal programming error on real hardware too.
+	Overrun bool
+
+	armed bool
+	comp  *CompChannel
+
+	// Shadow ring: the library maps the CQ's entry ring in process
+	// memory and the device DMA-writes each CQE slot, so completion
+	// traffic dirties application pages exactly as on real hardware.
+	ringAS   cqRingMemory
+	ringAddr mem.Addr
+	ringSeq  int
+
+	// waiters lets in-process pollers (the wait-before-stop thread)
+	// block efficiently instead of spinning.
+	waiters *sim.Cond
+}
+
+// cqRingMemory is the slice of the address-space API the CQ DMA path
+// needs.
+type cqRingMemory interface {
+	Write(a mem.Addr, buf []byte) error
+}
+
+// SetShadowRing points the CQ's DMA target at a library-mapped ring of
+// cap 64-byte slots. Passing nil detaches it.
+func (cq *CQ) SetShadowRing(as cqRingMemory, addr mem.Addr) {
+	cq.ringAS = as
+	cq.ringAddr = addr
+}
+
+// cqeSlotSize is the in-memory size of one completion entry.
+const cqeSlotSize = 64
+
+// CreateCQ creates a completion queue with the given capacity, optionally
+// bound to a completion channel.
+func (d *Device) CreateCQ(capacity int, comp *CompChannel) *CQ {
+	d.sched.Sleep(d.cfg.CreateCQLat)
+	cq := &CQ{
+		Handle:  d.allocID(),
+		dev:     d,
+		cap:     capacity,
+		comp:    comp,
+		waiters: sim.NewCond(d.sched, "cq-wait"),
+	}
+	d.cqs[cq.Handle] = cq
+	return cq
+}
+
+// DestroyCQ releases the CQ.
+func (d *Device) DestroyCQ(cq *CQ) {
+	d.sched.Sleep(d.cfg.DestroyLat)
+	delete(d.cqs, cq.Handle)
+}
+
+// push appends a completion, firing an event if the CQ is armed.
+func (cq *CQ) push(e CQE) {
+	if len(cq.queue) >= cq.cap {
+		cq.Overrun = true
+		return
+	}
+	cq.queue = append(cq.queue, e)
+	if cq.ringAS != nil {
+		var slot [cqeSlotSize]byte
+		binary.LittleEndian.PutUint64(slot[:], e.WRID)
+		binary.LittleEndian.PutUint32(slot[8:], e.QPN)
+		slot[12] = byte(e.Status)
+		_ = cq.ringAS.Write(cq.ringAddr+mem.Addr((cq.ringSeq%cq.cap)*cqeSlotSize), slot[:])
+		cq.ringSeq++
+	}
+	cq.waiters.Broadcast()
+	if cq.armed && cq.comp != nil {
+		cq.armed = false
+		cq.comp.deliver(cq)
+	}
+}
+
+// Poll removes and returns up to max completions (non-blocking, like
+// ibv_poll_cq).
+func (cq *CQ) Poll(max int) []CQE {
+	if max > len(cq.queue) {
+		max = len(cq.queue)
+	}
+	if max == 0 {
+		return nil
+	}
+	out := make([]CQE, max)
+	copy(out, cq.queue[:max])
+	cq.queue = cq.queue[max:]
+	return out
+}
+
+// Len reports the number of pending completions.
+func (cq *CQ) Len() int { return len(cq.queue) }
+
+// WaitNonEmpty parks the calling proc until the CQ has entries. It is a
+// simulation convenience for busy-poll loops (real code would spin).
+func (cq *CQ) WaitNonEmpty() {
+	for len(cq.queue) == 0 {
+		cq.waiters.Wait()
+	}
+}
+
+// WaitNonEmptyTimeout parks until the CQ has entries or d elapses,
+// reporting whether entries are available.
+func (cq *CQ) WaitNonEmptyTimeout(d time.Duration) bool {
+	if len(cq.queue) > 0 {
+		return true
+	}
+	cq.waiters.WaitTimeout(d)
+	return len(cq.queue) > 0
+}
+
+// ReqNotify arms the CQ: the next completion pushes an event to the
+// completion channel (ibv_req_notify_cq).
+func (cq *CQ) ReqNotify() { cq.armed = true }
+
+// CompChannel is a completion event channel (ibv_comp_channel): an
+// interrupt-style notification path multiplexing events from any number
+// of CQs.
+type CompChannel struct {
+	events *sim.Chan[*CQ]
+}
+
+// CreateCompChannel creates a completion channel.
+func (d *Device) CreateCompChannel() *CompChannel {
+	return &CompChannel{events: sim.NewChan[*CQ](d.sched, "comp-channel", 1024)}
+}
+
+func (c *CompChannel) deliver(cq *CQ) {
+	// Channel full means the consumer is hopelessly behind; events are
+	// edge-triggered so dropping is safe (the CQ stays readable).
+	c.events.TrySend(cq)
+}
+
+// Get blocks until a CQ event arrives and returns the CQ (ibv_get_cq_event).
+func (c *CompChannel) Get() *CQ {
+	cq, _ := c.events.Recv()
+	return cq
+}
+
+// TryGet returns a pending event without blocking.
+func (c *CompChannel) TryGet() (*CQ, bool) { return c.events.TryRecv() }

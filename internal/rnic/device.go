@@ -1,0 +1,407 @@
+package rnic
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/mem"
+	"migrrdma/internal/sim"
+)
+
+// Config sets device parameters. Zero fields take defaults that mirror a
+// ConnectX-5-class NIC on the paper's testbed.
+type Config struct {
+	MTU        int           // max payload bytes per frame
+	RTO        time.Duration // retransmission timeout
+	RNRDelay   time.Duration // requester back-off after an RNR NAK
+	MaxRetries int           // transport retries before WCRetryExceeded
+	// RNRRetries bounds receiver-not-ready retries; 0 means infinite
+	// (the rnr_retry=7 encoding of the verbs spec, and the default of
+	// most datacenter deployments).
+	RNRRetries int
+	DMSize     int // on-chip device memory pool (bytes)
+
+	// Control-path command latencies (driver + firmware round trips).
+	// Their sum along create→INIT→RTR→RTS is the "several milliseconds"
+	// QP setup cost the paper cites ([53], §2.2) and is what makes
+	// RestoreRDMA dominate the no-presetup blackout in Fig. 3.
+	CreateCQLat   time.Duration
+	CreateQPLat   time.Duration
+	ModifyInitLat time.Duration
+	ModifyRTRLat  time.Duration
+	ModifyRTSLat  time.Duration
+	ResetQPLat    time.Duration
+	RegMRLat      time.Duration // base cost
+	RegMRPerMB    time.Duration // page pinning cost per MiB
+	DestroyLat    time.Duration // destroy/dealloc commands
+}
+
+// DefaultConfig returns the testbed-calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		MTU:           4096,
+		RTO:           500 * time.Microsecond,
+		RNRDelay:      100 * time.Microsecond,
+		MaxRetries:    7,
+		DMSize:        256 << 10,
+		CreateCQLat:   80 * time.Microsecond,
+		CreateQPLat:   150 * time.Microsecond,
+		ModifyInitLat: 100 * time.Microsecond,
+		ModifyRTRLat:  400 * time.Microsecond,
+		ModifyRTSLat:  250 * time.Microsecond,
+		ResetQPLat:    900 * time.Microsecond,
+		RegMRLat:      30 * time.Microsecond,
+		RegMRPerMB:    12 * time.Microsecond,
+		DestroyLat:    20 * time.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MTU == 0 {
+		c.MTU = d.MTU
+	}
+	if c.RTO == 0 {
+		c.RTO = d.RTO
+	}
+	if c.RNRDelay == 0 {
+		c.RNRDelay = d.RNRDelay
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.DMSize == 0 {
+		c.DMSize = d.DMSize
+	}
+	if c.CreateCQLat == 0 {
+		c.CreateCQLat = d.CreateCQLat
+	}
+	if c.CreateQPLat == 0 {
+		c.CreateQPLat = d.CreateQPLat
+	}
+	if c.ModifyInitLat == 0 {
+		c.ModifyInitLat = d.ModifyInitLat
+	}
+	if c.ModifyRTRLat == 0 {
+		c.ModifyRTRLat = d.ModifyRTRLat
+	}
+	if c.ModifyRTSLat == 0 {
+		c.ModifyRTSLat = d.ModifyRTSLat
+	}
+	if c.ResetQPLat == 0 {
+		c.ResetQPLat = d.ResetQPLat
+	}
+	if c.RegMRLat == 0 {
+		c.RegMRLat = d.RegMRLat
+	}
+	if c.RegMRPerMB == 0 {
+		c.RegMRPerMB = d.RegMRPerMB
+	}
+	if c.DestroyLat == 0 {
+		c.DestroyLat = d.DestroyLat
+	}
+	return c
+}
+
+// Device is one simulated RNIC attached to a fabric node.
+type Device struct {
+	sched *sim.Scheduler
+	net   *fabric.Network
+	node  string
+	cfg   Config
+
+	pds    map[uint32]*PD
+	mrs    map[uint32]*MR // by lkey
+	rmrs   map[uint32]*MR // by rkey
+	mws    map[uint32]*MW // by rkey
+	cqs    map[uint32]*CQ
+	qps    map[uint32]*QP
+	srqs   map[uint32]*SRQ
+	dmUsed int
+
+	// Sparse allocators: physical identifiers on real NICs are neither
+	// dense nor predictable, which is exactly why MigrRDMA introduces
+	// virtual dense keys (§3.3). The strides keep that property visible.
+	nextQPN uint32
+	nextKey uint32
+	nextID  uint32
+
+	rxq  []rxItem
+	work *sim.Cond
+
+	// TX pacer: frames are pulled (control first, then responder data,
+	// then requester data in QP round-robin) only when the uplink is
+	// free, so retransmission timers see true wire occupancy and deep
+	// send queues drain at line rate instead of flooding the fabric.
+	ctlq   []fabric.Frame
+	respq  []fabric.Frame
+	txRing []*QP
+	txBusy bool
+
+	closed bool
+
+	// TxBytes and RxBytes count data-path wire bytes (the mlx5 ethtool
+	// counters used for Fig. 5's throughput sampling).
+	TxBytes, RxBytes int64
+}
+
+// NewDevice creates an RNIC on the given fabric node and registers its
+// receive path on mux port "rdma".
+func NewDevice(net *fabric.Network, mux *fabric.Mux, node string, cfg Config) *Device {
+	d := &Device{
+		sched:   net.Scheduler(),
+		net:     net,
+		node:    node,
+		cfg:     cfg.withDefaults(),
+		pds:     make(map[uint32]*PD),
+		mrs:     make(map[uint32]*MR),
+		rmrs:    make(map[uint32]*MR),
+		mws:     make(map[uint32]*MW),
+		cqs:     make(map[uint32]*CQ),
+		qps:     make(map[uint32]*QP),
+		srqs:    make(map[uint32]*SRQ),
+		nextQPN: 0x000100,
+		nextKey: 0x2000,
+		nextID:  1,
+	}
+	d.work = sim.NewCond(d.sched, "rnic-work@"+node)
+	mux.Register(PortRDMA, d.onFrame)
+	d.sched.GoDaemon("rnic-engine@"+node, d.engineLoop)
+	return d
+}
+
+// PortRDMA is the fabric mux port RDMA traffic travels on.
+const PortRDMA = "rdma"
+
+// Node returns the fabric node name the device is attached to.
+func (d *Device) Node() string { return d.node }
+
+// MTU returns the configured maximum payload per frame.
+func (d *Device) MTU() int { return d.cfg.MTU }
+
+// Scheduler returns the scheduler the device runs on.
+func (d *Device) Scheduler() *sim.Scheduler { return d.sched }
+
+// allocQPN returns a fresh sparse 24-bit QP number.
+func (d *Device) allocQPN() uint32 {
+	q := d.nextQPN
+	d.nextQPN = (d.nextQPN + 0x1B) & 0xFFFFFF // sparse stride
+	return q
+}
+
+// allocKey returns a fresh sparse protection key.
+func (d *Device) allocKey() uint32 {
+	k := d.nextKey
+	d.nextKey += 0x107
+	return k
+}
+
+func (d *Device) allocID() uint32 {
+	id := d.nextID
+	d.nextID++
+	return id
+}
+
+// onFrame is the fabric receive handler (inline, non-blocking).
+func (d *Device) onFrame(f fabric.Frame) {
+	if d.closed {
+		return
+	}
+	p, err := decodePacket(f.Data)
+	if err != nil {
+		return // corrupt frame: dropped, transport recovery handles it
+	}
+	d.RxBytes += int64(f.Size)
+	d.rxq = append(d.rxq, rxItem{p: p, src: f.Src})
+	d.work.Signal()
+}
+
+// pump starts the TX pacer if idle: one frame goes on the wire per link
+// serialization slot.
+func (d *Device) pump() {
+	if d.txBusy || d.closed {
+		return
+	}
+	f, ok := d.nextFrame()
+	if !ok {
+		return
+	}
+	d.txBusy = true
+	d.TxBytes += int64(f.Size)
+	d.net.Send(f)
+	d.sched.AfterFunc(d.net.SerializationTime(f.Size), func() {
+		d.txBusy = false
+		d.pump()
+	})
+}
+
+// engineLoop is the device processing engine: it drains received packets
+// and advances requester state. It runs until the device is closed.
+func (d *Device) engineLoop() {
+	for !d.closed {
+		if len(d.rxq) == 0 {
+			d.work.Wait()
+			continue
+		}
+		it := d.rxq[0]
+		d.rxq = d.rxq[1:]
+		d.handlePacket(it)
+	}
+}
+
+// Close shuts the device down; in-flight work is dropped on the floor
+// (the migration source reclaiming resources after migration).
+func (d *Device) Close() {
+	d.closed = true
+	d.work.Broadcast()
+}
+
+// errQPGone is returned by control verbs naming unknown resources.
+func errUnknown(kind string, id uint32) error {
+	return fmt.Errorf("rnic: unknown %s %#x", kind, id)
+}
+
+// --- Protection domains -------------------------------------------------
+
+// PD is a protection domain.
+type PD struct {
+	Handle uint32
+	dev    *Device
+}
+
+// AllocPD allocates a protection domain.
+func (d *Device) AllocPD() *PD {
+	pd := &PD{Handle: d.allocID(), dev: d}
+	d.pds[pd.Handle] = pd
+	return pd
+}
+
+// DeallocPD releases a protection domain.
+func (d *Device) DeallocPD(pd *PD) {
+	delete(d.pds, pd.Handle)
+}
+
+// --- Memory regions ------------------------------------------------------
+
+// MR is a registered memory region. LKey and RKey are the physical keys
+// the device allocated; they differ across registrations even of the
+// same buffer, which is what MigrRDMA's key virtualization hides.
+type MR struct {
+	LKey, RKey uint32
+	PD         *PD
+	Addr       mem.Addr
+	Len        uint64
+	Access     Access
+	as         *mem.AddressSpace
+}
+
+// RegMR registers [addr, addr+len) of the address space as. The caller
+// proc is blocked for the (size-dependent) pinning latency.
+func (d *Device) RegMR(pd *PD, as *mem.AddressSpace, addr mem.Addr, length uint64, access Access) (*MR, error) {
+	if !as.Mapped(addr, length) {
+		return nil, fmt.Errorf("rnic: RegMR of unmapped range [%#x,+%#x)", uint64(addr), length)
+	}
+	d.sched.Sleep(d.cfg.RegMRLat + time.Duration(length>>20)*d.cfg.RegMRPerMB)
+	mr := &MR{
+		LKey:   d.allocKey(),
+		RKey:   d.allocKey(),
+		PD:     pd,
+		Addr:   addr,
+		Len:    length,
+		Access: access,
+		as:     as,
+	}
+	d.mrs[mr.LKey] = mr
+	d.rmrs[mr.RKey] = mr
+	return mr, nil
+}
+
+// DeregMR deregisters a memory region.
+func (d *Device) DeregMR(mr *MR) {
+	d.sched.Sleep(d.cfg.DestroyLat)
+	delete(d.mrs, mr.LKey)
+	delete(d.rmrs, mr.RKey)
+}
+
+// lookupLocal resolves an SGE to its MR, validating range and (for recv
+// targets) local-write permission.
+func (d *Device) lookupLocal(pd *PD, sge SGE, needWrite bool) (*MR, error) {
+	mr, ok := d.mrs[sge.LKey]
+	if !ok {
+		return nil, errUnknown("lkey", sge.LKey)
+	}
+	if mr.PD != pd {
+		return nil, fmt.Errorf("rnic: lkey %#x belongs to a different PD", sge.LKey)
+	}
+	if sge.Addr < mr.Addr || sge.Addr+mem.Addr(sge.Len) > mr.Addr+mem.Addr(mr.Len) {
+		return nil, fmt.Errorf("rnic: SGE [%#x,+%d) outside MR", uint64(sge.Addr), sge.Len)
+	}
+	if needWrite && mr.Access&AccessLocalWrite == 0 {
+		return nil, fmt.Errorf("rnic: MR lacks LOCAL_WRITE")
+	}
+	return mr, nil
+}
+
+// lookupRemote resolves an inbound rkey for a one-sided access.
+func (d *Device) lookupRemote(rkey uint32, addr mem.Addr, length uint32, need Access) (*mem.AddressSpace, bool) {
+	if mr, ok := d.rmrs[rkey]; ok {
+		if addr >= mr.Addr && addr+mem.Addr(length) <= mr.Addr+mem.Addr(mr.Len) && mr.Access&need != 0 {
+			return mr.as, true
+		}
+		return nil, false
+	}
+	if mw, ok := d.mws[rkey]; ok {
+		if addr >= mw.Addr && addr+mem.Addr(length) <= mw.Addr+mem.Addr(mw.Len) && mw.Access&need != 0 {
+			return mw.MR.as, true
+		}
+	}
+	return nil, false
+}
+
+// --- Memory windows -------------------------------------------------------
+
+// MW is a memory window bound over a subrange of an MR, carrying its own
+// rkey (type-2 window semantics, §3.2 "memory windows").
+type MW struct {
+	RKey   uint32
+	MR     *MR
+	Addr   mem.Addr
+	Len    uint64
+	Access Access
+}
+
+// BindMW binds a window over [addr, addr+len) of mr and returns it.
+func (d *Device) BindMW(mr *MR, addr mem.Addr, length uint64, access Access) (*MW, error) {
+	if addr < mr.Addr || addr+mem.Addr(length) > mr.Addr+mem.Addr(mr.Len) {
+		return nil, fmt.Errorf("rnic: MW bind outside MR")
+	}
+	mw := &MW{RKey: d.allocKey(), MR: mr, Addr: addr, Len: length, Access: access}
+	d.mws[mw.RKey] = mw
+	return mw, nil
+}
+
+// DeallocMW releases a memory window.
+func (d *Device) DeallocMW(mw *MW) { delete(d.mws, mw.RKey) }
+
+// --- On-chip device memory ------------------------------------------------
+
+// DM is an allocation of on-chip device memory (ibv_alloc_dm). The
+// region is exposed to the process by mapping a device VMA; §3.3 restores
+// it by re-allocating and mremap()ing to the original virtual address.
+type DM struct {
+	Handle uint32
+	Len    uint64
+}
+
+// AllocDM reserves on-chip memory.
+func (d *Device) AllocDM(length uint64) (*DM, error) {
+	if d.dmUsed+int(length) > d.cfg.DMSize {
+		return nil, fmt.Errorf("rnic: on-chip memory exhausted (%d of %d used)", d.dmUsed, d.cfg.DMSize)
+	}
+	d.dmUsed += int(length)
+	return &DM{Handle: d.allocID(), Len: length}, nil
+}
+
+// FreeDM releases on-chip memory.
+func (d *Device) FreeDM(dm *DM) { d.dmUsed -= int(dm.Len) }

@@ -1,0 +1,81 @@
+package rnic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropPacketRoundTrip: any packet survives encode→decode.
+func TestPropPacketRoundTrip(t *testing.T) {
+	f := func(dst, src, psn, ack uint32, frag uint16, last, hasImm bool,
+		op, syndrome uint8, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		p := &packet{
+			Type:     packetType(op % 8),
+			DstQPN:   dst & 0xFFFFFF,
+			SrcQPN:   src & 0xFFFFFF,
+			PSN:      psn & 0xFFFFFF,
+			Frag:     frag,
+			Last:     last,
+			Opcode:   Opcode(op % 8),
+			HasImm:   hasImm,
+			AckPSN:   ack & 0xFFFFFF,
+			Syndrome: syndrome,
+			Payload:  payload,
+		}
+		q, err := decodePacket(p.encode())
+		if err != nil {
+			return false
+		}
+		if q.DstQPN != p.DstQPN || q.SrcQPN != p.SrcQPN || q.PSN != p.PSN ||
+			q.Frag != p.Frag || q.Last != p.Last || q.Opcode != p.Opcode ||
+			q.HasImm != p.HasImm || q.AckPSN != p.AckPSN || q.Syndrome != p.Syndrome ||
+			len(q.Payload) != len(p.Payload) {
+			return false
+		}
+		for i := range payload {
+			if q.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeGarbageNeverPanics: arbitrary bytes must decode or error,
+// never crash the receive path.
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Error("decodePacket panicked")
+			}
+		}()
+		_, _ = decodePacket(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropPSNOrdering: psnLess is a strict ordering within the window.
+func TestPropPSNOrdering(t *testing.T) {
+	f := func(a, d uint32) bool {
+		a &= 0xFFFFFF
+		delta := d % (1 << 23)
+		if delta == 0 {
+			return !psnLess(a, a)
+		}
+		b := psnAdd(a, delta)
+		return psnLess(a, b) && !psnLess(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

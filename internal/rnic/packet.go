@@ -1,0 +1,143 @@
+package rnic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"migrrdma/internal/mem"
+)
+
+// packetType is the wire-level message kind, the analogue of the BTH
+// opcode field in RoCEv2.
+type packetType uint8
+
+const (
+	ptData       packetType = iota // SEND / WRITE fragment
+	ptReadReq                      // RDMA READ request
+	ptReadResp                     // RDMA READ response fragment
+	ptAtomicReq                    // CMP_SWAP / FETCH_ADD request
+	ptAtomicResp                   // atomic response (original value)
+	ptAck                          // cumulative acknowledgement
+	ptNak                          // out-of-sequence NAK (go-back-N)
+	ptRnrNak                       // receiver-not-ready NAK
+)
+
+// wireOverhead approximates Ethernet+IPv4+UDP+BTH+ICRC framing bytes per
+// RoCEv2 frame.
+const wireOverhead = 58
+
+// packet is the decoded form of one fabric frame payload.
+type packet struct {
+	Type   packetType
+	DstQPN uint32 // 24-bit destination QP
+	SrcQPN uint32 // 24-bit source QP
+	PSN    uint32 // message sequence number (24-bit)
+	Frag   uint16 // fragment index within the message
+	Last   bool   // final fragment of the message
+	Opcode Opcode // original verb, for Data/ReadResp
+
+	// One-sided parameters (RETH / AtomicETH).
+	RemoteAddr mem.Addr
+	RKey       uint32
+	DLen       uint32 // total message length
+	CompareAdd uint64
+	Swap       uint64
+
+	Imm    uint32
+	HasImm bool
+
+	// Ack/Nak fields (AETH).
+	AckPSN   uint32
+	Syndrome uint8
+
+	Payload []byte
+
+	// udNode is the destination fabric node for UD sends. It is not
+	// encoded on the wire (routing metadata from the address handle).
+	udNode string
+}
+
+// packetHeaderLen is the fixed encoded header size.
+const packetHeaderLen = 1 + 3 + 3 + 3 + 2 + 1 + 1 + 8 + 4 + 4 + 8 + 8 + 4 + 1 + 3 + 1 + 2
+
+// encode serializes the packet to wire bytes.
+func (p *packet) encode() []byte {
+	buf := make([]byte, packetHeaderLen+len(p.Payload))
+	b := buf
+	b[0] = byte(p.Type)
+	put24(b[1:], p.DstQPN)
+	put24(b[4:], p.SrcQPN)
+	put24(b[7:], p.PSN)
+	binary.BigEndian.PutUint16(b[10:], p.Frag)
+	if p.Last {
+		b[12] = 1
+	}
+	b[13] = byte(p.Opcode)
+	binary.BigEndian.PutUint64(b[14:], uint64(p.RemoteAddr))
+	binary.BigEndian.PutUint32(b[22:], p.RKey)
+	binary.BigEndian.PutUint32(b[26:], p.DLen)
+	binary.BigEndian.PutUint64(b[30:], p.CompareAdd)
+	binary.BigEndian.PutUint64(b[38:], p.Swap)
+	binary.BigEndian.PutUint32(b[46:], p.Imm)
+	if p.HasImm {
+		b[50] = 1
+	}
+	put24(b[51:], p.AckPSN)
+	b[54] = p.Syndrome
+	binary.BigEndian.PutUint16(b[55:], uint16(len(p.Payload)))
+	copy(b[packetHeaderLen:], p.Payload)
+	return buf
+}
+
+// decodePacket parses wire bytes back into a packet.
+func decodePacket(b []byte) (*packet, error) {
+	if len(b) < packetHeaderLen {
+		return nil, fmt.Errorf("rnic: short packet (%d bytes)", len(b))
+	}
+	p := &packet{
+		Type:       packetType(b[0]),
+		DstQPN:     get24(b[1:]),
+		SrcQPN:     get24(b[4:]),
+		PSN:        get24(b[7:]),
+		Frag:       binary.BigEndian.Uint16(b[10:]),
+		Last:       b[12] == 1,
+		Opcode:     Opcode(b[13]),
+		RemoteAddr: mem.Addr(binary.BigEndian.Uint64(b[14:])),
+		RKey:       binary.BigEndian.Uint32(b[22:]),
+		DLen:       binary.BigEndian.Uint32(b[26:]),
+		CompareAdd: binary.BigEndian.Uint64(b[30:]),
+		Swap:       binary.BigEndian.Uint64(b[38:]),
+		Imm:        binary.BigEndian.Uint32(b[46:]),
+		HasImm:     b[50] == 1,
+		AckPSN:     get24(b[51:]),
+		Syndrome:   b[54],
+	}
+	plen := int(binary.BigEndian.Uint16(b[55:]))
+	if len(b) != packetHeaderLen+plen {
+		return nil, fmt.Errorf("rnic: packet length mismatch: have %d, header says %d", len(b)-packetHeaderLen, plen)
+	}
+	p.Payload = b[packetHeaderLen:]
+	return p, nil
+}
+
+// wireSize is the on-wire frame size of the packet.
+func (p *packet) wireSize() int { return wireOverhead + packetHeaderLen + len(p.Payload) }
+
+func put24(b []byte, v uint32) {
+	b[0] = byte(v >> 16)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v)
+}
+
+func get24(b []byte) uint32 {
+	return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+}
+
+// psnAdd advances a 24-bit PSN.
+func psnAdd(psn, n uint32) uint32 { return (psn + n) & 0xFFFFFF }
+
+// psnLess compares PSNs modulo 2^24 with the usual serial-number
+// arithmetic (a window of half the space).
+func psnLess(a, b uint32) bool {
+	return (b-a)&0xFFFFFF != 0 && (b-a)&0xFFFFFF < 1<<23
+}

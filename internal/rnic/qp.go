@@ -1,0 +1,449 @@
+package rnic
+
+import (
+	"fmt"
+
+	"migrrdma/internal/sim"
+)
+
+// sqState tracks a send WQE through the transport.
+type sqState uint8
+
+const (
+	sqQueued    sqState = iota // posted, not yet on the wire
+	sqSent                     // all fragments handed to the wire
+	sqAcked                    // acknowledged / response received
+	sqCompleted                // CQE generated (or silently retired)
+)
+
+// sqEntry is a send-queue element with its transport state.
+type sqEntry struct {
+	wr         SendWR
+	psn        uint32
+	state      sqState
+	status     WCStatus
+	queued     bool   // currently on the QP transmit queue
+	fragCursor uint16 // next fragment to put on the wire
+}
+
+// QPCaps sets queue depths.
+type QPCaps struct {
+	MaxSend int
+	MaxRecv int
+}
+
+// QP is a queue pair. All transport state (PSNs, retransmission, the
+// in-flight window) is private: software observes it only through
+// completions, which is the constraint MigrRDMA designs around.
+type QP struct {
+	QPN   uint32
+	Type  QPType
+	state QPState
+	dev   *Device
+	pd    *PD
+	caps  QPCaps
+
+	sendCQ, recvCQ *CQ
+	srq            *SRQ
+
+	// Remote endpoint (RC, set at RTR).
+	remoteNode string
+	remoteQPN  uint32
+
+	// Requester side.
+	sq         []*sqEntry
+	txq        []*sqEntry // entries with fragments still to transmit
+	inTxRing   bool
+	nextPSN    uint32
+	rnrBackoff bool
+	retries    int
+	rnrRetries int
+	rtoTimer   *sim.Timer
+
+	// Responder side.
+	expPSN      uint32
+	rq          []RecvWR
+	reasm       *reassembly
+	nakSent     bool // a NAK for nakPSN is outstanding
+	nakPSN      uint32
+	atomicCache map[uint32]uint64 // PSN → original value, replay protection
+
+	// readResp tracks inbound READ responses under reassembly.
+	readBuf map[uint32][]byte
+
+	// Counters visible to the library layer. NSent counts two-sided
+	// verbs posted; NRecvDone counts completed receive WQEs. They are
+	// the n_sent / n_recv of the paper's wait-before-stop (§3.4).
+	NSent     uint64
+	NRecvDone uint64
+
+	// closed marks a destroyed QP.
+	closed bool
+}
+
+// SRQ is a shared receive queue.
+type SRQ struct {
+	Handle uint32
+	dev    *Device
+	rq     []RecvWR
+}
+
+// CreateSRQ creates a shared receive queue.
+func (d *Device) CreateSRQ() *SRQ {
+	d.sched.Sleep(d.cfg.CreateCQLat)
+	s := &SRQ{Handle: d.allocID(), dev: d}
+	d.srqs[s.Handle] = s
+	return s
+}
+
+// PostRecv posts a receive WQE to the SRQ.
+func (s *SRQ) PostRecv(wr RecvWR) { s.rq = append(s.rq, wr) }
+
+// Len reports outstanding receive WQEs.
+func (s *SRQ) Len() int { return len(s.rq) }
+
+// DestroySRQ releases the SRQ.
+func (d *Device) DestroySRQ(s *SRQ) {
+	d.sched.Sleep(d.cfg.DestroyLat)
+	delete(d.srqs, s.Handle)
+}
+
+// CreateQP creates a queue pair in the RESET state.
+func (d *Device) CreateQP(pd *PD, typ QPType, sendCQ, recvCQ *CQ, srq *SRQ, caps QPCaps) *QP {
+	d.sched.Sleep(d.cfg.CreateQPLat)
+	if caps.MaxSend == 0 {
+		caps.MaxSend = 128
+	}
+	if caps.MaxRecv == 0 {
+		caps.MaxRecv = 128
+	}
+	qp := &QP{
+		QPN:         d.allocQPN(),
+		Type:        typ,
+		dev:         d,
+		pd:          pd,
+		caps:        caps,
+		sendCQ:      sendCQ,
+		recvCQ:      recvCQ,
+		srq:         srq,
+		atomicCache: make(map[uint32]uint64),
+		readBuf:     make(map[uint32][]byte),
+	}
+	d.qps[qp.QPN] = qp
+	return qp
+}
+
+// DestroyQP tears a queue pair down.
+func (d *Device) DestroyQP(qp *QP) {
+	d.sched.Sleep(d.cfg.DestroyLat)
+	qp.closed = true
+	if qp.rtoTimer != nil {
+		qp.rtoTimer.Cancel()
+		qp.rtoTimer = nil
+	}
+	delete(d.qps, qp.QPN)
+}
+
+// State returns the QP state.
+func (qp *QP) State() QPState { return qp.state }
+
+// RemoteQPN returns the connected peer's QP number (RC only).
+func (qp *QP) RemoteQPN() uint32 { return qp.remoteQPN }
+
+// RemoteNode returns the connected peer's fabric node (RC only).
+func (qp *QP) RemoteNode() string { return qp.remoteNode }
+
+// ModifyAttr carries ibv_modify_qp parameters.
+type ModifyAttr struct {
+	State      QPState
+	RemoteNode string // RTR: peer fabric node
+	RemoteQPN  uint32 // RTR: peer QPN
+}
+
+// Modify transitions the QP state machine, blocking the caller for the
+// firmware command latency. Transitions follow the verbs spec:
+// RESET→INIT→RTR→RTS, any→ERR, any→RESET.
+func (qp *QP) Modify(attr ModifyAttr) error {
+	d := qp.dev
+	switch attr.State {
+	case StateInit:
+		if qp.state != StateReset {
+			return fmt.Errorf("rnic: %v→INIT invalid", qp.state)
+		}
+		d.sched.Sleep(d.cfg.ModifyInitLat)
+		qp.state = StateInit
+	case StateRTR:
+		if qp.state != StateInit {
+			return fmt.Errorf("rnic: %v→RTR invalid", qp.state)
+		}
+		d.sched.Sleep(d.cfg.ModifyRTRLat)
+		if qp.Type == RC {
+			if attr.RemoteNode == "" {
+				return fmt.Errorf("rnic: RC RTR requires a remote endpoint")
+			}
+			qp.remoteNode = attr.RemoteNode
+			qp.remoteQPN = attr.RemoteQPN
+		}
+		qp.state = StateRTR
+	case StateRTS:
+		if qp.state != StateRTR {
+			return fmt.Errorf("rnic: %v→RTS invalid", qp.state)
+		}
+		d.sched.Sleep(d.cfg.ModifyRTSLat)
+		qp.state = StateRTS
+	case StateError:
+		d.sched.Sleep(d.cfg.ModifyInitLat)
+		qp.enterError()
+	case StateReset:
+		// Resetting a live QP is slow (paper §3.2 rejects QP reuse via
+		// reset partly for this reason).
+		d.sched.Sleep(d.cfg.ResetQPLat)
+		qp.reset()
+	default:
+		return fmt.Errorf("rnic: unsupported target state %v", attr.State)
+	}
+	return nil
+}
+
+// reset returns the QP to its initial state, discarding queues.
+func (qp *QP) reset() {
+	qp.state = StateReset
+	qp.sq = nil
+	qp.rq = nil
+	qp.nextPSN = 0
+	qp.expPSN = 0
+	qp.remoteNode = ""
+	qp.remoteQPN = 0
+	qp.reasm = nil
+	if qp.rtoTimer != nil {
+		qp.rtoTimer.Cancel()
+		qp.rtoTimer = nil
+	}
+}
+
+// enterError moves to ERR and flushes outstanding WQEs with flush status.
+func (qp *QP) enterError() {
+	if qp.state == StateError {
+		return
+	}
+	qp.state = StateError
+	for _, e := range qp.sq {
+		if e.state != sqCompleted {
+			if e.status == WCSuccess {
+				e.status = WCWRFlushErr
+			}
+			e.state = sqAcked
+		}
+	}
+	qp.completeInOrder()
+	for _, wr := range qp.rq {
+		qp.recvCQ.push(CQE{WRID: wr.WRID, Status: WCWRFlushErr, Opcode: OpRecv, QPN: qp.QPN})
+	}
+	qp.rq = nil
+}
+
+// outstanding counts send WQEs not yet retired.
+func (qp *QP) outstanding() int {
+	n := 0
+	for _, e := range qp.sq {
+		if e.state != sqCompleted {
+			n++
+		}
+	}
+	return n
+}
+
+// SendQueueDepth reports in-flight send WQEs (posted, not yet retired) —
+// the head/tail window the paper's wait-before-stop inspects (§3.4).
+func (qp *QP) SendQueueDepth() int { return qp.outstanding() }
+
+// RecvQueueDepth reports receive WQEs not yet consumed.
+func (qp *QP) RecvQueueDepth() int {
+	if qp.srq != nil {
+		return len(qp.srq.rq)
+	}
+	return len(qp.rq)
+}
+
+// PostSend posts a send-queue work request (ibv_post_send).
+func (qp *QP) PostSend(wr SendWR) error {
+	if qp.closed {
+		return fmt.Errorf("rnic: post on destroyed QP")
+	}
+	if qp.state != StateRTS {
+		return fmt.Errorf("rnic: PostSend in state %v", qp.state)
+	}
+	if qp.outstanding() >= qp.caps.MaxSend {
+		return fmt.Errorf("rnic: send queue full (depth %d)", qp.caps.MaxSend)
+	}
+	if qp.Type == UD {
+		if wr.Opcode != OpSend && wr.Opcode != OpSendImm {
+			return fmt.Errorf("rnic: UD supports only SEND")
+		}
+		if int(wrLen(wr.SGEs)) > qp.dev.cfg.MTU {
+			return fmt.Errorf("rnic: UD message exceeds MTU")
+		}
+		if wr.RemoteNode == "" {
+			return fmt.Errorf("rnic: UD send needs a remote address handle")
+		}
+	}
+	// Validate local SGEs against the protection tables now; real NICs
+	// do it at WQE processing time, but the failure mode is equivalent.
+	for _, sge := range wr.SGEs {
+		needWrite := wr.Opcode == OpRead || wr.Opcode == OpCompSwap || wr.Opcode == OpFetchAdd
+		if _, err := qp.dev.lookupLocal(qp.pd, sge, needWrite); err != nil {
+			return fmt.Errorf("rnic: local protection: %w", err)
+		}
+	}
+	// The WQE owns its gather list from here on (the library may reuse
+	// its scatter/gather buffer immediately after posting, as real
+	// verbs permit once ibv_post_send returns).
+	if len(wr.SGEs) > 0 {
+		sges := make([]SGE, len(wr.SGEs))
+		copy(sges, wr.SGEs)
+		wr.SGEs = sges
+	}
+	e := &sqEntry{wr: wr, psn: qp.nextPSN}
+	qp.nextPSN = psnAdd(qp.nextPSN, 1)
+	qp.sq = append(qp.sq, e)
+	if wr.Opcode == OpSend || wr.Opcode == OpSendImm || wr.Opcode == OpWriteImm {
+		qp.NSent++
+	}
+	qp.transmit(e)
+	return nil
+}
+
+// PostRecv posts a receive work request (ibv_post_recv).
+func (qp *QP) PostRecv(wr RecvWR) error {
+	if qp.closed {
+		return fmt.Errorf("rnic: post on destroyed QP")
+	}
+	if qp.srq != nil {
+		return fmt.Errorf("rnic: QP uses an SRQ; post to the SRQ")
+	}
+	if qp.state == StateReset {
+		return fmt.Errorf("rnic: PostRecv in RESET")
+	}
+	if len(qp.rq) >= qp.caps.MaxRecv {
+		return fmt.Errorf("rnic: receive queue full")
+	}
+	for _, sge := range wr.SGEs {
+		if _, err := qp.dev.lookupLocal(qp.pd, sge, true); err != nil {
+			return fmt.Errorf("rnic: local protection: %w", err)
+		}
+	}
+	if len(wr.SGEs) > 0 {
+		sges := make([]SGE, len(wr.SGEs))
+		copy(sges, wr.SGEs)
+		wr.SGEs = sges
+	}
+	qp.rq = append(qp.rq, wr)
+	return nil
+}
+
+// popRecv takes the next receive WQE from the RQ or SRQ.
+func (qp *QP) popRecv() (RecvWR, bool) {
+	if qp.srq != nil {
+		if len(qp.srq.rq) == 0 {
+			return RecvWR{}, false
+		}
+		wr := qp.srq.rq[0]
+		qp.srq.rq = qp.srq.rq[1:]
+		return wr, true
+	}
+	if len(qp.rq) == 0 {
+		return RecvWR{}, false
+	}
+	wr := qp.rq[0]
+	qp.rq = qp.rq[1:]
+	return wr, true
+}
+
+// completeInOrder walks the send queue from the front, retiring acked
+// entries in posting order (completions are ordered on RC).
+func (qp *QP) completeInOrder() {
+	for len(qp.sq) > 0 {
+		e := qp.sq[0]
+		if e.state != sqAcked {
+			return
+		}
+		e.state = sqCompleted
+		if e.wr.Signaled || e.status != WCSuccess {
+			qp.sendCQ.push(CQE{
+				WRID:    e.wr.WRID,
+				Status:  e.status,
+				Opcode:  e.wr.Opcode,
+				QPN:     qp.QPN,
+				ByteLen: wrLen(e.wr.SGEs),
+			})
+		}
+		qp.sq = qp.sq[1:]
+	}
+}
+
+// armRTO (re)arms the retransmission timer if unacked work remains.
+func (qp *QP) armRTO() {
+	if qp.rtoTimer != nil {
+		qp.rtoTimer.Cancel()
+		qp.rtoTimer = nil
+	}
+	if qp.Type != RC || qp.state != StateRTS {
+		return
+	}
+	pending := false
+	for _, e := range qp.sq {
+		if e.state == sqSent {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		return
+	}
+	qp.rtoTimer = qp.dev.sched.AfterFunc(qp.dev.cfg.RTO, qp.onRTO)
+}
+
+// onRTO fires when the oldest unacked message timed out: go-back-N.
+func (qp *QP) onRTO() {
+	if qp.closed || qp.dev.closed || qp.state != StateRTS {
+		return
+	}
+	qp.retries++
+	if qp.retries > qp.dev.cfg.MaxRetries {
+		for _, e := range qp.sq {
+			if e.state != sqCompleted && e.status == WCSuccess {
+				e.status = WCRetryExceeded
+			}
+		}
+		qp.enterError()
+		return
+	}
+	qp.retransmitUnackedQueued()
+	qp.armRTO()
+}
+
+// rnrRetry is the back-off restart after an RNR NAK.
+func (qp *QP) rnrRetry() {
+	if qp.rnrBackoff {
+		return
+	}
+	qp.rnrRetries++
+	if max := qp.dev.cfg.RNRRetries; max > 0 && qp.rnrRetries > max {
+		for _, e := range qp.sq {
+			if e.state != sqCompleted && e.status == WCSuccess {
+				e.status = WCRNRRetryExceeded
+			}
+		}
+		qp.enterError()
+		return
+	}
+	qp.rnrBackoff = true
+	qp.dev.sched.AfterFunc(qp.dev.cfg.RNRDelay, func() {
+		qp.rnrBackoff = false
+		if qp.closed || qp.dev.closed || qp.state != StateRTS {
+			return
+		}
+		qp.requeueUnsent()
+		qp.armRTO()
+	})
+}

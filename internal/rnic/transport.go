@@ -1,0 +1,689 @@
+package rnic
+
+import (
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/mem"
+)
+
+// This file implements the transport engine: lazily paced transmission
+// (the NIC pulls the next fragment only when the wire is free, so
+// retransmission timers measure true wire occupancy), the responder
+// pipeline with protection checks, and ACK/NAK/RNR recovery.
+
+// rxItem is a received packet with its source node.
+type rxItem struct {
+	p   *packet
+	src string
+}
+
+// --- Requester: transmission ---------------------------------------------
+
+// transmit queues a newly posted entry for wire transmission.
+func (qp *QP) transmit(e *sqEntry) {
+	e.queued = true
+	qp.txq = append(qp.txq, e)
+	qp.dev.enqueueTx(qp)
+}
+
+// enqueueTx adds qp to the transmit round-robin ring.
+func (d *Device) enqueueTx(qp *QP) {
+	if qp.inTxRing || qp.closed {
+		return
+	}
+	qp.inTxRing = true
+	d.txRing = append(d.txRing, qp)
+	d.pump()
+}
+
+// nextFrame produces the next frame to put on the wire: control packets
+// (ACKs/NAKs) first, then responder data (READ responses), then
+// requester data in QP round-robin order.
+func (d *Device) nextFrame() (fabric.Frame, bool) {
+	if len(d.ctlq) > 0 {
+		f := d.ctlq[0]
+		d.ctlq = d.ctlq[1:]
+		return f, true
+	}
+	if len(d.respq) > 0 {
+		f := d.respq[0]
+		d.respq = d.respq[1:]
+		return f, true
+	}
+	for len(d.txRing) > 0 {
+		qp := d.txRing[0]
+		d.txRing = d.txRing[1:]
+		pkt, more, ok := qp.nextTxFrame()
+		if !ok {
+			qp.inTxRing = false
+			continue
+		}
+		if more {
+			d.txRing = append(d.txRing, qp)
+		} else {
+			qp.inTxRing = false
+		}
+		return d.frameFor(qp.remoteNodeFor(pkt), pkt), true
+	}
+	return fabric.Frame{}, false
+}
+
+// remoteNodeFor resolves the destination fabric node for a requester
+// packet (per-WR for UD, the connected peer for RC).
+func (qp *QP) remoteNodeFor(p *packet) string {
+	if qp.Type == UD {
+		return p.udNode
+	}
+	return qp.remoteNode
+}
+
+// nextTxFrame builds the next fragment of the QP's head transmit entry.
+// more reports whether the QP will have further frames after this one.
+func (qp *QP) nextTxFrame() (*packet, bool, bool) {
+	if qp.rnrBackoff || qp.closed || qp.state != StateRTS {
+		return nil, false, false
+	}
+	for len(qp.txq) > 0 {
+		e := qp.txq[0]
+		if e.state == sqAcked || e.state == sqCompleted {
+			// Acked while waiting in the queue (e.g. by a retransmitted
+			// duplicate); skip.
+			e.queued = false
+			qp.txq = qp.txq[1:]
+			continue
+		}
+		pkt, last := qp.buildFragment(e)
+		if last {
+			e.queued = false
+			e.fragCursor = 0
+			qp.txq = qp.txq[1:]
+			qp.finishTransmit(e)
+		} else {
+			e.fragCursor++
+		}
+		return pkt, len(qp.txq) > 0, true
+	}
+	return nil, false, false
+}
+
+// finishTransmit runs when the last fragment of e goes on the wire.
+func (qp *QP) finishTransmit(e *sqEntry) {
+	if qp.Type == UD {
+		// Unreliable: completion at transmission.
+		e.state = sqAcked
+		qp.completeInOrder()
+		return
+	}
+	e.state = sqSent
+	qp.armRTO()
+}
+
+// buildFragment creates fragment fragCursor of entry e.
+func (qp *QP) buildFragment(e *sqEntry) (*packet, bool) {
+	wr := &e.wr
+	base := packet{
+		DstQPN: qp.remoteQPN,
+		SrcQPN: qp.QPN,
+		PSN:    e.psn,
+		Opcode: wr.Opcode,
+	}
+	if qp.Type == UD {
+		base.DstQPN = wr.RemoteQPN
+		base.udNode = wr.RemoteNode
+	}
+	switch wr.Opcode {
+	case OpRead:
+		base.Type = ptReadReq
+		base.RemoteAddr = wr.RemoteAddr
+		base.RKey = wr.RKey
+		base.DLen = wrLen(wr.SGEs)
+		base.Last = true
+		return &base, true
+	case OpCompSwap, OpFetchAdd:
+		base.Type = ptAtomicReq
+		base.RemoteAddr = wr.RemoteAddr
+		base.RKey = wr.RKey
+		base.DLen = 8
+		base.CompareAdd = wr.CompareAdd
+		base.Swap = wr.Swap
+		base.Last = true
+		return &base, true
+	}
+	// SEND / WRITE family: fragment the gathered payload.
+	total := wrLen(wr.SGEs)
+	mtu := uint32(qp.dev.cfg.MTU)
+	off := uint32(e.fragCursor) * mtu
+	n := total - off
+	if n > mtu {
+		n = mtu
+	}
+	last := off+n >= total
+	base.Type = ptData
+	base.Frag = e.fragCursor
+	base.Last = last
+	base.DLen = total
+	if wr.Opcode == OpWrite || wr.Opcode == OpWriteImm {
+		// Every fragment carries the message base address; the responder
+		// reassembles the full message and writes it at the base.
+		base.RemoteAddr = wr.RemoteAddr
+		base.RKey = wr.RKey
+	}
+	if last && (wr.Opcode == OpSendImm || wr.Opcode == OpWriteImm) {
+		base.Imm = wr.Imm
+		base.HasImm = true
+	}
+	if n > 0 {
+		base.Payload = qp.gather(wr.SGEs, off, n)
+	}
+	return &base, last
+}
+
+// gather DMA-reads n bytes starting at offset off of the SGE list.
+func (qp *QP) gather(sges []SGE, off, n uint32) []byte {
+	out := make([]byte, n)
+	var filled uint32
+	var pos uint32
+	for _, sge := range sges {
+		if filled == n {
+			break
+		}
+		if pos+sge.Len <= off {
+			pos += sge.Len
+			continue
+		}
+		start := uint32(0)
+		if off > pos {
+			start = off - pos
+		}
+		take := sge.Len - start
+		if take > n-filled {
+			take = n - filled
+		}
+		mr := qp.dev.mrs[sge.LKey]
+		if mr != nil {
+			_ = mr.as.Read(sge.Addr+mem.Addr(start), out[filled:filled+take])
+		}
+		filled += take
+		pos += sge.Len
+	}
+	return out
+}
+
+// scatter DMA-writes data across the SGE list, returning false on local
+// protection failure (insufficient buffer space).
+func (qp *QP) scatter(sges []SGE, data []byte) bool {
+	if wrLen(sges) < uint32(len(data)) {
+		return false
+	}
+	off := 0
+	for _, sge := range sges {
+		if off == len(data) {
+			break
+		}
+		n := int(sge.Len)
+		if n > len(data)-off {
+			n = len(data) - off
+		}
+		mr := qp.dev.mrs[sge.LKey]
+		if mr != nil {
+			_ = mr.as.Write(sge.Addr, data[off:off+n])
+		}
+		off += n
+	}
+	return true
+}
+
+// frameFor wraps a packet in a fabric frame addressed to dst.
+func (d *Device) frameFor(dst string, p *packet) fabric.Frame {
+	return fabric.Frame{
+		Src:  d.node,
+		Dst:  dst,
+		Port: PortRDMA,
+		Size: p.wireSize(),
+		Data: p.encode(),
+	}
+}
+
+// sendCtl queues a control packet (ACK/NAK) at high priority.
+func (d *Device) sendCtl(dst string, p *packet) {
+	d.ctlq = append(d.ctlq, d.frameFor(dst, p))
+	d.pump()
+}
+
+// sendResp queues responder data (READ responses) behind control but
+// ahead of new requester work from this node.
+func (d *Device) sendResp(dst string, p *packet) {
+	d.respq = append(d.respq, d.frameFor(dst, p))
+	d.pump()
+}
+
+// --- Packet dispatch -------------------------------------------------------
+
+// handlePacket processes one received packet on the device engine.
+func (d *Device) handlePacket(it rxItem) {
+	p := it.p
+	qp, ok := d.qps[p.DstQPN]
+	if !ok {
+		return // stale packet for a destroyed QP: drop silently
+	}
+	switch p.Type {
+	case ptData, ptReadReq, ptAtomicReq:
+		qp.responder(p, it.src)
+	case ptAck, ptNak, ptRnrNak, ptReadResp, ptAtomicResp:
+		qp.requester(p)
+	}
+}
+
+// --- Responder --------------------------------------------------------------
+
+// reassembly accumulates the fragments of the in-flight inbound message.
+type reassembly struct {
+	psn      uint32
+	nextFrag uint16
+	buf      []byte
+	bad      bool
+}
+
+// responder handles an inbound request packet.
+func (qp *QP) responder(p *packet, src string) {
+	if qp.state != StateRTR && qp.state != StateRTS {
+		return
+	}
+	if qp.Type == UD {
+		qp.responderUD(p)
+		return
+	}
+	// Duplicate (already-delivered) message: re-acknowledge; replay READ
+	// and ATOMIC responses so a lost response doesn't wedge the peer.
+	if psnLess(p.PSN, qp.expPSN) {
+		if p.Last {
+			qp.replyDuplicate(p, src)
+		}
+		return
+	}
+	// Sequence gap: a message was lost. NAK the expected PSN once per
+	// gap (go-back-N); re-NAKing every stray frame would storm.
+	if p.PSN != qp.expPSN {
+		if p.Last && (!qp.nakSent || qp.nakPSN != qp.expPSN) {
+			qp.nakSent, qp.nakPSN = true, qp.expPSN
+			qp.sendNak(src, p.SrcQPN, qp.expPSN, nakSeqErr)
+		}
+		return
+	}
+	// Reassemble the expected message. A zeroth fragment always starts a
+	// fresh reassembly (retransmission after a partial loss).
+	if qp.reasm == nil || qp.reasm.psn != p.PSN || p.Frag == 0 {
+		qp.reasm = &reassembly{psn: p.PSN}
+	}
+	r := qp.reasm
+	if p.Frag != r.nextFrag {
+		r.bad = true // lost fragment inside the message
+	}
+	if !r.bad {
+		r.buf = append(r.buf, p.Payload...)
+		r.nextFrag++
+	}
+	if !p.Last {
+		return
+	}
+	data := r.buf
+	bad := r.bad
+	qp.reasm = nil
+	if bad {
+		qp.sendNak(src, p.SrcQPN, qp.expPSN, nakSeqErr)
+		return
+	}
+	qp.execute(p, data, src)
+}
+
+// execute runs a fully received message at the expected PSN.
+func (qp *QP) execute(p *packet, data []byte, src string) {
+	d := qp.dev
+	switch {
+	case p.Type == ptData && (p.Opcode == OpSend || p.Opcode == OpSendImm):
+		wr, ok := qp.popRecv()
+		if !ok {
+			qp.sendRNR(src, p.SrcQPN, qp.expPSN)
+			return
+		}
+		if !qp.scatter(wr.SGEs, data) {
+			qp.recvCQ.push(CQE{WRID: wr.WRID, Status: WCLocalProtErr, Opcode: OpRecv, QPN: qp.QPN})
+			qp.respondError(src, p)
+			return
+		}
+		cqe := CQE{WRID: wr.WRID, Status: WCSuccess, Opcode: OpRecv, QPN: qp.QPN, ByteLen: p.DLen, SrcQP: p.SrcQPN}
+		if p.HasImm {
+			cqe.Imm, cqe.HasImm = p.Imm, true
+		}
+		qp.recvCQ.push(cqe)
+		qp.NRecvDone++
+		qp.advance(src, p.SrcQPN)
+
+	case p.Type == ptData && (p.Opcode == OpWrite || p.Opcode == OpWriteImm):
+		as, ok := d.lookupRemote(p.RKey, p.RemoteAddr, p.DLen, AccessRemoteWrite)
+		if !ok {
+			qp.respondError(src, p)
+			return
+		}
+		if err := as.Write(p.RemoteAddr, data); err != nil {
+			qp.respondError(src, p)
+			return
+		}
+		if p.Opcode == OpWriteImm {
+			wr, ok := qp.popRecv()
+			if !ok {
+				qp.sendRNR(src, p.SrcQPN, qp.expPSN)
+				return
+			}
+			cqe := CQE{WRID: wr.WRID, Status: WCSuccess, Opcode: OpRecv, QPN: qp.QPN, ByteLen: p.DLen, Imm: p.Imm, HasImm: true, SrcQP: p.SrcQPN}
+			qp.recvCQ.push(cqe)
+			qp.NRecvDone++
+		}
+		qp.advance(src, p.SrcQPN)
+
+	case p.Type == ptReadReq:
+		as, ok := d.lookupRemote(p.RKey, p.RemoteAddr, p.DLen, AccessRemoteRead)
+		if !ok {
+			qp.respondError(src, p)
+			return
+		}
+		buf := make([]byte, p.DLen)
+		if err := as.Read(p.RemoteAddr, buf); err != nil {
+			qp.respondError(src, p)
+			return
+		}
+		qp.expPSN = psnAdd(qp.expPSN, 1)
+		qp.streamReadResponse(src, p.SrcQPN, p.PSN, buf)
+
+	case p.Type == ptAtomicReq:
+		if p.RemoteAddr%8 != 0 {
+			qp.respondError(src, p)
+			return
+		}
+		as, ok := d.lookupRemote(p.RKey, p.RemoteAddr, 8, AccessRemoteAtomic)
+		if !ok {
+			qp.respondError(src, p)
+			return
+		}
+		orig, err := as.ReadU64(p.RemoteAddr)
+		if err != nil {
+			qp.respondError(src, p)
+			return
+		}
+		var next uint64
+		if p.Opcode == OpCompSwap {
+			next = orig
+			if orig == p.CompareAdd {
+				next = p.Swap
+			}
+		} else {
+			next = orig + p.CompareAdd
+		}
+		_ = as.WriteU64(p.RemoteAddr, next)
+		qp.atomicCache[p.PSN] = orig
+		qp.expPSN = psnAdd(qp.expPSN, 1)
+		qp.dev.sendCtl(src, &packet{
+			Type: ptAtomicResp, DstQPN: p.SrcQPN, SrcQPN: qp.QPN,
+			PSN: p.PSN, Last: true, CompareAdd: orig,
+		})
+	}
+}
+
+// advance bumps expPSN and acknowledges it cumulatively.
+func (qp *QP) advance(src string, srcQPN uint32) {
+	acked := qp.expPSN
+	qp.expPSN = psnAdd(qp.expPSN, 1)
+	qp.nakSent = false
+	qp.dev.sendCtl(src, &packet{
+		Type: ptAck, DstQPN: srcQPN, SrcQPN: qp.QPN, AckPSN: acked, Last: true,
+	})
+}
+
+// replyDuplicate re-acknowledges an already-delivered message and
+// replays READ/ATOMIC responses.
+func (qp *QP) replyDuplicate(p *packet, src string) {
+	switch p.Type {
+	case ptReadReq:
+		as, ok := qp.dev.lookupRemote(p.RKey, p.RemoteAddr, p.DLen, AccessRemoteRead)
+		if ok {
+			buf := make([]byte, p.DLen)
+			if as.Read(p.RemoteAddr, buf) == nil {
+				qp.streamReadResponse(src, p.SrcQPN, p.PSN, buf)
+				return
+			}
+		}
+	case ptAtomicReq:
+		if orig, ok := qp.atomicCache[p.PSN]; ok {
+			qp.dev.sendCtl(src, &packet{
+				Type: ptAtomicResp, DstQPN: p.SrcQPN, SrcQPN: qp.QPN,
+				PSN: p.PSN, Last: true, CompareAdd: orig,
+			})
+			return
+		}
+	}
+	last := psnAdd(qp.expPSN, 0xFFFFFF) // expPSN-1 mod 2^24
+	qp.dev.sendCtl(src, &packet{
+		Type: ptAck, DstQPN: p.SrcQPN, SrcQPN: qp.QPN, AckPSN: last, Last: true,
+	})
+}
+
+// streamReadResponse fragments and queues a READ response.
+func (qp *QP) streamReadResponse(dst string, dstQPN, psn uint32, data []byte) {
+	mtu := qp.dev.cfg.MTU
+	if len(data) == 0 {
+		qp.dev.sendResp(dst, &packet{
+			Type: ptReadResp, DstQPN: dstQPN, SrcQPN: qp.QPN, PSN: psn, Last: true, Opcode: OpRead,
+		})
+		return
+	}
+	for off, frag := 0, uint16(0); off < len(data); frag++ {
+		n := len(data) - off
+		if n > mtu {
+			n = mtu
+		}
+		qp.dev.sendResp(dst, &packet{
+			Type: ptReadResp, DstQPN: dstQPN, SrcQPN: qp.QPN, PSN: psn,
+			Frag: frag, Last: off+n == len(data), Opcode: OpRead,
+			DLen: uint32(len(data)), Payload: data[off : off+n],
+		})
+		off += n
+	}
+}
+
+// sendNak sends a go-back-N sequence NAK for the expected PSN.
+func (qp *QP) sendNak(dst string, dstQPN, expected uint32, syndrome uint8) {
+	qp.dev.sendCtl(dst, &packet{
+		Type: ptNak, DstQPN: dstQPN, SrcQPN: qp.QPN, AckPSN: expected,
+		Syndrome: syndrome, Last: true,
+	})
+}
+
+// sendRNR reports receiver-not-ready for the given message PSN.
+func (qp *QP) sendRNR(dst string, dstQPN, psn uint32) {
+	qp.dev.sendCtl(dst, &packet{
+		Type: ptRnrNak, DstQPN: dstQPN, SrcQPN: qp.QPN, AckPSN: psn, Last: true,
+	})
+}
+
+// respondError NAKs a request with a remote-access error and moves the
+// responder QP to the error state.
+func (qp *QP) respondError(src string, p *packet) {
+	qp.sendNak(src, p.SrcQPN, p.PSN, nakRemoteAccess)
+	qp.enterError()
+}
+
+// responderUD delivers an unreliable datagram.
+func (qp *QP) responderUD(p *packet) {
+	if p.Type != ptData || !p.Last {
+		return
+	}
+	wr, ok := qp.popRecv()
+	if !ok {
+		return // UD drops silently
+	}
+	if !qp.scatter(wr.SGEs, p.Payload) {
+		qp.recvCQ.push(CQE{WRID: wr.WRID, Status: WCLocalProtErr, Opcode: OpRecv, QPN: qp.QPN})
+		return
+	}
+	cqe := CQE{WRID: wr.WRID, Status: WCSuccess, Opcode: OpRecv, QPN: qp.QPN, ByteLen: p.DLen, SrcQP: p.SrcQPN}
+	if p.HasImm {
+		cqe.Imm, cqe.HasImm = p.Imm, true
+	}
+	qp.recvCQ.push(cqe)
+	qp.NRecvDone++
+}
+
+// NAK syndromes.
+const (
+	nakSeqErr       uint8 = 1
+	nakRemoteAccess uint8 = 2
+)
+
+// --- Requester: responses ----------------------------------------------------
+
+// requester handles ACKs, NAKs and one-sided responses.
+func (qp *QP) requester(p *packet) {
+	if qp.state != StateRTS && qp.state != StateError {
+		return
+	}
+	switch p.Type {
+	case ptAck:
+		qp.ackUpTo(p.AckPSN)
+
+	case ptNak:
+		if p.Syndrome == nakRemoteAccess {
+			for _, e := range qp.sq {
+				if e.psn == p.PSN && e.state != sqCompleted {
+					e.status = WCRemoteAccessErr
+				}
+			}
+			qp.enterError()
+			return
+		}
+		// Sequence NAK: everything before the expected PSN arrived.
+		qp.ackBelow(p.AckPSN)
+		qp.goBackN(p.AckPSN)
+		qp.afterAck()
+
+	case ptRnrNak:
+		qp.ackBelow(p.AckPSN)
+		qp.markUnsent(p.AckPSN)
+		qp.rnrRetry()
+
+	case ptReadResp:
+		buf := qp.readBuf[p.PSN]
+		buf = append(buf, p.Payload...)
+		if !p.Last {
+			qp.readBuf[p.PSN] = buf
+			return
+		}
+		delete(qp.readBuf, p.PSN)
+		for _, e := range qp.sq {
+			if e.psn == p.PSN && (e.state == sqSent || e.state == sqQueued) {
+				if !qp.scatter(e.wr.SGEs, buf) {
+					e.status = WCLocalProtErr
+				}
+				e.state = sqAcked
+				break
+			}
+		}
+		qp.ackBelow(p.PSN)
+		qp.afterAck()
+
+	case ptAtomicResp:
+		for _, e := range qp.sq {
+			if e.psn == p.PSN && (e.state == sqSent || e.state == sqQueued) {
+				if len(e.wr.SGEs) > 0 {
+					var b [8]byte
+					putU64LE(b[:], p.CompareAdd)
+					if !qp.scatter(e.wr.SGEs[:1], b[:]) {
+						e.status = WCLocalProtErr
+					}
+				}
+				e.state = sqAcked
+				break
+			}
+		}
+		qp.ackBelow(p.PSN)
+		qp.afterAck()
+	}
+}
+
+// ackUpTo acknowledges every sent entry with PSN ≤ ack (cumulative).
+func (qp *QP) ackUpTo(ack uint32) {
+	for _, e := range qp.sq {
+		if e.state == sqSent && !psnLess(ack, e.psn) {
+			if isFenced(e.wr.Opcode) {
+				// READ/ATOMIC complete only via their response packets.
+				continue
+			}
+			e.state = sqAcked
+		}
+	}
+	qp.afterAck()
+}
+
+// ackBelow acknowledges sent entries with PSN strictly below psn.
+func (qp *QP) ackBelow(psn uint32) {
+	for _, e := range qp.sq {
+		if e.state == sqSent && psnLess(e.psn, psn) && !isFenced(e.wr.Opcode) {
+			e.state = sqAcked
+		}
+	}
+}
+
+// afterAck handles bookkeeping common to every acknowledgement.
+func (qp *QP) afterAck() {
+	qp.retries = 0
+	qp.rnrRetries = 0
+	qp.completeInOrder()
+	qp.armRTO()
+}
+
+// goBackN re-queues every entry with PSN ≥ from for retransmission.
+func (qp *QP) goBackN(from uint32) {
+	qp.markUnsent(from)
+	qp.requeueUnsent()
+}
+
+// markUnsent rewinds sent entries at or after PSN from back to queued.
+func (qp *QP) markUnsent(from uint32) {
+	for _, e := range qp.sq {
+		if e.state == sqSent && !psnLess(e.psn, from) {
+			e.state = sqQueued
+		}
+	}
+}
+
+// requeueUnsent puts every queued-but-not-listed entry back on the
+// transmit queue in PSN order.
+func (qp *QP) requeueUnsent() {
+	for _, e := range qp.sq {
+		if e.state == sqQueued && !e.queued {
+			e.queued = true
+			e.fragCursor = 0
+			qp.txq = append(qp.txq, e)
+		}
+	}
+	qp.dev.enqueueTx(qp)
+}
+
+// retransmitUnackedImpl re-queues all sent-unacked entries (RTO / RNR).
+func (qp *QP) retransmitUnackedQueued() {
+	for _, e := range qp.sq {
+		if e.state == sqSent {
+			e.state = sqQueued
+		}
+	}
+	qp.requeueUnsent()
+}
+
+// isFenced reports ops whose completion requires a response packet.
+func isFenced(op Opcode) bool {
+	return op == OpRead || op == OpCompSwap || op == OpFetchAdd
+}
+
+func putU64LE(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,50 @@
+package runc
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/core"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+)
+
+// TestDebugNoPreSetup is a scaled-down probe of the no-presetup path
+// with state dumps on stall; kept as a regression canary.
+func TestDebugNoPreSetup(t *testing.T) {
+	tb := newTestbed(t, "src", "dst", "partner")
+	opts := perftest.Options{Verb: rnic.OpWrite, MsgSize: 4096, QueueDepth: 16, NumQPs: 8, Messages: 4000, PostGap: 2 * time.Microsecond}
+	cont, cli, srv := tb.startPair(t, "src", "partner", opts)
+	var rep *Report
+	var mErr error
+	var mig *Migrator
+	migDone := false
+	tb.cl.Sched.Go("migrate", func() {
+		cli.WaitReady()
+		tb.cl.Sched.Sleep(3 * time.Millisecond)
+		o := DefaultMigrateOptions()
+		o.PreSetup = false
+		mig = &Migrator{C: cont, Dst: tb.cl.Host("dst"), Plug: core.NewPlugin(tb.daemons["src"], tb.daemons["dst"]), Opts: o}
+		rep, mErr = mig.Migrate()
+		migDone = true
+		cli.Wait()
+		srv.Stop()
+	})
+	tb.cl.Sched.RunFor(20 * time.Second)
+	if mErr != nil {
+		t.Fatalf("migration: %v", mErr)
+	}
+	if !migDone {
+		t.Fatalf("migration hung at stage %q; blocked: %s", mig.Stage, tb.cl.Sched.BlockedReport())
+	}
+	if cli.Stats.Completed != 32000 {
+		t.Errorf("completed %d, want 32000; errors=%v", cli.Stats.Completed, cli.Stats.Errors)
+		t.Logf("client session node: %s", cli.Sess.Node())
+		for i, st := range cli.QPStates() {
+			t.Logf("qp %d: %s", i, st)
+		}
+	}
+	if rep != nil {
+		t.Logf("report: %s", rep)
+	}
+}

@@ -1,0 +1,96 @@
+package runc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/task"
+)
+
+func TestReportBlackoutSum(t *testing.T) {
+	r := &Report{
+		DumpRDMA:    1 * time.Millisecond,
+		DumpOthers:  2 * time.Millisecond,
+		Transfer:    3 * time.Millisecond,
+		RestoreRDMA: 4 * time.Millisecond,
+		FullRestore: 5 * time.Millisecond,
+	}
+	if r.Blackout() != 15*time.Millisecond {
+		t.Fatalf("blackout = %v", r.Blackout())
+	}
+	s := r.String()
+	for _, want := range []string{"DumpRDMA=1ms", "RestoreRDMA=4ms", "blackout=15ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestContainerLifecycle(t *testing.T) {
+	cl := cluster.New(cluster.Config{Seed: 1}, "h")
+	c := NewContainer(cl.Host("h"), "box")
+	ran := map[string]bool{}
+	c.Start(func(p *task.Process) { ran["init"] = true })
+	c.Exec("worker", func(p *task.Process) { ran["worker"] = true })
+	cl.Sched.RunFor(time.Second)
+	if !ran["init"] || !ran["worker"] {
+		t.Fatalf("procs ran: %v", ran)
+	}
+	if len(c.Procs) != 2 {
+		t.Fatalf("container holds %d procs", len(c.Procs))
+	}
+	if c.Procs[0].Name != "box/init" || c.Procs[1].Name != "box/worker" {
+		t.Fatalf("proc names: %s, %s", c.Procs[0].Name, c.Procs[1].Name)
+	}
+}
+
+func TestExecBeforeStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cl := cluster.New(cluster.Config{Seed: 1}, "h")
+	NewContainer(cl.Host("h"), "box").Exec("w", nil)
+}
+
+func TestMigrateNonRDMAContainer(t *testing.T) {
+	// A container without an RDMA session still migrates: memory-only
+	// checkpoint/restore with freeze and thaw.
+	tb := newTestbed(t, "src", "dst")
+	cont := NewContainer(tb.cl.Host("src"), "plain")
+	steps := 0
+	cont.Start(func(p *task.Process) {
+		p.AS.Map(0x100000, 1<<20, "heap")
+		for i := 0; i < 2000; i++ {
+			p.AS.WriteU64(0x100000, uint64(i))
+			p.Compute(100 * time.Microsecond)
+			steps++
+		}
+	})
+	var rep *Report
+	var mErr error
+	tb.cl.Sched.Go("migrate", func() {
+		tb.cl.Sched.Sleep(20 * time.Millisecond)
+		m := &Migrator{C: cont, Dst: tb.cl.Host("dst"), Plug: core.NewPlugin(tb.daemons["src"], tb.daemons["dst"]), Opts: DefaultMigrateOptions()}
+		rep, mErr = m.Migrate()
+	})
+	tb.cl.Sched.RunFor(5 * time.Minute)
+	if mErr != nil {
+		t.Fatalf("migration: %v", mErr)
+	}
+	if rep.DumpRDMA != 0 || rep.RestoreRDMA != 0 {
+		t.Fatal("RDMA phases reported for a non-RDMA container")
+	}
+	if steps != 2000 {
+		t.Fatalf("app completed %d steps", steps)
+	}
+	// The app's memory state travelled: last written value visible.
+	v, _ := cont.Procs[0].AS.ReadU64(0x100000)
+	if v != 1999 {
+		t.Fatalf("memory state after migration: %d", v)
+	}
+}

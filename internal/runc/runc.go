@@ -1,0 +1,395 @@
+// Package runc models the container runtime layer of the paper's
+// prototype (§4): containers holding an init process and exec'd
+// processes, and the extended command set of Table 2 —
+// CheckpointRDMA, PartialRestore, FullRestore, and the migration-aware
+// Exec — driving CRIU and the MigrRDMA plugin through the full live
+// migration workflow of Fig. 2(b).
+package runc
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/criu"
+	"migrrdma/internal/sim"
+	"migrrdma/internal/task"
+	"migrrdma/internal/trace"
+)
+
+// Container is a running container: an init process plus any number of
+// exec'd processes, all migrated together (§4 runs one CRIU per root
+// process).
+type Container struct {
+	Name  string
+	Host  *cluster.Host
+	Procs []*task.Process
+}
+
+// NewContainer creates an empty container on a host.
+func NewContainer(h *cluster.Host, name string) *Container {
+	return &Container{Name: name, Host: h}
+}
+
+// Start creates the container's init process and runs main as its
+// entry point (the runc Start command).
+func (c *Container) Start(main func(p *task.Process)) *task.Process {
+	if len(c.Procs) > 0 {
+		panic("runc: container already started")
+	}
+	return c.spawn(c.Name+"/init", main)
+}
+
+// Exec starts an additional process in the container (the extended
+// Exec command, which also supports restoration).
+func (c *Container) Exec(name string, main func(p *task.Process)) *task.Process {
+	if len(c.Procs) == 0 {
+		panic("runc: Exec before Start")
+	}
+	return c.spawn(c.Name+"/"+name, main)
+}
+
+func (c *Container) spawn(name string, main func(p *task.Process)) *task.Process {
+	p := task.New(c.Host.Sched, name)
+	c.Procs = append(c.Procs, p)
+	if main != nil {
+		c.Host.Sched.Go(name, func() { main(p) })
+	}
+	return p
+}
+
+// MigrateOptions tunes a live migration.
+type MigrateOptions struct {
+	// PreSetup enables RDMA communication pre-setup during partial
+	// restore (§3.2); disabling it reproduces the paper's baseline that
+	// restores RDMA inside the blackout.
+	PreSetup bool
+	// MaxPreCopyIters bounds the dirty-page iterations (write-heavy
+	// RDMA workloads never converge, as on real systems).
+	MaxPreCopyIters int
+	// DirtyPageThreshold stops iterating when a diff is this small.
+	DirtyPageThreshold int
+}
+
+// DefaultMigrateOptions mirrors the paper's configuration.
+func DefaultMigrateOptions() MigrateOptions {
+	return MigrateOptions{PreSetup: true, MaxPreCopyIters: 3, DirtyPageThreshold: 64}
+}
+
+// Report is the outcome of one migration, with the Fig. 3 blackout
+// breakdown.
+type Report struct {
+	// Blackout components (§5.2): with pre-setup the blackout is
+	// DumpOthers+Transfer+FullRestore; without it, all five.
+	DumpRDMA    time.Duration
+	DumpOthers  time.Duration
+	Transfer    time.Duration
+	RestoreRDMA time.Duration
+	FullRestore time.Duration
+
+	// ServiceBlackout is freeze→thaw; CommBlackout is communication
+	// suspension→resumption; Total is the whole migration.
+	ServiceBlackout time.Duration
+	CommBlackout    time.Duration
+	Total           time.Duration
+
+	// WBS is the source-side wait-before-stop result (§3.4/§5.4).
+	WBS core.WBSResult
+	// PartnerWBS is the slowest partner-side wait-before-stop.
+	PartnerWBS core.WBSResult
+
+	PreCopyIterations int
+	PagesTransferred  int
+}
+
+// Blackout returns the sum of the blackout components.
+func (r *Report) Blackout() time.Duration {
+	return r.DumpRDMA + r.DumpOthers + r.Transfer + r.RestoreRDMA + r.FullRestore
+}
+
+// String renders the breakdown.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"DumpRDMA=%v DumpOthers=%v Transfer=%v RestoreRDMA=%v FullRestore=%v | blackout=%v comm=%v total=%v wbs=%v iters=%d",
+		r.DumpRDMA.Round(time.Microsecond), r.DumpOthers.Round(time.Microsecond),
+		r.Transfer.Round(time.Microsecond), r.RestoreRDMA.Round(time.Microsecond),
+		r.FullRestore.Round(time.Microsecond), r.Blackout().Round(time.Microsecond),
+		r.CommBlackout.Round(time.Microsecond), r.Total.Round(time.Microsecond),
+		r.WBS.Elapsed.Round(time.Microsecond), r.PreCopyIterations)
+}
+
+// Migrator drives one container migration (the role of the cloud
+// manager calling runc's extended commands).
+type Migrator struct {
+	C    *Container
+	Dst  *cluster.Host
+	Plug *core.Plugin
+	Opts MigrateOptions
+
+	// ExtraPlugs supplies one additional plugin per additional
+	// RDMA-holding process in a multi-process container.
+	ExtraPlugs []*core.Plugin
+
+	// Stage names the workflow step in progress, for diagnostics.
+	Stage string
+}
+
+// Migrate runs the complete live migration workflow of Fig. 2(b) for
+// the container and returns the phase report. Multi-process containers
+// are migrated the way §4 does: one checkpoint/restore pipeline per
+// root process (at most one of which may hold an RDMA session per
+// plugin instance — supply extra plugins with ExtraPlugs for more).
+// It must run in a managed proc.
+func (m *Migrator) Migrate() (*Report, error) {
+	if len(m.C.Procs) == 0 {
+		return nil, fmt.Errorf("runc: empty container")
+	}
+	if len(m.C.Procs) == 1 {
+		return m.migrateProc(m.C.Procs[0], m.Plug, true)
+	}
+	// Multi-process: each process gets its own pipeline; RDMA-holding
+	// processes each need their own plugin instance.
+	plugs := append([]*core.Plugin{m.Plug}, m.ExtraPlugs...)
+	pi := 0
+	var total *Report
+	for _, p := range m.C.Procs {
+		var plug *core.Plugin
+		if _, ok := p.Attachment.(*core.Session); ok {
+			if pi >= len(plugs) {
+				return nil, fmt.Errorf("runc: %d RDMA processes but only %d plugins", pi+1, len(plugs))
+			}
+			plug = plugs[pi]
+			pi++
+		} else {
+			plug = plugs[0]
+		}
+		rep, err := m.migrateProc(p, plug, p == m.C.Procs[len(m.C.Procs)-1])
+		if err != nil {
+			return nil, err
+		}
+		if total == nil {
+			total = rep
+		} else {
+			total.DumpRDMA += rep.DumpRDMA
+			total.DumpOthers += rep.DumpOthers
+			total.Transfer += rep.Transfer
+			total.RestoreRDMA += rep.RestoreRDMA
+			total.FullRestore += rep.FullRestore
+			if rep.ServiceBlackout > total.ServiceBlackout {
+				total.ServiceBlackout = rep.ServiceBlackout
+			}
+			if rep.CommBlackout > total.CommBlackout {
+				total.CommBlackout = rep.CommBlackout
+			}
+			total.Total += rep.Total
+			total.PagesTransferred += rep.PagesTransferred
+			if rep.WBS.Elapsed > total.WBS.Elapsed {
+				total.WBS = rep.WBS
+			}
+		}
+	}
+	return total, nil
+}
+
+// migrateProc runs the workflow for one process. moveContainer marks
+// the last process, after which the container bookkeeping moves.
+func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer bool) (*Report, error) {
+	src, dst := m.C.Host, m.Dst
+	sched := src.Sched
+	srcTool, dstTool := src.CRIU, dst.CRIU
+	tl := trace.NewTimeline(sched)
+	rep := &Report{}
+	start := sched.Now()
+
+	hasRDMA := false
+	if _, ok := p.Attachment.(*core.Session); ok {
+		hasRDMA = true
+		if err := plug.Attach(p); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Pre-copy -----------------------------------------------------
+	// ①: pre-dump memory and (with pre-setup) RDMA state.
+	m.Stage = "predump"
+	fullImg := srcTool.Dump(p, true)
+	if hasRDMA && m.Opts.PreSetup {
+		var err error
+		tl.Measure("predump-rdma", func() {
+			fullImg.PluginBlob, err = plug.PreDump(p)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	srcTool.Send(fullImg, dst.Name)
+	rep.PagesTransferred += len(fullImg.Pages)
+
+	// ②: partial restore on the destination, with RDMA pre-setup
+	// replaying the roadmap in parallel with memory restoration.
+	m.Stage = "partial-restore"
+	restore := dstTool.BeginRestore(p)
+	preSetup := sim.NewWaitGroup(sched, "pre-setup")
+	var preSetupErr error
+	if hasRDMA && m.Opts.PreSetup {
+		// Claim MR-backing memory at its original addresses before the
+		// temporary mappings of partial restore (§3.2); quick.
+		if err := plug.PreRestore(restore, fullImg, fullImg.PluginBlob); err != nil {
+			return nil, err
+		}
+		// The expensive part — replaying the roadmap and partner
+		// pre-setup — overlaps the memory pre-copy iterations.
+		preSetup.Add(1)
+		sched.Go("rdma-presetup", func() {
+			defer preSetup.Done()
+			tl.Begin("restore-rdma")
+			preSetupErr = plug.RunPreSetup()
+			tl.End("restore-rdma")
+		})
+	}
+	if err := restore.PartialRestore(fullImg); err != nil {
+		return nil, err
+	}
+
+	// Iterative pre-copy (Fig. 2b loop on ① / ②).
+	for i := 0; i < m.Opts.MaxPreCopyIters; i++ {
+		if srcTool.DirtyPageCount(p) <= m.Opts.DirtyPageThreshold {
+			break
+		}
+		diff := srcTool.Dump(p, false)
+		srcTool.Send(diff, dst.Name)
+		restore.ApplyDiff(diff)
+		rep.PagesTransferred += len(diff.Pages)
+		rep.PreCopyIterations++
+	}
+	preSetup.Wait()
+	if preSetupErr != nil {
+		return nil, preSetupErr
+	}
+
+	// --- Stop-and-copy --------------------------------------------------
+	// ③: suspension + wait-before-stop on the source and all partners,
+	// in parallel (§3.4).
+	m.Stage = "suspend-wbs"
+	commStart := sched.Now()
+	if hasRDMA {
+		wbsWG := sim.NewWaitGroup(sched, "wbs")
+		wbsWG.Add(1)
+		var partnerErr error
+		sched.Go("suspend-partners", func() {
+			defer wbsWG.Done()
+			partnerErr = plug.SuspendPartners()
+		})
+		rep.WBS = plug.SuspendSource()
+		wbsWG.Wait()
+		if partnerErr != nil {
+			return nil, partnerErr
+		}
+		rep.PartnerWBS = plug.WorstPartnerWBS()
+	}
+
+	// ④: freeze the service. The service blackout begins.
+	m.Stage = "freeze"
+	svcStart := sched.Now()
+	srcTool.Freeze(p)
+
+	// ⑤ ∥ ⑤': final memory diff and final RDMA diff, dumped in parallel.
+	var finalImg *criu.Image
+	var finalBlob []byte
+	{
+		wg := sim.NewWaitGroup(sched, "final-dump")
+		var dumpErr error
+		if hasRDMA {
+			wg.Add(1)
+			sched.Go("final-dump-rdma", func() {
+				defer wg.Done()
+				tl.Measure("dump-rdma", func() {
+					finalBlob, dumpErr = plug.FinalDump(p)
+				})
+			})
+		}
+		tl.Measure("dump-others", func() {
+			finalImg = srcTool.Dump(p, false)
+		})
+		wg.Wait()
+		if dumpErr != nil {
+			return nil, dumpErr
+		}
+		finalImg.PluginBlob = finalBlob
+		finalImg.Final = true
+	}
+	rep.PagesTransferred += len(finalImg.Pages)
+
+	m.Stage = "transfer"
+	tl.Measure("transfer", func() { srcTool.Send(finalImg, dst.Name) })
+
+	// ⑥: final iteration of memory restoration.
+	m.Stage = "finalize"
+	tl.Begin("full-restore")
+	if err := restore.Finalize(finalImg); err != nil {
+		return nil, err
+	}
+	// ⑥': map the new RDMA resources into the restored process. Without
+	// pre-setup this is where the whole RDMA restore happens — inside
+	// the blackout.
+	if hasRDMA {
+		if !m.Opts.PreSetup {
+			tl.End("full-restore")
+			m.Stage = "post-restore"
+			tl.Measure("restore-rdma", func() {
+				if err := plug.PostRestore(restore, p, finalBlob); err != nil {
+					preSetupErr = err
+				}
+			})
+			if preSetupErr != nil {
+				return nil, preSetupErr
+			}
+			tl.Begin("full-restore")
+			_ = 0
+		} else if err := plug.PostRestore(restore, p, finalBlob); err != nil {
+			return nil, err
+		}
+		// Partner switch-over precedes resumption so rkey fetches from
+		// the resumed service find live peers (right before ⑦).
+		m.Stage = "switch-partners"
+		if err := plug.SwitchPartners(); err != nil {
+			return nil, err
+		}
+		// ⑦: post intercepted WRs, replay pending RECVs.
+		m.Stage = "resume"
+		if err := plug.ResumeMigrated(); err != nil {
+			return nil, err
+		}
+	}
+	m.Stage = "thaw"
+	restore.FullRestore()
+	tl.End("full-restore")
+	m.Stage = "done"
+	rep.ServiceBlackout = sched.Now() - svcStart
+	rep.CommBlackout = sched.Now() - commStart
+
+	// The source reclaims the migrated service's resources (off the
+	// critical path).
+	if hasRDMA {
+		sched.Go("reclaim-source", func() { plug.ReclaimSource() })
+	}
+
+	rep.DumpRDMA = tl.Get("dump-rdma")
+	rep.DumpOthers = tl.Get("dump-others")
+	rep.Transfer = tl.Get("transfer")
+	rep.RestoreRDMA = tl.Get("restore-rdma")
+	rep.FullRestore = tl.Get("full-restore")
+	if m.Opts.PreSetup {
+		// Pre-setup moves DumpRDMA and RestoreRDMA out of the blackout
+		// (§5.2); report only the blackout components.
+		rep.DumpRDMA = 0
+		rep.RestoreRDMA = 0
+	}
+	if moveContainer {
+		// Move the container's bookkeeping to the destination.
+		m.C.Host = dst
+	}
+	rep.Total = sched.Now() - start
+	return rep, nil
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "time"
+
+// Proc is a managed goroutine scheduled cooperatively by a Scheduler.
+type Proc struct {
+	s         *Scheduler
+	id        int64
+	name      string
+	resume    chan struct{}
+	done      bool
+	daemon    bool
+	blockedOn string // human-readable reason, for deadlock reports
+}
+
+// Name returns the name the proc was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// main is the goroutine body wrapping the user function.
+func (p *Proc) main(fn func()) {
+	<-p.resume // wait for first dispatch
+	defer func() {
+		p.done = true
+		if !p.daemon {
+			p.s.live--
+		}
+		// Hand control back to the scheduler loop without expecting a
+		// further resume.
+		p.s.yielded <- struct{}{}
+	}()
+	fn()
+}
+
+// park blocks the proc until the scheduler resumes it. The caller must
+// have arranged for something (a timer, a cond signal, a channel op) to
+// eventually mark the proc runnable.
+func (p *Proc) park(reason string) {
+	p.blockedOn = reason
+	blockedProcs[p] = struct{}{}
+	DebugParks.Add(1)
+	DebugLastPark.Store(p.name + ":" + reason)
+	p.s.yielded <- struct{}{}
+	<-p.resume
+	delete(blockedProcs, p)
+	p.blockedOn = ""
+}
+
+// current returns the currently executing proc, panicking if called from
+// outside a managed proc (e.g. from an AfterFunc callback or native
+// goroutine), where blocking is not allowed.
+func (s *Scheduler) current(op string) *Proc {
+	if s.cur == nil {
+		panic("sim: " + op + " called outside a managed proc")
+	}
+	return s.cur
+}
+
+// Sleep parks the current proc for d of virtual time.
+func (s *Scheduler) Sleep(d time.Duration) {
+	p := s.current("Sleep")
+	s.after(d, p, nil)
+	p.park("sleep")
+}
+
+// Yield requeues the current proc behind other runnable procs, giving
+// them a chance to run at the same virtual instant.
+func (s *Scheduler) Yield() {
+	p := s.current("Yield")
+	s.ready(p)
+	p.park("yield")
+}

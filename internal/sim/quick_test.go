@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPropChanFIFO: any interleaving of sends and receives preserves
+// FIFO order and conservation (every value sent is received once).
+func TestPropChanFIFO(t *testing.T) {
+	f := func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw % 8)
+		count := int(n%50) + 1
+		s := New(3)
+		ch := NewChan[int](s, "prop", capacity)
+		var got []int
+		s.Go("recv", func() {
+			for i := 0; i < count; i++ {
+				v, ok := ch.Recv()
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		s.Go("send", func() {
+			for i := 0; i < count; i++ {
+				ch.Send(i)
+				if i%3 == 0 {
+					s.Sleep(time.Microsecond)
+				}
+			}
+		})
+		s.Run()
+		if len(got) != count {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropTimerOrder: timers fire in deadline order regardless of the
+// order they were armed in.
+func TestPropTimerOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 || len(delays) > 64 {
+			return true
+		}
+		s := New(4)
+		var fired []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Microsecond
+			s.AfterFunc(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Go("noop", func() {})
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropDeterminism: the same program produces the same event trace
+// on every run.
+func TestPropDeterminism(t *testing.T) {
+	trace := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		ch := NewChan[int](s, "d", 2)
+		for i := 0; i < 4; i++ {
+			i := i
+			s.Go("p", func() {
+				s.Sleep(time.Duration(s.Rand().Intn(1000)) * time.Microsecond)
+				ch.Send(i)
+			})
+		}
+		s.Go("c", func() {
+			for i := 0; i < 4; i++ {
+				v, _ := ch.Recv()
+				out = append(out, int64(v)*1000+int64(s.Now()/time.Microsecond))
+			}
+		})
+		s.Run()
+		return out
+	}
+	for seed := int64(1); seed < 6; seed++ {
+		a, b := trace(seed), trace(seed)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: traces diverge at %d", seed, i)
+			}
+		}
+	}
+}

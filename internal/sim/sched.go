@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Scheduler owns the virtual clock and the set of managed procs. The zero
+// value is not usable; create one with New.
+type Scheduler struct {
+	now    time.Duration // virtual time since simulation start
+	runq   []*Proc       // FIFO of runnable procs
+	timers timerHeap
+	seq    uint64 // tie-breaker for timers scheduled at the same instant
+	live   int    // procs spawned and not yet finished
+	cur    *Proc  // proc currently executing, nil when the loop runs
+
+	yielded chan struct{} // running proc -> scheduler: "I parked or exited"
+	stopped bool
+	// deadlockFatal makes Run panic when live procs are blocked with no
+	// pending timers; RunFor tolerates that state (a later phase of the
+	// driving test may wake them).
+	deadlockFatal bool
+
+	rng *rand.Rand
+
+	nextProcID int64
+
+	// Livelock detection: dispatches since the clock last advanced.
+	sameInstant int
+	recentNames []string
+}
+
+// New returns a Scheduler whose clock reads zero and whose deterministic
+// random source is seeded with seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{
+		yielded: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source. It must only
+// be used from managed procs or timer callbacks so that draws happen in a
+// deterministic order.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Go spawns fn as a managed proc named name and schedules it to run. It
+// may be called before Run or from inside another managed proc.
+func (s *Scheduler) Go(name string, fn func()) *Proc {
+	return s.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a proc that services others indefinitely (a NIC
+// engine, an event loop). Blocked daemons do not count as a deadlock:
+// when only daemons remain and no timers are pending, Run returns.
+func (s *Scheduler) GoDaemon(name string, fn func()) *Proc {
+	return s.spawn(name, fn, true)
+}
+
+func (s *Scheduler) spawn(name string, fn func(), daemon bool) *Proc {
+	s.nextProcID++
+	p := &Proc{
+		s:      s,
+		id:     s.nextProcID,
+		name:   name,
+		daemon: daemon,
+		resume: make(chan struct{}),
+	}
+	if !daemon {
+		s.live++
+	}
+	s.runq = append(s.runq, p)
+	go p.main(fn)
+	return p
+}
+
+// Run executes managed procs until no proc is runnable and no timer is
+// pending. It panics if live procs remain blocked with nothing scheduled
+// to wake them (a simulation deadlock), identifying the stuck procs.
+func (s *Scheduler) Run() {
+	s.deadlockFatal = true
+	defer func() { s.deadlockFatal = false }()
+	s.runWhile(func() bool { return true })
+}
+
+// RunFor executes like Run but stops once the virtual clock would advance
+// past the given horizon; procs parked beyond the horizon stay parked and
+// the clock is left at the horizon.
+func (s *Scheduler) RunFor(d time.Duration) {
+	deadline := s.now + d
+	s.runWhile(func() bool {
+		if len(s.runq) > 0 {
+			return true
+		}
+		return len(s.timers) > 0 && s.timers[0].when <= deadline
+	})
+	if s.now < deadline && len(s.runq) == 0 {
+		s.now = deadline
+	}
+}
+
+// Stop makes the current Run call return after the running proc next
+// parks. Procs and timers are left in place; Run may be called again.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+func (s *Scheduler) runWhile(cond func() bool) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.runq) == 0 {
+			if len(s.timers) == 0 {
+				if s.live > 0 && s.deadlockFatal {
+					panic("sim: deadlock: " + s.blockedReport())
+				}
+				return
+			}
+			if !cond() {
+				return
+			}
+			s.fireNextTimers()
+			continue
+		}
+		if !cond() {
+			return
+		}
+		p := s.runq[0]
+		s.runq = s.runq[1:]
+		s.sameInstant++
+		if s.sameInstant > sameInstantLimit {
+			recent := make([]string, 0, len(s.recentNames))
+			recent = append(recent, s.recentNames...)
+			panic(fmt.Sprintf("sim: livelock: %d dispatches at t=%v without the clock advancing; recent procs: %v",
+				s.sameInstant, s.now, recent))
+		}
+		if len(s.recentNames) >= 8 {
+			s.recentNames = s.recentNames[1:]
+		}
+		s.recentNames = append(s.recentNames, p.name)
+		s.dispatch(p)
+	}
+}
+
+// sameInstantLimit bounds dispatches at one virtual instant; a genuine
+// workload never needs millions of zero-time steps, so exceeding it
+// indicates two procs readying each other in a cycle.
+const sameInstantLimit = 2_000_000
+
+// dispatch resumes p and blocks until it parks or exits.
+func (s *Scheduler) dispatch(p *Proc) {
+	s.cur = p
+	DebugDispatches.Add(1)
+	DebugLastProc.Store(p.name)
+	p.resume <- struct{}{}
+	<-s.yielded
+	s.cur = nil
+}
+
+// Debug counters for diagnosing stalls (read racily by probes).
+var (
+	DebugDispatches atomic.Int64
+	DebugTimerFires atomic.Int64
+	DebugParks      atomic.Int64
+	DebugLastProc   atomic.Value
+	DebugLastPark   atomic.Value
+)
+
+// fireNextTimers advances the clock to the earliest timer deadline and
+// fires every timer due at that instant, in scheduling order.
+func (s *Scheduler) fireNextTimers() {
+	t := s.timers[0].when
+	if t < s.now {
+		t = s.now // timers scheduled "in the past" fire now
+	}
+	if t > s.now {
+		s.sameInstant = 0
+		s.recentNames = s.recentNames[:0]
+	}
+	s.now = t
+	for len(s.timers) > 0 && s.timers[0].when <= s.now {
+		DebugTimerFires.Add(1)
+		tm := heap.Pop(&s.timers).(*timer)
+		if tm.cancelled {
+			continue
+		}
+		tm.fired = true
+		if tm.fn != nil {
+			tm.fn()
+			continue
+		}
+		s.ready(tm.p)
+	}
+}
+
+// ready marks p runnable.
+func (s *Scheduler) ready(p *Proc) {
+	if p.done {
+		panic("sim: waking finished proc " + p.name)
+	}
+	s.runq = append(s.runq, p)
+}
+
+// after registers a timer at now+d. Exactly one of p or fn is set: p is a
+// parked proc to wake, fn an inline callback.
+func (s *Scheduler) after(d time.Duration, p *Proc, fn func()) *timer {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	tm := &timer{when: s.now + d, seq: s.seq, p: p, fn: fn}
+	heap.Push(&s.timers, tm)
+	return tm
+}
+
+// AfterFunc schedules fn to run on the scheduler loop at now+d. fn must
+// not block; it typically enqueues data and signals a Cond. It returns a
+// handle whose Cancel method stops an unfired timer.
+func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
+	return &Timer{tm: s.after(d, nil, fn)}
+}
+
+// blockedReport describes the procs that are alive but not runnable, for
+// deadlock diagnostics.
+func (s *Scheduler) blockedReport() string {
+	runnable := make(map[*Proc]bool, len(s.runq))
+	for _, p := range s.runq {
+		runnable[p] = true
+	}
+	var names []string
+	// Walk timers too: procs with pending timers are not stuck.
+	for _, tm := range s.timers {
+		if tm.p != nil {
+			runnable[tm.p] = true
+		}
+	}
+	for p := range blockedProcs {
+		if p.s == s && !p.done && !p.daemon && !runnable[p] {
+			names = append(names, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%d proc(s) blocked forever at t=%v: %v", len(names), s.now, names)
+}
+
+// blockedProcs tracks parked procs across all schedulers purely for
+// deadlock reporting. Access is single-threaded by construction (only the
+// running proc mutates it).
+var blockedProcs = make(map[*Proc]struct{})
+
+// Timer is a handle to a pending AfterFunc callback.
+type Timer struct{ tm *timer }
+
+// Cancel stops the timer if it has not fired. It reports whether the
+// cancellation prevented the callback.
+func (t *Timer) Cancel() bool {
+	if t.tm.fired || t.tm.cancelled {
+		return false
+	}
+	t.tm.cancelled = true
+	return true
+}
+
+type timer struct {
+	when      time.Duration
+	seq       uint64
+	p         *Proc  // proc to wake, or
+	fn        func() // inline callback
+	fired     bool
+	cancelled bool
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tm
+}
+
+// BlockedReport describes procs that are alive but not currently
+// runnable, with their park reasons — a diagnostic for stalled
+// simulations.
+func (s *Scheduler) BlockedReport() string { return s.blockedReport() }

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.Go("sleeper", func() {
+		s.Sleep(5 * time.Millisecond)
+		at = s.Now()
+	})
+	s.Run()
+	if at != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+}
+
+func TestSleepOrdering(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Go("b", func() {
+		s.Sleep(2 * time.Millisecond)
+		order = append(order, "b")
+	})
+	s.Go("a", func() {
+		s.Sleep(1 * time.Millisecond)
+		order = append(order, "a")
+	})
+	s.Go("c", func() {
+		s.Sleep(3 * time.Millisecond)
+		order = append(order, "c")
+	})
+	s.Run()
+	if got := order; len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", got)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Go("p", func() {
+			s.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestAfterFunc(t *testing.T) {
+	s := New(1)
+	fired := time.Duration(-1)
+	s.AfterFunc(7*time.Millisecond, func() { fired = s.Now() })
+	s.Go("noop", func() {})
+	s.Run()
+	if fired != 7*time.Millisecond {
+		t.Fatalf("callback at %v, want 7ms", fired)
+	}
+}
+
+func TestAfterFuncCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.AfterFunc(7*time.Millisecond, func() { fired = true })
+	s.Go("canceller", func() {
+		s.Sleep(time.Millisecond)
+		if !tm.Cancel() {
+			t.Error("Cancel reported failure before fire")
+		}
+	})
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestRunForStopsAtHorizon(t *testing.T) {
+	s := New(1)
+	var woke bool
+	s.Go("late", func() {
+		s.Sleep(10 * time.Millisecond)
+		woke = true
+	})
+	s.RunFor(5 * time.Millisecond)
+	if woke {
+		t.Fatal("proc past horizon ran")
+	}
+	s.RunFor(5 * time.Millisecond)
+	if !woke {
+		t.Fatal("proc did not run after horizon extended")
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	s := New(1)
+	c := NewCond(s, "never")
+	s.Go("stuck", func() { c.Wait() })
+	s.Run()
+}
+
+func TestChanRendezvous(t *testing.T) {
+	s := New(1)
+	ch := NewChan[int](s, "r", 0)
+	var got int
+	s.Go("recv", func() {
+		v, ok := ch.Recv()
+		if !ok {
+			t.Error("recv not ok")
+		}
+		got = v
+	})
+	s.Go("send", func() { ch.Send(42) })
+	s.Run()
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestChanBufferedBlocksWhenFull(t *testing.T) {
+	s := New(1)
+	ch := NewChan[int](s, "b", 2)
+	var sentAll time.Duration
+	s.Go("send", func() {
+		for i := 0; i < 3; i++ {
+			ch.Send(i)
+		}
+		sentAll = s.Now()
+	})
+	s.Go("recv", func() {
+		s.Sleep(5 * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			v, _ := ch.Recv()
+			if v != i {
+				t.Errorf("recv %d, want %d", v, i)
+			}
+		}
+	})
+	s.Run()
+	if sentAll != 5*time.Millisecond {
+		t.Fatalf("third send completed at %v, want 5ms (after first recv)", sentAll)
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	s := New(1)
+	ch := NewChan[int](s, "c", 1)
+	okAfterClose := true
+	s.Go("recv", func() { _, okAfterClose = ch.Recv() })
+	s.Go("close", func() {
+		s.Sleep(time.Millisecond)
+		ch.Close()
+	})
+	s.Run()
+	if okAfterClose {
+		t.Fatal("recv on closed empty channel reported ok")
+	}
+}
+
+func TestChanTryOps(t *testing.T) {
+	s := New(1)
+	ch := NewChan[string](s, "t", 1)
+	s.Go("p", func() {
+		if _, ok := ch.TryRecv(); ok {
+			t.Error("TryRecv on empty channel succeeded")
+		}
+		if !ch.TrySend("x") {
+			t.Error("TrySend to empty buffer failed")
+		}
+		if ch.TrySend("y") {
+			t.Error("TrySend to full buffer succeeded")
+		}
+		v, ok := ch.TryRecv()
+		if !ok || v != "x" {
+			t.Errorf("TryRecv = %q,%v", v, ok)
+		}
+	})
+	s.Run()
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	s := New(1)
+	c := NewCond(s, "c")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		s.Go("w", func() {
+			c.Wait()
+			woken++
+		})
+	}
+	s.Go("sig", func() {
+		s.Sleep(time.Millisecond)
+		c.Signal()
+		s.Sleep(time.Millisecond)
+		if woken != 1 {
+			t.Errorf("after Signal woken=%d, want 1", woken)
+		}
+		c.Broadcast()
+	})
+	s.Run()
+	if woken != 3 {
+		t.Fatalf("woken=%d, want 3", woken)
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	s := New(1)
+	c := NewCond(s, "c")
+	var timedOut, signalled bool
+	s.Go("w1", func() {
+		if ok := c.WaitTimeout(2 * time.Millisecond); !ok {
+			timedOut = true
+		}
+	})
+	s.Go("w2", func() {
+		if ok := c.WaitTimeout(10 * time.Millisecond); ok {
+			signalled = true
+		}
+	})
+	s.Go("sig", func() {
+		s.Sleep(5 * time.Millisecond)
+		c.Signal()
+	})
+	s.Run()
+	if !timedOut {
+		t.Fatal("w1 should have timed out")
+	}
+	if !signalled {
+		t.Fatal("w2 should have been signalled")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	s := New(1)
+	wg := NewWaitGroup(s, "wg")
+	var finished time.Duration
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		s.Go("worker", func() {
+			s.Sleep(time.Duration(i) * time.Millisecond)
+			wg.Done()
+		})
+	}
+	s.Go("waiter", func() {
+		wg.Wait()
+		finished = s.Now()
+	})
+	s.Run()
+	if finished != 3*time.Millisecond {
+		t.Fatalf("waiter finished at %v, want 3ms", finished)
+	}
+}
+
+func TestYieldInterleaves(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Go("a", func() {
+		order = append(order, "a1")
+		s.Yield()
+		order = append(order, "a2")
+	})
+	s.Go("b", func() {
+		order = append(order, "b1")
+		s.Yield()
+		order = append(order, "b2")
+	})
+	s.Run()
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	draw := func() []int64 {
+		s := New(99)
+		var out []int64
+		s.Go("r", func() {
+			for i := 0; i < 5; i++ {
+				out = append(out, s.Rand().Int63())
+			}
+		})
+		s.Run()
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draws differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	s := New(1)
+	total := 0
+	s.Go("parent", func() {
+		for i := 0; i < 3; i++ {
+			s.Go("child", func() {
+				s.Sleep(time.Millisecond)
+				total++
+			})
+		}
+	})
+	s.Run()
+	if total != 3 {
+		t.Fatalf("total=%d, want 3", total)
+	}
+}

@@ -1,0 +1,87 @@
+// Package task models the processes that containers run and live
+// migration moves: a named process owning a virtual address space, with
+// the freeze/thaw gate CRIU's cgroup freezer provides on real hosts.
+//
+// Application code runs as managed sim procs. Because the simulation is
+// cooperative, freezing cannot preempt a proc mid-instruction; instead
+// every interaction point (guest-library verbs calls, Compute slices,
+// out-of-band receives) passes through Gate, which parks the proc while
+// the process is frozen. Workloads are post/poll/compute loops, so the
+// freeze latency is bounded by one loop iteration, matching the "freeze
+// the services" step (④ in Fig. 2b) closely enough for timing studies.
+package task
+
+import (
+	"time"
+
+	"migrrdma/internal/mem"
+	"migrrdma/internal/sim"
+)
+
+// Process is one migratable process.
+type Process struct {
+	Name string
+	AS   *mem.AddressSpace
+
+	// Attachment carries the process's MigrRDMA session (if any); the
+	// CRIU plugin retrieves it during checkpoint/restore. It is typed
+	// as any to keep this package at the bottom of the import graph.
+	Attachment any
+
+	sched  *sim.Scheduler
+	frozen bool
+	thaw   *sim.Cond
+
+	// exited marks a process that finished or was reclaimed.
+	exited bool
+}
+
+// New creates a process with a fresh address space.
+func New(sched *sim.Scheduler, name string) *Process {
+	return &Process{
+		Name:  name,
+		AS:    mem.NewAddressSpace(),
+		sched: sched,
+		thaw:  sim.NewCond(sched, "thaw:"+name),
+	}
+}
+
+// Scheduler returns the scheduler the process runs on.
+func (p *Process) Scheduler() *sim.Scheduler { return p.sched }
+
+// Gate parks the calling proc while the process is frozen. Application
+// entry points call it before touching shared state.
+func (p *Process) Gate() {
+	for p.frozen {
+		p.thaw.Wait()
+	}
+}
+
+// Frozen reports whether the process is currently frozen.
+func (p *Process) Frozen() bool { return p.frozen }
+
+// Freeze stops the process at its next gate crossing.
+func (p *Process) Freeze() { p.frozen = true }
+
+// Thaw resumes a frozen process.
+func (p *Process) Thaw() {
+	p.frozen = false
+	p.thaw.Broadcast()
+}
+
+// Exited reports whether the process has been reclaimed.
+func (p *Process) Exited() bool { return p.exited }
+
+// Exit marks the process as reclaimed (the migration source discarding
+// the original after a successful migration).
+func (p *Process) Exit() {
+	p.exited = true
+	p.Thaw() // wake anything gated so it can observe the exit
+}
+
+// Compute models d of application CPU work, honouring the freeze gate
+// on entry.
+func (p *Process) Compute(d time.Duration) {
+	p.Gate()
+	p.sched.Sleep(d)
+}

@@ -1,0 +1,67 @@
+package task
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/sim"
+)
+
+func TestFreezeGatesCompute(t *testing.T) {
+	s := sim.New(1)
+	p := New(s, "p")
+	var progressed int
+	s.Go("app", func() {
+		for i := 0; i < 10; i++ {
+			p.Compute(time.Millisecond)
+			progressed++
+		}
+	})
+	s.Go("freezer", func() {
+		s.Sleep(2500 * time.Microsecond)
+		p.Freeze()
+		atFreeze := progressed
+		s.Sleep(20 * time.Millisecond)
+		if progressed > atFreeze+1 {
+			t.Errorf("progressed %d steps while frozen", progressed-atFreeze)
+		}
+		p.Thaw()
+	})
+	s.Run()
+	if progressed != 10 {
+		t.Fatalf("progressed %d, want 10 after thaw", progressed)
+	}
+}
+
+func TestGateReturnsImmediatelyWhenRunning(t *testing.T) {
+	s := sim.New(1)
+	p := New(s, "p")
+	s.Go("app", func() {
+		before := s.Now()
+		p.Gate()
+		if s.Now() != before {
+			t.Error("Gate consumed time while unfrozen")
+		}
+	})
+	s.Run()
+}
+
+func TestExitWakesGatedProc(t *testing.T) {
+	s := sim.New(1)
+	p := New(s, "p")
+	p.Freeze()
+	exited := false
+	s.Go("app", func() {
+		p.Gate()
+		// After Exit the gate opens; the app observes the exit.
+		exited = p.Exited()
+	})
+	s.Go("killer", func() {
+		s.Sleep(time.Millisecond)
+		p.Exit()
+	})
+	s.Run()
+	if !exited {
+		t.Fatal("gated proc did not observe exit")
+	}
+}

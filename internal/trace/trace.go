@@ -1,0 +1,190 @@
+// Package trace provides measurement utilities for the evaluation
+// harness: named phase timelines (the Fig. 3 blackout breakdown) and a
+// fixed-interval throughput sampler built on the NIC byte counters (the
+// paper samples Mellanox ethtool counters at 5 ms granularity for
+// Fig. 5, §5.5.2).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/sim"
+)
+
+// Timeline records named, possibly overlapping phases.
+type Timeline struct {
+	sched  *sim.Scheduler
+	phases []Phase
+	open   map[string]time.Duration
+}
+
+// Phase is one named interval.
+type Phase struct {
+	Name       string
+	Start, End time.Duration
+}
+
+// Dur returns the phase length.
+func (p Phase) Dur() time.Duration { return p.End - p.Start }
+
+// NewTimeline creates a timeline on the scheduler's clock.
+func NewTimeline(s *sim.Scheduler) *Timeline {
+	return &Timeline{sched: s, open: make(map[string]time.Duration)}
+}
+
+// Begin opens a phase.
+func (t *Timeline) Begin(name string) { t.open[name] = t.sched.Now() }
+
+// End closes a phase, recording it.
+func (t *Timeline) End(name string) {
+	start, ok := t.open[name]
+	if !ok {
+		panic("trace: End of unopened phase " + name)
+	}
+	delete(t.open, name)
+	t.phases = append(t.phases, Phase{Name: name, Start: start, End: t.sched.Now()})
+}
+
+// Measure runs fn as the named phase.
+func (t *Timeline) Measure(name string, fn func()) {
+	t.Begin(name)
+	fn()
+	t.End(name)
+}
+
+// Get returns the total duration of all phases with the name.
+func (t *Timeline) Get(name string) time.Duration {
+	var sum time.Duration
+	for _, p := range t.phases {
+		if p.Name == name {
+			sum += p.Dur()
+		}
+	}
+	return sum
+}
+
+// Phases returns the recorded phases in start order.
+func (t *Timeline) Phases() []Phase {
+	out := make([]Phase, len(t.phases))
+	copy(out, t.phases)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// String formats the timeline for reports.
+func (t *Timeline) String() string {
+	var b strings.Builder
+	for _, p := range t.Phases() {
+		fmt.Fprintf(&b, "%-14s %10v  (at %v)\n", p.Name, p.Dur().Round(time.Microsecond), p.Start.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Sample is one throughput measurement.
+type Sample struct {
+	T    time.Duration
+	Gbps float64
+}
+
+// Sampler periodically reads a device's byte counters and converts the
+// delta to throughput.
+type Sampler struct {
+	sched    *sim.Scheduler
+	dev      *rnic.Device
+	interval time.Duration
+	rx       bool
+
+	samples []Sample
+	stop    bool
+}
+
+// NewSampler samples dev every interval. rx selects the receive counter
+// (otherwise transmit).
+func NewSampler(dev *rnic.Device, interval time.Duration, rx bool) *Sampler {
+	return &Sampler{sched: dev.Scheduler(), dev: dev, interval: interval, rx: rx}
+}
+
+// Run samples until Stop is called; spawn it as a proc.
+func (s *Sampler) Run() {
+	last := s.read()
+	for !s.stop {
+		s.sched.Sleep(s.interval)
+		cur := s.read()
+		gbps := float64(cur-last) * 8 / s.interval.Seconds() / 1e9
+		s.samples = append(s.samples, Sample{T: s.sched.Now(), Gbps: gbps})
+		last = cur
+	}
+}
+
+// Stop ends sampling after the current interval.
+func (s *Sampler) Stop() { s.stop = true }
+
+func (s *Sampler) read() int64 {
+	if s.rx {
+		return s.dev.RxBytes
+	}
+	return s.dev.TxBytes
+}
+
+// Samples returns the collected series.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// MinMax returns the lowest and highest sampled throughput within
+// [from, to].
+func (s *Sampler) MinMax(from, to time.Duration) (min, max float64) {
+	return s.minMax(from, to, false)
+}
+
+// MinMaxNonZero is MinMax restricted to non-zero samples — the brownout
+// floor, excluding the blackout itself.
+func (s *Sampler) MinMaxNonZero(from, to time.Duration) (min, max float64) {
+	return s.minMax(from, to, true)
+}
+
+func (s *Sampler) minMax(from, to time.Duration, skipZero bool) (min, max float64) {
+	first := true
+	for _, sm := range s.samples {
+		if sm.T < from || sm.T > to {
+			continue
+		}
+		if skipZero && sm.Gbps < 0.5 {
+			continue
+		}
+		if first {
+			min, max = sm.Gbps, sm.Gbps
+			first = false
+			continue
+		}
+		if sm.Gbps < min {
+			min = sm.Gbps
+		}
+		if sm.Gbps > max {
+			max = sm.Gbps
+		}
+	}
+	return min, max
+}
+
+// ZeroSpan returns the longest contiguous run of (near-)zero samples in
+// [from, to] — the observed communication blackout of Fig. 5.
+func (s *Sampler) ZeroSpan(from, to time.Duration) time.Duration {
+	var longest, run time.Duration
+	for _, sm := range s.samples {
+		if sm.T < from || sm.T > to {
+			continue
+		}
+		if sm.Gbps < 0.5 {
+			run += s.interval
+			if run > longest {
+				longest = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return longest
+}

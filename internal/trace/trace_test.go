@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/sim"
+)
+
+func TestTimelinePhases(t *testing.T) {
+	s := sim.New(1)
+	tl := NewTimeline(s)
+	s.Go("test", func() {
+		tl.Measure("a", func() { s.Sleep(3 * time.Millisecond) })
+		tl.Begin("b")
+		s.Sleep(2 * time.Millisecond)
+		tl.End("b")
+		tl.Measure("a", func() { s.Sleep(time.Millisecond) })
+	})
+	s.Run()
+	if got := tl.Get("a"); got != 4*time.Millisecond {
+		t.Fatalf("a total = %v, want 4ms", got)
+	}
+	if got := tl.Get("b"); got != 2*time.Millisecond {
+		t.Fatalf("b = %v", got)
+	}
+	ps := tl.Phases()
+	if len(ps) != 3 || ps[0].Name != "a" || ps[1].Name != "b" {
+		t.Fatalf("phases = %+v", ps)
+	}
+	if tl.Get("missing") != 0 {
+		t.Fatal("missing phase non-zero")
+	}
+}
+
+func TestTimelineEndUnopenedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTimeline(sim.New(1)).End("nope")
+}
+
+func TestSamplerSeries(t *testing.T) {
+	s := sim.New(1)
+	net := fabric.New(s, fabric.Config{})
+	muxA := fabric.NewMux(net, "a")
+	fabric.NewMux(net, "b")
+	dev := rnic.NewDevice(net, muxA, "a", rnic.Config{})
+	_ = dev
+	devB := rnic.NewDevice(net, fabric.NewMux(net, "c"), "c", rnic.Config{})
+	_ = devB
+	smp := NewSampler(dev, 5*time.Millisecond, false)
+	s.Go("sampler", smp.Run)
+	s.Go("traffic", func() {
+		// Idle 20 ms, then raw frames out of "a" for 30 ms, then idle.
+		s.Sleep(20 * time.Millisecond)
+		for i := 0; i < 30; i++ {
+			net.Send(fabric.Frame{Src: "a", Dst: "b", Port: "x", Size: 1 << 20})
+			s.Sleep(time.Millisecond)
+		}
+		s.Sleep(30 * time.Millisecond)
+		smp.Stop()
+	})
+	s.RunFor(time.Second)
+	if len(smp.Samples()) < 10 {
+		t.Fatalf("only %d samples", len(smp.Samples()))
+	}
+	// dev.TxBytes counts only the device pacer's frames; raw fabric sends
+	// don't go through it, so sample the network side indirectly: here we
+	// just assert the series is well-formed and zero (no RDMA traffic).
+	if _, max := smp.MinMax(0, time.Second); max != 0 {
+		t.Fatalf("unexpected device throughput %v", max)
+	}
+	if z := smp.ZeroSpan(0, 80*time.Millisecond); z < 50*time.Millisecond {
+		t.Fatalf("zero span %v, want most of the window", z)
+	}
+}

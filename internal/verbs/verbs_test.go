@@ -1,0 +1,165 @@
+package verbs
+
+import (
+	"testing"
+
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/mem"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/sim"
+)
+
+// recorder captures control-path events for assertions.
+type recorder struct{ evs []Event }
+
+func (r *recorder) Record(ev Event) { r.evs = append(r.evs, ev) }
+
+func (r *recorder) kinds() []EventKind {
+	var out []EventKind
+	for _, e := range r.evs {
+		out = append(out, e.Kind)
+	}
+	return out
+}
+
+func newCtx(t *testing.T) (*sim.Scheduler, *Context, *recorder) {
+	t.Helper()
+	s := sim.New(1)
+	net := fabric.New(s, fabric.Config{})
+	mux := fabric.NewMux(net, "h")
+	dev := rnic.NewDevice(net, mux, "h", rnic.Config{})
+	as := mem.NewAddressSpace()
+	as.Map(0x100000, 1<<20, "arena")
+	ctx := OpenDevice(dev, as)
+	rec := &recorder{}
+	ctx.SetRecorder(rec)
+	return s, ctx, rec
+}
+
+func TestControlPathRecording(t *testing.T) {
+	s, ctx, rec := newCtx(t)
+	s.Go("test", func() {
+		pd := ctx.AllocPD()
+		cq := ctx.CreateCQ(64, nil)
+		mr, err := ctx.RegMR(pd, 0x100000, 4096, rnic.AccessLocalWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		qp := ctx.CreateQP(pd, rnic.RC, cq, cq, nil, rnic.QPCaps{})
+		qp.Modify(rnic.ModifyAttr{State: rnic.StateInit})
+		mr.Dereg()
+		want := []EventKind{EvAllocPD, EvCreateCQ, EvRegMR, EvCreateQP, EvModifyQP, EvDeregMR}
+		got := rec.kinds()
+		if len(got) != len(want) {
+			t.Fatalf("recorded %d events, want %d: %v", len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+		// The QP creation event must carry its dependencies.
+		var qpEv Event
+		for _, e := range rec.evs {
+			if e.Kind == EvCreateQP {
+				qpEv = e
+			}
+		}
+		if qpEv.PD != pd.ID || qpEv.SendCQ != cq.ID || qpEv.RecvCQ != cq.ID {
+			t.Fatalf("QP event dependencies wrong: %+v", qpEv)
+		}
+	})
+	s.Run()
+}
+
+func TestObjIDsAreStableAndUnique(t *testing.T) {
+	s, ctx, _ := newCtx(t)
+	s.Go("test", func() {
+		seen := map[ObjID]bool{}
+		pd := ctx.AllocPD()
+		cq := ctx.CreateCQ(16, nil)
+		qp := ctx.CreateQP(pd, rnic.RC, cq, cq, nil, rnic.QPCaps{})
+		for _, id := range []ObjID{pd.ID, cq.ID, qp.ID} {
+			if seen[id] {
+				t.Fatalf("duplicate ObjID %d", id)
+			}
+			seen[id] = true
+		}
+		ctx.SetNextObjID(100)
+		pd2 := ctx.AllocPD()
+		if pd2.ID != 100 {
+			t.Fatalf("after SetNextObjID: %d, want 100", pd2.ID)
+		}
+		// Lowering is ignored.
+		ctx.SetNextObjID(5)
+		if id := ctx.AllocPD().ID; id != 101 {
+			t.Fatalf("SetNextObjID lowered the allocator: %d", id)
+		}
+	})
+	s.Run()
+}
+
+func TestQPCreatesLibraryRings(t *testing.T) {
+	s, ctx, _ := newCtx(t)
+	s.Go("test", func() {
+		before := len(ctx.Mem().VMAs())
+		pd := ctx.AllocPD()
+		cq := ctx.CreateCQ(64, nil)
+		qp := ctx.CreateQP(pd, rnic.RC, cq, cq, nil, rnic.QPCaps{MaxSend: 16, MaxRecv: 16})
+		after := len(ctx.Mem().VMAs())
+		// CQ ring + SQ ring + RQ ring.
+		if after-before != 3 {
+			t.Fatalf("QP+CQ added %d mappings, want 3 rings", after-before)
+		}
+		qp.Destroy()
+		cq.Destroy()
+		if n := len(ctx.Mem().VMAs()); n != before {
+			t.Fatalf("destroy left %d mappings, want %d", n, before)
+		}
+	})
+	s.Run()
+}
+
+func TestPostDirtiesRingPages(t *testing.T) {
+	s, ctx, _ := newCtx(t)
+	s.Go("test", func() {
+		pd := ctx.AllocPD()
+		cq := ctx.CreateCQ(64, nil)
+		mr, _ := ctx.RegMR(pd, 0x100000, 4096, rnic.AccessLocalWrite)
+		qp := ctx.CreateQP(pd, rnic.RC, cq, cq, nil, rnic.QPCaps{})
+		qp.Modify(rnic.ModifyAttr{State: rnic.StateInit})
+		ctx.Mem().ClearDirty()
+		// PostRecv in INIT writes a WQE into the RQ ring.
+		if err := qp.PostRecv(rnic.RecvWR{WRID: 1, SGEs: []rnic.SGE{{Addr: 0x100000, Len: 64, LKey: mr.LKey()}}}); err != nil {
+			t.Fatal(err)
+		}
+		if len(ctx.Mem().DirtyPages()) == 0 {
+			t.Fatal("posting did not dirty any ring page")
+		}
+	})
+	s.Run()
+}
+
+func TestDMRemapPreservesAddress(t *testing.T) {
+	s, ctx, _ := newCtx(t)
+	s.Go("test", func() {
+		dm, err := ctx.AllocDM(8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Mem().Write(dm.Addr, []byte("onchip"))
+		if err := dm.Remap(0x300000); err != nil {
+			t.Fatal(err)
+		}
+		if dm.Addr != 0x300000 {
+			t.Fatalf("Addr = %#x", uint64(dm.Addr))
+		}
+		var buf [6]byte
+		ctx.Mem().Read(0x300000, buf[:])
+		if string(buf[:]) != "onchip" {
+			t.Fatalf("content %q after remap", buf)
+		}
+	})
+	s.Run()
+}
