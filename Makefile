@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test test-race chaos fuzz check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Deterministic chaos sweep: every fault schedule in the library × 32
+# seeds, with invariant checking. Replay a failure with
+#   go run ./cmd/migrchaos -schedule <name> -seed <n> -v
+chaos:
+	$(GO) run ./cmd/migrchaos -seeds 32
+
+# Fuzz smoke over the wire-format decoder and the transport fault-script
+# harness (go test fuzzes one target per invocation).
+fuzz:
+	$(GO) test ./internal/rnic -run=Fuzz -fuzz=FuzzDecodePacket -fuzztime=10s
+	$(GO) test ./internal/rnic -run=Fuzz -fuzz=FuzzRCFaultScript -fuzztime=10s
+
+check: vet test chaos fuzz test-race

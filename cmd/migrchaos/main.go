@@ -1,0 +1,75 @@
+// Command migrchaos runs deterministic fault-injection sweeps over live
+// migrations and reports invariant violations. Every run is fully
+// determined by (seed, schedule); a failing seed replays exactly:
+//
+//	migrchaos                          # default sweep: all schedules, 32 seeds
+//	migrchaos -seeds 1000              # long sweep
+//	migrchaos -schedule loss-burst -seed 17 -v   # replay one run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"migrrdma/internal/chaos"
+)
+
+func main() {
+	scheduleName := flag.String("schedule", "", "run only the named schedule (default: all)")
+	seed := flag.Int64("seed", 0, "run only this seed (default: sweep 1..seeds)")
+	seeds := flag.Int64("seeds", 32, "number of seeds to sweep")
+	verbose := flag.Bool("v", false, "print every run, not just failures")
+	list := flag.Bool("list", false, "list the available schedules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range chaos.Schedules() {
+			fmt.Printf("%-22s %d faults\n", s.Name, len(s.Faults))
+			for _, f := range s.Faults {
+				when := fmt.Sprintf("at %v", f.At)
+				if f.Phase != "" {
+					when = "on stage " + f.Phase
+				}
+				fmt.Printf("    %-10s node=%-8s %s for %v\n", f.Kind, f.Node, when, f.Duration)
+			}
+		}
+		return
+	}
+
+	schedules := chaos.Schedules()
+	if *scheduleName != "" {
+		s, ok := chaos.ScheduleByName(*scheduleName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown schedule %q (try -list)\n", *scheduleName)
+			os.Exit(2)
+		}
+		schedules = []chaos.Schedule{s}
+	}
+	lo, hi := int64(1), *seeds
+	if *seed != 0 {
+		lo, hi = *seed, *seed
+	}
+
+	runs, failures := 0, 0
+	for _, sched := range schedules {
+		for s := lo; s <= hi; s++ {
+			rep := chaos.Run(s, sched)
+			runs++
+			if !rep.OK() {
+				failures++
+				fmt.Println(rep)
+				for _, v := range rep.Violations {
+					fmt.Printf("    violation: %s\n", v)
+				}
+				fmt.Printf("    replay: migrchaos -schedule %s -seed %d -v\n", sched.Name, s)
+			} else if *verbose {
+				fmt.Println(rep)
+			}
+		}
+	}
+	fmt.Printf("%d runs, %d failures\n", runs, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,367 @@
+// Package chaos is a deterministic fault-injection and invariant-
+// checking harness for live migration (the §5.3 transparency claim).
+//
+// Each run builds a fresh three-host testbed (src, dst, partner),
+// drives endless order-checked SEND traffic from a client container on
+// src to a server on partner, live-migrates the client src → dst while
+// a fault schedule perturbs the fabric — loss bursts, duplicated and
+// reordered frames, link-rate drops, data-path blackholes timed to
+// land inside the checkpoint/restore window — and then validates
+// end-to-end invariants: completions are exactly-once and in order
+// across the migration boundary, PSN/ACK state stays monotone through
+// go-back-N recovery, rkey protection never admits a post-Dereg
+// access, every CQ poller drains, and traffic resumes on the
+// destination node.
+//
+// Everything (fault draws, frame timing, migration interleaving) runs
+// on the seeded discrete-event scheduler, so a run is fully determined
+// by (seed, schedule): the Report's TraceHash is byte-identical across
+// re-runs and a failing seed replays exactly.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/sim"
+	"migrrdma/internal/task"
+)
+
+// FaultKind selects a fabric-level fault.
+type FaultKind string
+
+const (
+	// FaultLoss drops frames to/from Node with probability Prob.
+	FaultLoss FaultKind = "loss"
+	// FaultDuplicate delivers frames arriving at Node twice with
+	// probability Prob.
+	FaultDuplicate FaultKind = "duplicate"
+	// FaultReorder holds frames arriving at Node back by Delay with
+	// probability Prob, letting later frames overtake.
+	FaultReorder FaultKind = "reorder"
+	// FaultRateDrop lowers Node's link rate to Rate bits per second.
+	FaultRateDrop FaultKind = "rate-drop"
+	// FaultBlackhole drops every RDMA frame at Node (the mux port the
+	// RNIC listens on) while the reliable control and image-transfer
+	// channels stay up — the only partition a migration can survive,
+	// and what "partition inside the checkpoint window" means here.
+	FaultBlackhole FaultKind = "blackhole"
+)
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind  FaultKind
+	Node  string
+	Prob  float64       // loss / duplicate / reorder probability
+	Delay time.Duration // reorder hold-back
+	Rate  int64         // rate-drop bits per second
+
+	// At arms the fault at an absolute virtual time (the run starts at
+	// t=0, traffic is warm by Warmup). Ignored when Phase is set.
+	At time.Duration
+	// Phase arms the fault when the migration workflow enters the named
+	// runc stage ("predump", "suspend-wbs", "transfer", "resume", ...).
+	Phase string
+	// Duration disarms the fault this long after arming; zero keeps it
+	// armed until the driver's final cleanup.
+	Duration time.Duration
+}
+
+// Schedule is a named fault list applied to one run.
+type Schedule struct {
+	Name   string
+	Faults []Fault
+}
+
+// Run timing constants. Warmup is exported so schedules can place
+// absolute-time faults relative to the start of steady-state traffic.
+const (
+	Warmup  = 2 * time.Millisecond
+	settle  = 5 * time.Millisecond
+	horizon = 1 * time.Second
+)
+
+// Report summarises one chaos run.
+type Report struct {
+	Seed     int64
+	Schedule string
+	// TraceHash is a SHA-256 over the run's event ledger. Same (seed,
+	// schedule) ⇒ identical hash; it is the replay key for a failure.
+	TraceHash string
+	Events    int
+
+	Completed  int64 // client operations completed
+	ServerRecv int64 // server messages received
+	Dropped    int64 // frames dropped by injected faults and loss
+	Duplicated int64 // frames duplicated by injection
+	Reordered  int64 // frames delayed by reorder injection
+
+	FinalStage string
+	Migration  *runc.Report
+	// FaultsArmed counts fault activations, so tests can reject a
+	// schedule that silently never fired.
+	FaultsArmed int
+
+	// Violations lists every invariant breach; empty means the run
+	// passed.
+	Violations []string
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = fmt.Sprintf("FAIL(%d)", len(r.Violations))
+	}
+	return fmt.Sprintf("seed=%-4d schedule=%-18s %s completed=%d dropped=%d dup=%d reord=%d hash=%s",
+		r.Seed, r.Schedule, verdict, r.Completed, r.Dropped, r.Duplicated, r.Reordered, r.TraceHash[:16])
+}
+
+// event is one ledger entry. All fields enter the trace hash.
+type event struct {
+	t      time.Duration
+	kind   string // cqe, ack, exp, dereg, rkey, stage, fault
+	node   string
+	qpn    uint32
+	wrid   uint64
+	psn    uint32
+	opcode rnic.Opcode
+	status rnic.WCStatus
+	rkey   uint32
+	ok     bool
+	note   string
+}
+
+// recorder accumulates the ledger. Taps run inline on the scheduler
+// loop, so appends are single-threaded and ordered deterministically.
+type recorder struct {
+	sched  *sim.Scheduler
+	events []event
+}
+
+func (rc *recorder) add(e event) {
+	e.t = rc.sched.Now()
+	rc.events = append(rc.events, e)
+}
+
+// tap builds the device tap feeding the ledger.
+func (rc *recorder) tap() *rnic.Tap {
+	return &rnic.Tap{
+		CQE: func(node string, cq uint32, e rnic.CQE) {
+			rc.add(event{kind: "cqe", node: node, qpn: e.QPN, wrid: e.WRID,
+				opcode: e.Opcode, status: e.Status})
+		},
+		AckedPSN: func(node string, qpn, psn uint32) {
+			rc.add(event{kind: "ack", node: node, qpn: qpn, psn: psn})
+		},
+		ExpPSN: func(node string, qpn, psn uint32) {
+			rc.add(event{kind: "exp", node: node, qpn: qpn, psn: psn})
+		},
+		Dereg: func(node string, rkey uint32) {
+			rc.add(event{kind: "dereg", node: node, rkey: rkey})
+		},
+		RemoteKey: func(node string, rkey uint32, granted bool) {
+			rc.add(event{kind: "rkey", node: node, rkey: rkey, ok: granted})
+		},
+	}
+}
+
+// hash folds the ledger into the deterministic trace hash.
+func (rc *recorder) hash() string {
+	h := sha256.New()
+	for _, e := range rc.events {
+		fmt.Fprintf(h, "%d|%s|%s|%d|%d|%d|%d|%d|%d|%v|%s\n",
+			e.t, e.kind, e.node, e.qpn, e.wrid, e.psn, e.opcode, e.status, e.rkey, e.ok, e.note)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// injector applies and clears faults on the fabric. Loss, duplication
+// and reordering are injected on the RDMA mux port only: the OOB
+// control plane and image-transfer stream model TCP connections whose
+// retransmission is abstracted away, so corrupting them would assert
+// nothing about RDMA migration (and the simulated control channels have
+// no retransmit to recover with). Rate drops affect the whole link.
+type injector struct {
+	sched *sim.Scheduler
+	net   interface {
+		SetPortLoss(name, port string, p float64)
+		SetPortDuplicate(name, port string, p float64)
+		SetPortReorder(name, port string, p float64, delay time.Duration)
+		SetRate(name string, bps int64)
+	}
+	rec   *recorder
+	armed []Fault
+}
+
+func (in *injector) arm(f Fault) {
+	in.apply(f, true)
+	in.armed = append(in.armed, f)
+	if f.Duration > 0 {
+		in.sched.AfterFunc(f.Duration, func() { in.apply(f, false) })
+	}
+}
+
+func (in *injector) clearAll() {
+	for _, f := range in.armed {
+		in.apply(f, false)
+	}
+	in.armed = nil
+}
+
+// apply sets (on) or clears (off) one fault. Clearing is idempotent, so
+// a Duration disarm followed by the final clearAll is harmless.
+func (in *injector) apply(f Fault, on bool) {
+	in.rec.add(event{kind: "fault", node: f.Node, ok: on, note: string(f.Kind)})
+	switch f.Kind {
+	case FaultLoss:
+		p := f.Prob
+		if !on {
+			p = 0
+		}
+		in.net.SetPortLoss(f.Node, rnic.PortRDMA, p)
+	case FaultDuplicate:
+		p := f.Prob
+		if !on {
+			p = 0
+		}
+		in.net.SetPortDuplicate(f.Node, rnic.PortRDMA, p)
+	case FaultReorder:
+		p := f.Prob
+		if !on {
+			p = 0
+		}
+		in.net.SetPortReorder(f.Node, rnic.PortRDMA, p, f.Delay)
+	case FaultRateDrop:
+		r := f.Rate
+		if !on {
+			r = 0
+		}
+		in.net.SetRate(f.Node, r)
+	case FaultBlackhole:
+		p := 1.0
+		if f.Prob > 0 {
+			p = f.Prob
+		}
+		if !on {
+			p = 0
+		}
+		in.net.SetPortLoss(f.Node, rnic.PortRDMA, p)
+	default:
+		panic("chaos: unknown fault kind " + string(f.Kind))
+	}
+}
+
+// Run executes one chaos run and returns its report. It is
+// deterministic: the same (seed, schedule) always yields a
+// byte-identical TraceHash.
+func Run(seed int64, schedule Schedule) *Report {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cl := cluster.New(cfg, "src", "dst", "partner")
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+
+	// Endless order-checked SEND traffic, paced so a run stays light.
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+	}
+	srv := perftest.NewServer(sched, "srv", opts)
+	cli := perftest.NewClient(sched, "cli", opts, perftest.Target{Node: "partner", Name: "srv"})
+	srvCont := runc.NewContainer(cl.Host("partner"), "server")
+	srvCont.Start(func(tp *task.Process) { srv.Run(tp, daemons["partner"]) })
+	cliCont := runc.NewContainer(cl.Host("src"), "client")
+	sched.Go("chaos-start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, daemons["src"]) })
+	})
+
+	inj := &injector{sched: sched, net: cl.Net, rec: rec}
+	rep := &Report{Seed: seed, Schedule: schedule.Name}
+	var (
+		mrep   *runc.Report
+		migErr error
+		atMig  int64
+		done   bool
+	)
+	sched.Go("chaos-driver", func() {
+		cli.WaitReady()
+		sched.Sleep(Warmup)
+		for _, f := range schedule.Faults {
+			if f.Phase != "" {
+				continue
+			}
+			f := f
+			d := f.At - sched.Now()
+			if d < 0 {
+				d = 0
+			}
+			sched.AfterFunc(d, func() { inj.arm(f) })
+		}
+		m := &runc.Migrator{
+			C:    cliCont,
+			Dst:  cl.Host("dst"),
+			Plug: core.NewPlugin(daemons["src"], daemons["dst"]),
+			Opts: runc.DefaultMigrateOptions(),
+		}
+		m.OnStage = func(stage string) {
+			rec.add(event{kind: "stage", note: stage})
+			for _, f := range schedule.Faults {
+				if f.Phase == stage {
+					inj.arm(f)
+				}
+			}
+		}
+		mrep, migErr = m.Migrate()
+		rep.FinalStage = m.Stage
+		atMig = cli.Stats.Completed
+		sched.Sleep(settle)
+		inj.clearAll()
+		// Post-fault settle: retransmission timers recover anything the
+		// tail of a fault window clipped.
+		sched.Sleep(settle)
+		cli.Stop()
+		cli.Wait()
+		sched.Sleep(settle) // last deliveries reach the server
+		srv.Stop()
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	rep.Migration = mrep
+	rep.Completed = cli.Stats.Completed
+	rep.ServerRecv = srv.Stats.Completed
+	for _, n := range cl.Names() {
+		_, dr := cl.Net.Stats(n)
+		dup, reord := cl.Net.FaultStats(n)
+		rep.Dropped += dr
+		rep.Duplicated += dup
+		rep.Reordered += reord
+	}
+	for _, e := range rec.events {
+		if e.kind == "fault" && e.ok {
+			rep.FaultsArmed++
+		}
+	}
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+	rep.Violations = check(rec, cli, srv, done, migErr, atMig)
+	return rep
+}

@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"fmt"
+
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+)
+
+// qpKey identifies one QP incarnation. Migration rebuilds QPs with
+// fresh physical QPNs on the destination device, so (node, qpn) keys a
+// single incarnation and per-key invariants hold across the boundary
+// while the application-level sequence check (perftest CheckOrder)
+// covers continuity end to end.
+type qpKey struct {
+	node string
+	qpn  uint32
+}
+
+// check validates every end-to-end invariant against the run's ledger
+// and final workload state, returning one message per breach.
+func check(rec *recorder, cli *perftest.Client, srv *perftest.Server, done bool, migErr error, atMig int64) []string {
+	var v []string
+	badf := func(format string, args ...interface{}) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	// Liveness: the driver (migration + drain) finished inside the
+	// horizon. Everything else is meaningless if it did not.
+	if !done {
+		badf("run did not complete within the horizon")
+		return v
+	}
+	if migErr != nil {
+		badf("migration failed: %v", migErr)
+	}
+
+	// Exactly-once, in-order, uncorrupted delivery across the migration
+	// boundary: perftest CheckOrder stamps every payload and verifies
+	// WR-ID sequence on both sides; any slip lands in Stats.Errors.
+	for _, e := range cli.Stats.Errors {
+		badf("client: %s", e)
+	}
+	for _, e := range srv.Stats.Errors {
+		badf("server: %s", e)
+	}
+	if cli.Stats.Completed != srv.Stats.Completed {
+		badf("completion mismatch: client %d != server %d", cli.Stats.Completed, srv.Stats.Completed)
+	}
+
+	// Traffic resumed on the destination after switch-over.
+	if cli.Stats.Completed <= atMig {
+		badf("no progress after migration (stuck at %d completions)", atMig)
+	}
+	if cli.Sess != nil && cli.Sess.Node() != "dst" {
+		badf("client session on %q, want dst", cli.Sess.Node())
+	}
+
+	// Every WaitNonEmpty poller on the migrated session drained: once
+	// the client finished, nobody may still be parked on a dead
+	// pre-migration CQ. (The server's poller legitimately parks waiting
+	// for traffic that will never come; its drain is proven by the
+	// completion-count equality above.)
+	if cli.Sess != nil && cli.Sess.ActivePollers() != 0 {
+		badf("client still has %d active CQ pollers", cli.Sess.ActivePollers())
+	}
+
+	// Ledger scan. Runs are far below 2^24 packets, so PSN monotonicity
+	// can be checked numerically without wrap handling.
+	type psnState struct {
+		seen bool
+		last uint32
+	}
+	acked := make(map[qpKey]*psnState)
+	exp := make(map[qpKey]*psnState)
+	type wridState struct {
+		seen bool
+		last uint64
+	}
+	lastSendWRID := make(map[qpKey]*wridState)
+	dereg := make(map[string]map[uint32]bool) // node → rkeys deregistered so far
+	ackViol, expViol, wridViol := 0, 0, 0
+	for _, e := range rec.events {
+		k := qpKey{e.node, e.qpn}
+		switch e.kind {
+		case "ack":
+			st := acked[k]
+			if st == nil {
+				st = &psnState{}
+				acked[k] = st
+			}
+			if st.seen && e.psn <= st.last {
+				ackViol++
+				if ackViol <= 3 {
+					badf("acked PSN regressed on %s qpn=%#x: %d after %d", e.node, e.qpn, e.psn, st.last)
+				}
+			}
+			st.seen, st.last = true, e.psn
+		case "exp":
+			st := exp[k]
+			if st == nil {
+				st = &psnState{}
+				exp[k] = st
+			}
+			if st.seen && e.psn <= st.last {
+				expViol++
+				if expViol <= 3 {
+					badf("responder expPSN regressed on %s qpn=%#x: %d after %d", e.node, e.qpn, e.psn, st.last)
+				}
+			}
+			st.seen, st.last = true, e.psn
+		case "cqe":
+			// Requester-side completions carry the posting WR-ID, which
+			// perftest assigns in strictly increasing order per QP; a
+			// duplicate or reordered completion shows up here even if
+			// the application never polls it. Receive WR-IDs recycle, so
+			// only send-side opcodes are checked.
+			if e.status != rnic.WCSuccess || e.opcode == rnic.OpRecv {
+				continue
+			}
+			st := lastSendWRID[k]
+			if st == nil {
+				st = &wridState{}
+				lastSendWRID[k] = st
+			}
+			if st.seen && e.wrid <= st.last {
+				wridViol++
+				if wridViol <= 3 {
+					badf("send completion out of order on %s qpn=%#x: wrid %d after %d", e.node, e.qpn, e.wrid, st.last)
+				}
+			}
+			st.seen, st.last = true, e.wrid
+		case "dereg":
+			m := dereg[e.node]
+			if m == nil {
+				m = make(map[uint32]bool)
+				dereg[e.node] = m
+			}
+			m[e.rkey] = true
+		case "rkey":
+			// rkey protection: once deregistered, a key must never be
+			// admitted again — even by a delayed duplicate replaying an
+			// old one-sided access against the reclaimed source NIC.
+			if e.ok && dereg[e.node][e.rkey] {
+				badf("post-Dereg rkey %#x admitted on %s", e.rkey, e.node)
+			}
+		}
+	}
+	if ackViol > 3 {
+		badf("... %d more acked-PSN regressions", ackViol-3)
+	}
+	if expViol > 3 {
+		badf("... %d more expPSN regressions", expViol-3)
+	}
+	if wridViol > 3 {
+		badf("... %d more out-of-order send completions", wridViol-3)
+	}
+	return v
+}

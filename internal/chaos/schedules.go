@@ -1,0 +1,60 @@
+package chaos
+
+import "time"
+
+// Schedules returns the standard fault-schedule library the sweep tests
+// and cmd/migrchaos run. Fault windows are sized against the transport
+// budgets: a blackhole must clear within MaxRetries × RTO (7 × 500 µs)
+// or the QP enters the error state, and phase-armed faults land inside
+// the checkpoint/restore window regardless of when migration starts.
+func Schedules() []Schedule {
+	return []Schedule{
+		{Name: "clean"},
+		{Name: "loss-burst", Faults: []Fault{
+			// Back-to-back bursts on both traffic endpoints while the
+			// migration is (typically) in its pre-dump/pre-restore work.
+			{Kind: FaultLoss, Node: "src", Prob: 0.25, At: Warmup, Duration: 2 * time.Millisecond},
+			{Kind: FaultLoss, Node: "partner", Prob: 0.25, At: Warmup + time.Millisecond, Duration: 2 * time.Millisecond},
+			// And a second burst timed to the resume phase, when replayed
+			// WRs are back in flight.
+			{Kind: FaultLoss, Node: "partner", Prob: 0.25, Phase: "resume", Duration: time.Millisecond},
+		}},
+		{Name: "duplicate", Faults: []Fault{
+			{Kind: FaultDuplicate, Node: "partner", Prob: 0.3, At: Warmup, Duration: 5 * time.Millisecond},
+			{Kind: FaultDuplicate, Node: "src", Prob: 0.3, At: Warmup, Duration: 5 * time.Millisecond},
+			{Kind: FaultDuplicate, Node: "dst", Prob: 0.3, Phase: "resume", Duration: 2 * time.Millisecond},
+		}},
+		{Name: "reorder", Faults: []Fault{
+			{Kind: FaultReorder, Node: "partner", Prob: 0.2, Delay: 20 * time.Microsecond, At: Warmup, Duration: 5 * time.Millisecond},
+			{Kind: FaultReorder, Node: "src", Prob: 0.2, Delay: 20 * time.Microsecond, At: Warmup + time.Millisecond, Duration: 4 * time.Millisecond},
+		}},
+		{Name: "mid-freeze-partition", Faults: []Fault{
+			// A full RDMA-data-path partition across the checkpoint
+			// window. The partner blackholes while the client is still
+			// posting during pre-dump (guaranteeing unacked in-flight
+			// work when suspension hits), again while wait-before-stop
+			// runs, and once more while the destination resumes. 2.5 ms
+			// stays inside the 7 × 500 µs retry budget of any one WR.
+			{Kind: FaultBlackhole, Node: "partner", Phase: "predump", Duration: 2500 * time.Microsecond},
+			{Kind: FaultBlackhole, Node: "src", Phase: "suspend-wbs", Duration: time.Millisecond},
+			{Kind: FaultBlackhole, Node: "partner", Phase: "resume", Duration: time.Millisecond},
+		}},
+		{Name: "rate-drop", Faults: []Fault{
+			// The source link renegotiates down 10× during steady state
+			// and the destination link is degraded through the image
+			// transfer and restore.
+			{Kind: FaultRateDrop, Node: "src", Rate: 10e9, At: Warmup, Duration: 10 * time.Millisecond},
+			{Kind: FaultRateDrop, Node: "dst", Rate: 10e9, Phase: "transfer", Duration: 10 * time.Millisecond},
+		}},
+	}
+}
+
+// ScheduleByName returns the named schedule from Schedules, or false.
+func ScheduleByName(name string) (Schedule, bool) {
+	for _, s := range Schedules() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}

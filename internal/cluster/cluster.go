@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"migrrdma/internal/criu"
@@ -81,6 +82,18 @@ func (c *Cluster) Host(name string) *Host {
 		panic("cluster: unknown host " + name)
 	}
 	return h
+}
+
+// Names returns the host names in sorted order. Deterministic consumers
+// (trace hashing, tap installation) must iterate hosts through it
+// rather than ranging over the Hosts map.
+func (c *Cluster) Names() []string {
+	names := make([]string, 0, len(c.Hosts))
+	for n := range c.Hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // --- criu.HostServices -------------------------------------------------------

@@ -60,6 +60,11 @@ type Session struct {
 	// directed to the fake CQs (§3.4).
 	wbsActive bool
 
+	// activePollers counts procs currently blocked in CQ.WaitNonEmpty.
+	// The chaos checker asserts it returns to zero after traffic stops:
+	// no poller is left parked on a dead pre-migration CQ.
+	activePollers int
+
 	// stats for the virtualization-overhead evaluation.
 	RKeyFetches int64
 
@@ -689,6 +694,8 @@ func (cq *CQ) Len() int {
 // migration: during the blackout it parks on the freeze gate, and after
 // restoration it observes the fake CQ or the new real CQ.
 func (cq *CQ) WaitNonEmpty() {
+	cq.sess.activePollers++
+	defer func() { cq.sess.activePollers-- }()
 	for {
 		cq.sess.Proc.Gate()
 		if len(cq.fake) > 0 || (!cq.sess.wbsActive && cq.v.Len() > 0) {
@@ -711,6 +718,11 @@ const cqWaitSlice = 100 * time.Microsecond
 
 // ReqNotify arms the CQ for an event.
 func (cq *CQ) ReqNotify() { cq.v.ReqNotify() }
+
+// ActivePollers reports how many procs are blocked in WaitNonEmpty on
+// any of the session's CQs. After traffic quiesces it must be zero —
+// the "every poller drains" invariant of the chaos harness.
+func (s *Session) ActivePollers() int { return s.activePollers }
 
 // translateCQE rewrites the physical QPN in a completion to the virtual
 // one in place, consulting the temporary table for pre-migration QPNs

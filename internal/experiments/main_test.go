@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	// The figure-regeneration tests are minutes of single-threaded
+	// simulator compute; under the race detector they blow the test
+	// timeout without adding coverage — the concurrent machinery they
+	// drive is race-tested directly in internal/{chaos,core,perftest,
+	// runc}. Skip the package when -race is on.
+	if raceEnabled {
+		fmt.Println("skipping internal/experiments under -race: sim-heavy figure regeneration; race coverage lives in the unit tiers")
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}

@@ -64,9 +64,23 @@ type port struct {
 	lossPort string
 	// partitioned drops every frame to and from the node.
 	partitioned bool
+	// dupProb delivers incoming frames twice with the given probability;
+	// dupPort restricts duplication to one port ("" = every port).
+	dupProb float64
+	dupPort string
+	// reorderProb holds back an incoming frame for reorderDelay so that
+	// later frames overtake it; reorderPort restricts it to one port.
+	reorderProb  float64
+	reorderPort  string
+	reorderDelay time.Duration
+	// rate overrides the network link rate for this port (0 = default),
+	// modelling a degraded or renegotiated link.
+	rate int64
 	// delivered and dropped count frames for tests and traces.
 	delivered, dropped int64
-	rxBytes, txBytes   int64
+	// duplicated and reordered count injected faults.
+	duplicated, reordered int64
+	rxBytes, txBytes      int64
 }
 
 // New creates an empty network.
@@ -116,6 +130,41 @@ func (n *Network) SetPortLoss(name, port string, p float64) {
 	pt.lossProb, pt.lossPort = p, port
 }
 
+// SetDuplicate sets the probability that a frame entering the node is
+// delivered twice, modelling a switch retransmitting onto the downlink.
+// The copy re-serializes on the downlink so it arrives strictly after
+// the original. Draws use the scheduler's deterministic RNG.
+func (n *Network) SetDuplicate(name string, p float64) {
+	pt := n.mustPort(name)
+	pt.dupProb, pt.dupPort = p, ""
+}
+
+// SetPortDuplicate restricts duplication to one mux port.
+func (n *Network) SetPortDuplicate(name, port string, p float64) {
+	pt := n.mustPort(name)
+	pt.dupProb, pt.dupPort = p, port
+}
+
+// SetReorder sets the probability that a frame entering the node is held
+// back for delay, letting frames behind it overtake (out-of-order
+// delivery as produced by multi-path fabrics). Draws use the scheduler's
+// deterministic RNG.
+func (n *Network) SetReorder(name string, p float64, delay time.Duration) {
+	pt := n.mustPort(name)
+	pt.reorderProb, pt.reorderPort, pt.reorderDelay = p, "", delay
+}
+
+// SetPortReorder restricts reordering to one mux port.
+func (n *Network) SetPortReorder(name, port string, p float64, delay time.Duration) {
+	pt := n.mustPort(name)
+	pt.reorderProb, pt.reorderPort, pt.reorderDelay = p, port, delay
+}
+
+// SetRate overrides the link rate of one node in bits per second,
+// modelling a renegotiated or degraded link. Zero restores the shared
+// network rate. Frames already serialized keep their old timing.
+func (n *Network) SetRate(name string, bps int64) { n.mustPort(name).rate = bps }
+
 // SetPartitioned isolates or reconnects a node.
 func (n *Network) SetPartitioned(name string, v bool) { n.mustPort(name).partitioned = v }
 
@@ -123,6 +172,12 @@ func (n *Network) SetPartitioned(name string, v bool) { n.mustPort(name).partiti
 func (n *Network) Stats(name string) (delivered, dropped int64) {
 	p := n.mustPort(name)
 	return p.delivered, p.dropped
+}
+
+// FaultStats reports frames duplicated and reordered on the way to name.
+func (n *Network) FaultStats(name string) (duplicated, reordered int64) {
+	p := n.mustPort(name)
+	return p.duplicated, p.reordered
 }
 
 func (n *Network) mustPort(name string) *port {
@@ -145,6 +200,15 @@ func (n *Network) serialization(size int) time.Duration {
 	return time.Duration(int64(size) * 8 * int64(time.Second) / n.cfg.Rate)
 }
 
+// serializationAt is serialization against one port's effective rate.
+func (n *Network) serializationAt(p *port, size int) time.Duration {
+	rate := n.cfg.Rate
+	if p.rate > 0 {
+		rate = p.rate
+	}
+	return time.Duration(int64(size) * 8 * int64(time.Second) / rate)
+}
+
 // Send injects a frame at its source node. Delivery is scheduled through
 // the switch: the frame serializes onto the source uplink, propagates,
 // store-and-forwards through the switch onto the destination downlink,
@@ -163,28 +227,50 @@ func (n *Network) Send(f Frame) {
 		dst.dropped++
 		return
 	}
-	ser := n.serialization(f.Size)
 	// Uplink: source NIC → switch.
 	start := now
 	if src.upBusy > start {
 		start = src.upBusy
 	}
-	src.upBusy = start + ser
+	src.upBusy = start + n.serializationAt(src, f.Size)
 	src.txBytes += int64(f.Size)
 	arriveSwitch := src.upBusy + n.cfg.PropDelay
 	// Downlink: switch → destination NIC (store-and-forward).
+	serDown := n.serializationAt(dst, f.Size)
 	egress := arriveSwitch
 	if dst.downBusy > egress {
 		egress = dst.downBusy
 	}
-	dst.downBusy = egress + ser
+	dst.downBusy = egress + serDown
 	arrive := dst.downBusy + n.cfg.PropDelay
 	if dst.lossProb > 0 && (dst.lossPort == "" || dst.lossPort == f.Port) &&
 		n.sched.Rand().Float64() < dst.lossProb {
 		dst.dropped++
 		return
 	}
-	n.sched.AfterFunc(arrive-now, func() {
+	if dst.reorderProb > 0 && (dst.reorderPort == "" || dst.reorderPort == f.Port) &&
+		n.sched.Rand().Float64() < dst.reorderProb {
+		dst.reordered++
+		arrive += dst.reorderDelay
+	}
+	n.deliverAt(dst, f, arrive-now)
+	if dst.dupProb > 0 && (dst.dupPort == "" || dst.dupPort == f.Port) &&
+		n.sched.Rand().Float64() < dst.dupProb {
+		// The copy re-serializes on the downlink behind everything queued
+		// so far, so it always trails the original.
+		egress2 := arriveSwitch
+		if dst.downBusy > egress2 {
+			egress2 = dst.downBusy
+		}
+		dst.downBusy = egress2 + serDown
+		dst.duplicated++
+		n.deliverAt(dst, f, dst.downBusy+n.cfg.PropDelay-now)
+	}
+}
+
+// deliverAt schedules one delivery of f to dst after d.
+func (n *Network) deliverAt(dst *port, f Frame, d time.Duration) {
+	n.sched.AfterFunc(d, func() {
 		dst.delivered++
 		dst.rxBytes += int64(f.Size)
 		if dst.handler == nil {

@@ -162,3 +162,123 @@ func TestCrossTrafficSharesDownlink(t *testing.T) {
 		t.Fatalf("aggregate %.1f Gbps through shared downlink, want ≈100", gbps)
 	}
 }
+
+func TestDuplicateInjection(t *testing.T) {
+	s, n, got, at := newPair(t, Config{})
+	n.SetDuplicate("b", 1.0)
+	const frames = 20
+	s.Go("send", func() {
+		for i := 0; i < frames; i++ {
+			n.Send(Frame{Src: "a", Dst: "b", Size: 256, Data: []byte{byte(i)}})
+		}
+	})
+	s.Run()
+	if len(*got) != 2*frames {
+		t.Fatalf("delivered %d frames, want %d (every frame twice)", len(*got), 2*frames)
+	}
+	dup, _ := n.FaultStats("b")
+	if dup != frames {
+		t.Fatalf("duplicated = %d, want %d", dup, frames)
+	}
+	// The copy re-serializes on the downlink, so arrivals are strictly
+	// increasing: no two deliveries share an instant.
+	for i := 1; i < len(*at); i++ {
+		if (*at)[i] <= (*at)[i-1] {
+			t.Fatalf("delivery %d at %v not after %v", i, (*at)[i], (*at)[i-1])
+		}
+	}
+}
+
+func TestPortScopedDuplicate(t *testing.T) {
+	s, n, got, _ := newPair(t, Config{})
+	n.SetPortDuplicate("b", "data", 1.0)
+	s.Go("send", func() {
+		n.Send(Frame{Src: "a", Dst: "b", Port: "data", Size: 64})
+		n.Send(Frame{Src: "a", Dst: "b", Port: "ctl", Size: 64})
+	})
+	s.Run()
+	if len(*got) != 3 {
+		t.Fatalf("delivered %d frames, want 3 (data twice, ctl once)", len(*got))
+	}
+}
+
+func TestReorderInjection(t *testing.T) {
+	s, n, got, _ := newPair(t, Config{})
+	s.Go("send", func() {
+		// First frame is held back long enough for the second to
+		// overtake it; the knob is cleared in between so the draw is
+		// deterministic.
+		n.SetReorder("b", 1.0, 100*time.Microsecond)
+		n.Send(Frame{Src: "a", Dst: "b", Size: 64, Data: []byte{1}})
+		n.SetReorder("b", 0, 0)
+		n.Send(Frame{Src: "a", Dst: "b", Size: 64, Data: []byte{2}})
+	})
+	s.Run()
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(*got))
+	}
+	if (*got)[0].Data[0] != 2 || (*got)[1].Data[0] != 1 {
+		t.Fatalf("no overtake: order %d,%d", (*got)[0].Data[0], (*got)[1].Data[0])
+	}
+	if _, reord := n.FaultStats("b"); reord != 1 {
+		t.Fatalf("reordered = %d, want 1", reord)
+	}
+}
+
+func TestRateOverride(t *testing.T) {
+	cfg := Config{Rate: 100e9, PropDelay: time.Microsecond}
+	s, n, got, at := newPair(t, cfg)
+	n.SetRate("b", 1e9) // downlink of b degrades 100×
+	s.Go("send", func() {
+		n.Send(Frame{Src: "a", Dst: "b", Size: 1250})
+	})
+	s.Run()
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(*got))
+	}
+	// Uplink still serializes at 100 Gbps (100 ns), the downlink at
+	// 1 Gbps (10 µs), plus two propagation hops.
+	want := 100*time.Nanosecond + time.Microsecond + 10*time.Microsecond + time.Microsecond
+	if (*at)[0] != want {
+		t.Fatalf("arrival at %v, want %v", (*at)[0], want)
+	}
+	// Restoring the default rate restores the timing for later frames.
+	n.SetRate("b", 0)
+	if n.serializationAt(n.mustPort("b"), 1250) != n.serialization(1250) {
+		t.Fatal("rate override not cleared")
+	}
+}
+
+func TestFaultKnobsIdleDrawNothing(t *testing.T) {
+	// Disabled fault knobs must not consume RNG draws: two identical
+	// networks, one with the knobs explicitly zeroed, must deliver at
+	// identical times when loss draws are active.
+	run := func(touch bool) []time.Duration {
+		s := sim.New(11)
+		n := New(s, Config{})
+		n.Attach("a", func(Frame) {})
+		var at []time.Duration
+		n.Attach("b", func(Frame) { at = append(at, s.Now()) })
+		n.SetLoss("b", 0.5)
+		if touch {
+			n.SetDuplicate("b", 0)
+			n.SetReorder("b", 0, time.Millisecond)
+		}
+		s.Go("send", func() {
+			for i := 0; i < 200; i++ {
+				n.Send(Frame{Src: "a", Dst: "b", Size: 64})
+			}
+		})
+		s.Run()
+		return at
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("draw sequence perturbed: %d vs %d deliveries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+}

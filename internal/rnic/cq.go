@@ -79,6 +79,7 @@ func (cq *CQ) push(e CQE) {
 		return
 	}
 	cq.queue = append(cq.queue, e)
+	cq.dev.tapCQE(cq.Handle, e)
 	if cq.ringAS != nil {
 		var slot [cqeSlotSize]byte
 		binary.LittleEndian.PutUint64(slot[:], e.WRID)

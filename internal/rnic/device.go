@@ -141,9 +141,55 @@ type Device struct {
 
 	closed bool
 
+	// tap, when installed, observes data-path events for external
+	// checkers (the chaos harness' completion ledger).
+	tap *Tap
+
 	// TxBytes and RxBytes count data-path wire bytes (the mlx5 ethtool
 	// counters used for Fig. 5's throughput sampling).
 	TxBytes, RxBytes int64
+}
+
+// Tap observes device data-path events for external checkers. All
+// callbacks run inline on the scheduler loop and must not block; nil
+// callbacks are skipped.
+type Tap struct {
+	// CQE fires for every completion entering a CQ, before software
+	// polls it (the completion ledger).
+	CQE func(node string, cq uint32, e CQE)
+	// AckedPSN fires when the requester marks a send-queue entry
+	// acknowledged. Entries never leave the acked state, so each PSN
+	// fires at most once per QP incarnation and in PSN order — the
+	// monotonicity invariant go-back-N must preserve.
+	AckedPSN func(node string, qpn, psn uint32)
+	// ExpPSN fires when the responder advances its expected PSN.
+	ExpPSN func(node string, qpn, psn uint32)
+	// Dereg fires when an MR is deregistered, with its rkey.
+	Dereg func(node string, rkey uint32)
+	// RemoteKey fires on every inbound rkey protection check with the
+	// verdict, letting a checker prove no post-Dereg rkey is admitted.
+	RemoteKey func(node string, rkey uint32, granted bool)
+}
+
+// SetTap installs (or, with nil, removes) the device tap.
+func (d *Device) SetTap(t *Tap) { d.tap = t }
+
+func (d *Device) tapCQE(cq uint32, e CQE) {
+	if d.tap != nil && d.tap.CQE != nil {
+		d.tap.CQE(d.node, cq, e)
+	}
+}
+
+func (d *Device) tapAcked(qpn, psn uint32) {
+	if d.tap != nil && d.tap.AckedPSN != nil {
+		d.tap.AckedPSN(d.node, qpn, psn)
+	}
+}
+
+func (d *Device) tapExpPSN(qpn, psn uint32) {
+	if d.tap != nil && d.tap.ExpPSN != nil {
+		d.tap.ExpPSN(d.node, qpn, psn)
+	}
 }
 
 // NewDevice creates an RNIC on the given fabric node and registers its
@@ -322,6 +368,9 @@ func (d *Device) DeregMR(mr *MR) {
 	d.sched.Sleep(d.cfg.DestroyLat)
 	delete(d.mrs, mr.LKey)
 	delete(d.rmrs, mr.RKey)
+	if d.tap != nil && d.tap.Dereg != nil {
+		d.tap.Dereg(d.node, mr.RKey)
+	}
 }
 
 // lookupLocal resolves an SGE to its MR, validating range and (for recv
@@ -345,6 +394,14 @@ func (d *Device) lookupLocal(pd *PD, sge SGE, needWrite bool) (*MR, error) {
 
 // lookupRemote resolves an inbound rkey for a one-sided access.
 func (d *Device) lookupRemote(rkey uint32, addr mem.Addr, length uint32, need Access) (*mem.AddressSpace, bool) {
+	as, ok := d.lookupRemoteKey(rkey, addr, length, need)
+	if d.tap != nil && d.tap.RemoteKey != nil {
+		d.tap.RemoteKey(d.node, rkey, ok)
+	}
+	return as, ok
+}
+
+func (d *Device) lookupRemoteKey(rkey uint32, addr mem.Addr, length uint32, need Access) (*mem.AddressSpace, bool) {
 	if mr, ok := d.rmrs[rkey]; ok {
 		if addr >= mr.Addr && addr+mem.Addr(length) <= mr.Addr+mem.Addr(mr.Len) && mr.Access&need != 0 {
 			return mr.as, true

@@ -77,6 +77,13 @@ type QP struct {
 	NSent     uint64
 	NRecvDone uint64
 
+	// Fault-path counters: responder NAKs and RNR NAKs sent, requester
+	// go-back-N rewinds (NAK- or RTO-triggered). Fault-injection tests
+	// use them to prove their corpora reach these branches.
+	NNaks    uint64
+	NRNRs    uint64
+	NGoBackN uint64
+
 	// closed marks a destroyed QP.
 	closed bool
 }

@@ -432,6 +432,7 @@ func (qp *QP) execute(p *packet, data []byte, src string) {
 func (qp *QP) advance(src string, srcQPN uint32) {
 	acked := qp.expPSN
 	qp.expPSN = psnAdd(qp.expPSN, 1)
+	qp.dev.tapExpPSN(qp.QPN, qp.expPSN)
 	qp.nakSent = false
 	qp.dev.sendCtl(src, &packet{
 		Type: ptAck, DstQPN: srcQPN, SrcQPN: qp.QPN, AckPSN: acked, Last: true,
@@ -491,6 +492,7 @@ func (qp *QP) streamReadResponse(dst string, dstQPN, psn uint32, data []byte) {
 
 // sendNak sends a go-back-N sequence NAK for the expected PSN.
 func (qp *QP) sendNak(dst string, dstQPN, expected uint32, syndrome uint8) {
+	qp.NNaks++
 	qp.dev.sendCtl(dst, &packet{
 		Type: ptNak, DstQPN: dstQPN, SrcQPN: qp.QPN, AckPSN: expected,
 		Syndrome: syndrome, Last: true,
@@ -499,6 +501,7 @@ func (qp *QP) sendNak(dst string, dstQPN, expected uint32, syndrome uint8) {
 
 // sendRNR reports receiver-not-ready for the given message PSN.
 func (qp *QP) sendRNR(dst string, dstQPN, psn uint32) {
+	qp.NRNRs++
 	qp.dev.sendCtl(dst, &packet{
 		Type: ptRnrNak, DstQPN: dstQPN, SrcQPN: qp.QPN, AckPSN: psn, Last: true,
 	})
@@ -583,6 +586,7 @@ func (qp *QP) requester(p *packet) {
 					e.status = WCLocalProtErr
 				}
 				e.state = sqAcked
+				qp.dev.tapAcked(qp.QPN, e.psn)
 				break
 			}
 		}
@@ -600,6 +604,7 @@ func (qp *QP) requester(p *packet) {
 					}
 				}
 				e.state = sqAcked
+				qp.dev.tapAcked(qp.QPN, e.psn)
 				break
 			}
 		}
@@ -617,6 +622,7 @@ func (qp *QP) ackUpTo(ack uint32) {
 				continue
 			}
 			e.state = sqAcked
+			qp.dev.tapAcked(qp.QPN, e.psn)
 		}
 	}
 	qp.afterAck()
@@ -627,6 +633,7 @@ func (qp *QP) ackBelow(psn uint32) {
 	for _, e := range qp.sq {
 		if e.state == sqSent && psnLess(e.psn, psn) && !isFenced(e.wr.Opcode) {
 			e.state = sqAcked
+			qp.dev.tapAcked(qp.QPN, e.psn)
 		}
 	}
 }
@@ -641,6 +648,7 @@ func (qp *QP) afterAck() {
 
 // goBackN re-queues every entry with PSN ≥ from for retransmission.
 func (qp *QP) goBackN(from uint32) {
+	qp.NGoBackN++
 	qp.markUnsent(from)
 	qp.requeueUnsent()
 }
@@ -669,6 +677,7 @@ func (qp *QP) requeueUnsent() {
 
 // retransmitUnackedImpl re-queues all sent-unacked entries (RTO / RNR).
 func (qp *QP) retransmitUnackedQueued() {
+	qp.NGoBackN++
 	for _, e := range qp.sq {
 		if e.state == sqSent {
 			e.state = sqQueued

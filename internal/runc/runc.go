@@ -133,6 +133,19 @@ type Migrator struct {
 
 	// Stage names the workflow step in progress, for diagnostics.
 	Stage string
+
+	// OnStage, when set, is invoked after every stage transition with
+	// the new stage name. It runs on the migration driver proc; fault
+	// injectors use it to time faults to specific migration phases.
+	OnStage func(stage string)
+}
+
+// setStage records a stage transition and notifies the observer.
+func (m *Migrator) setStage(stage string) {
+	m.Stage = stage
+	if m.OnStage != nil {
+		m.OnStage(stage)
+	}
 }
 
 // Migrate runs the complete live migration workflow of Fig. 2(b) for
@@ -212,7 +225,7 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 
 	// --- Pre-copy -----------------------------------------------------
 	// ①: pre-dump memory and (with pre-setup) RDMA state.
-	m.Stage = "predump"
+	m.setStage("predump")
 	fullImg := srcTool.Dump(p, true)
 	if hasRDMA && m.Opts.PreSetup {
 		var err error
@@ -228,7 +241,7 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 
 	// ②: partial restore on the destination, with RDMA pre-setup
 	// replaying the roadmap in parallel with memory restoration.
-	m.Stage = "partial-restore"
+	m.setStage("partial-restore")
 	restore := dstTool.BeginRestore(p)
 	preSetup := sim.NewWaitGroup(sched, "pre-setup")
 	var preSetupErr error
@@ -271,7 +284,7 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 	// --- Stop-and-copy --------------------------------------------------
 	// ③: suspension + wait-before-stop on the source and all partners,
 	// in parallel (§3.4).
-	m.Stage = "suspend-wbs"
+	m.setStage("suspend-wbs")
 	commStart := sched.Now()
 	if hasRDMA {
 		wbsWG := sim.NewWaitGroup(sched, "wbs")
@@ -290,7 +303,7 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 	}
 
 	// ④: freeze the service. The service blackout begins.
-	m.Stage = "freeze"
+	m.setStage("freeze")
 	svcStart := sched.Now()
 	srcTool.Freeze(p)
 
@@ -321,11 +334,11 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 	}
 	rep.PagesTransferred += len(finalImg.Pages)
 
-	m.Stage = "transfer"
+	m.setStage("transfer")
 	tl.Measure("transfer", func() { srcTool.Send(finalImg, dst.Name) })
 
 	// ⑥: final iteration of memory restoration.
-	m.Stage = "finalize"
+	m.setStage("finalize")
 	tl.Begin("full-restore")
 	if err := restore.Finalize(finalImg); err != nil {
 		return nil, err
@@ -336,7 +349,7 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 	if hasRDMA {
 		if !m.Opts.PreSetup {
 			tl.End("full-restore")
-			m.Stage = "post-restore"
+			m.setStage("post-restore")
 			tl.Measure("restore-rdma", func() {
 				if err := plug.PostRestore(restore, p, finalBlob); err != nil {
 					preSetupErr = err
@@ -352,20 +365,20 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 		}
 		// Partner switch-over precedes resumption so rkey fetches from
 		// the resumed service find live peers (right before ⑦).
-		m.Stage = "switch-partners"
+		m.setStage("switch-partners")
 		if err := plug.SwitchPartners(); err != nil {
 			return nil, err
 		}
 		// ⑦: post intercepted WRs, replay pending RECVs.
-		m.Stage = "resume"
+		m.setStage("resume")
 		if err := plug.ResumeMigrated(); err != nil {
 			return nil, err
 		}
 	}
-	m.Stage = "thaw"
+	m.setStage("thaw")
 	restore.FullRestore()
 	tl.End("full-restore")
-	m.Stage = "done"
+	m.setStage("done")
 	rep.ServiceBlackout = sched.Now() - svcStart
 	rep.CommBlackout = sched.Now() - commStart
 

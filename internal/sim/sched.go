@@ -33,6 +33,7 @@ type Scheduler struct {
 	// Livelock detection: dispatches since the clock last advanced.
 	sameInstant int
 	recentNames []string
+	seed        int64
 }
 
 // New returns a Scheduler whose clock reads zero and whose deterministic
@@ -41,11 +42,16 @@ func New(seed int64) *Scheduler {
 	return &Scheduler{
 		yielded: make(chan struct{}),
 		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 	}
 }
 
 // Now reports the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Seed reports the seed the deterministic random source was created
+// with, so trace reports can record how to replay a run.
+func (s *Scheduler) Seed() int64 { return s.seed }
 
 // Rand returns the scheduler's deterministic random source. It must only
 // be used from managed procs or timer callbacks so that draws happen in a
