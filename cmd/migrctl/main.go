@@ -7,6 +7,11 @@
 //
 //	migrctl [-qps 8] [-msg 4096] [-depth 16] [-verb write|send|read]
 //	        [-side sender|receiver] [-no-presetup] [-loss 0.01]
+//	migrctl stats [same flags]
+//
+// The stats form runs the same scenario and then dumps the cluster-wide
+// metrics registry (the simulated ethtool/driver counters) instead of
+// only the phase report.
 package main
 
 import (
@@ -22,6 +27,11 @@ import (
 )
 
 func main() {
+	statsMode := false
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		statsMode = true
+		os.Args = append(os.Args[:1], os.Args[2:]...)
+	}
 	qps := flag.Int("qps", 8, "number of RC queue pairs")
 	msg := flag.Int("msg", 4096, "message size in bytes")
 	depth := flag.Int("depth", 16, "queue depth per QP")
@@ -111,5 +121,10 @@ func main() {
 	}
 	for _, e := range pair.Server.Stats.Errors {
 		fmt.Printf("  server error: %s\n", e)
+	}
+	if statsMode {
+		fmt.Println()
+		fmt.Println("metrics registry:")
+		fmt.Print(r.CL.Metrics.Snapshot().String())
 	}
 }

@@ -27,6 +27,7 @@ import (
 
 	"migrrdma/internal/cluster"
 	"migrrdma/internal/core"
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/perftest"
 	"migrrdma/internal/rnic"
 	"migrrdma/internal/runc"
@@ -105,6 +106,10 @@ type Report struct {
 
 	FinalStage string
 	Migration  *runc.Report
+	// Metrics is the cluster-wide registry snapshot at the end of the
+	// run. Its hash is folded into TraceHash (via "metrics" ledger
+	// events), so any nondeterminism in a counter breaks replay equality.
+	Metrics *metrics.Snapshot
 	// FaultsArmed counts fault activations, so tests can reject a
 	// schedule that silently never fired.
 	FaultsArmed int
@@ -332,6 +337,9 @@ func Run(seed int64, schedule Schedule) *Report {
 		mrep, migErr = m.Migrate()
 		rep.FinalStage = m.Stage
 		atMig = cli.Stats.Completed
+		// Mid-run metrics checkpoint: the registry state right after the
+		// migration enters the trace hash.
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
 		sched.Sleep(settle)
 		inj.clearAll()
 		// Post-fault settle: retransmission timers recover anything the
@@ -348,13 +356,15 @@ func Run(seed int64, schedule Schedule) *Report {
 	rep.Migration = mrep
 	rep.Completed = cli.Stats.Completed
 	rep.ServerRecv = srv.Stats.Completed
-	for _, n := range cl.Names() {
-		_, dr := cl.Net.Stats(n)
-		dup, reord := cl.Net.FaultStats(n)
-		rep.Dropped += dr
-		rep.Duplicated += dup
-		rep.Reordered += reord
-	}
+	// Fabric fault totals come from the metrics registry, not the
+	// network's internal counters; the final snapshot also closes the
+	// ledger so counter nondeterminism shows up as a TraceHash mismatch.
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.Duplicated = snap.Sum("fabric", "duplicated_frames")
+	rep.Reordered = snap.Sum("fabric", "reordered_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
 	for _, e := range rec.events {
 		if e.kind == "fault" && e.ok {
 			rep.FaultsArmed++

@@ -87,6 +87,37 @@ func TestSameSeedSameHash(t *testing.T) {
 	}
 }
 
+// TestSameSeedSameMetrics extends the determinism contract to the
+// metrics layer: two identical seeded runs must render byte-identical
+// registry snapshots (which the trace hash also folds in).
+func TestSameSeedSameMetrics(t *testing.T) {
+	sched, ok := ScheduleByName("loss-burst")
+	if !ok {
+		t.Fatal("loss-burst schedule missing")
+	}
+	a := Run(7, sched)
+	b := Run(7, sched)
+	ra, rb := a.Metrics.String(), b.Metrics.String()
+	if ra != rb {
+		t.Fatalf("metric snapshots differ across identical runs:\n--- a ---\n%s\n--- b ---\n%s", ra, rb)
+	}
+	if a.Metrics.Hash() != b.Metrics.Hash() {
+		t.Fatal("snapshot hashes differ despite identical renders")
+	}
+	// The snapshot must actually carry the instrumented layers.
+	for _, key := range []string{"fabric/", "rnic/", "core/", "migr/"} {
+		if !strings.Contains(ra, key) {
+			t.Errorf("snapshot missing %s* series:\n%s", key, ra)
+		}
+	}
+	if a.Metrics.Sum("rnic", "cqes") == 0 {
+		t.Error("no CQEs counted over a full chaos run")
+	}
+	if a.Metrics.Sum("migr", "migrations") != 1 {
+		t.Errorf("migrations counter = %d, want 1", a.Metrics.Sum("migr", "migrations"))
+	}
+}
+
 // TestDistinctSeedsDistinctTraces guards against a hash that ignores
 // its inputs: different seeds must (overwhelmingly) produce different
 // traces once faults draw from the RNG.

@@ -11,6 +11,7 @@ import (
 
 	"migrrdma/internal/criu"
 	"migrrdma/internal/fabric"
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/oob"
 	"migrrdma/internal/rnic"
 	"migrrdma/internal/sim"
@@ -18,13 +19,14 @@ import (
 
 // Host is one server.
 type Host struct {
-	Name  string
-	Sched *sim.Scheduler
-	Net   *fabric.Network
-	Mux   *fabric.Mux
-	Dev   *rnic.Device
-	Hub   *oob.Hub
-	CRIU  *criu.Tool
+	Name    string
+	Sched   *sim.Scheduler
+	Net     *fabric.Network
+	Mux     *fabric.Mux
+	Dev     *rnic.Device
+	Hub     *oob.Hub
+	CRIU    *criu.Tool
+	Metrics *metrics.Registry
 
 	xferSeq  uint64
 	xferWait map[uint64]*sim.Cond
@@ -36,6 +38,10 @@ type Cluster struct {
 	Sched *sim.Scheduler
 	Net   *fabric.Network
 	Hosts map[string]*Host
+	// Metrics is the cluster-wide deterministic registry; every component
+	// (fabric ports, RNICs, migration daemons) registers into it so one
+	// snapshot captures the whole testbed.
+	Metrics *metrics.Registry
 }
 
 // Config selects component parameters for every host.
@@ -53,8 +59,13 @@ func New(cfg Config, names ...string) *Cluster {
 		seed = 1
 	}
 	s := sim.New(seed)
-	net := fabric.New(s, cfg.Fabric)
-	c := &Cluster{Sched: s, Net: net, Hosts: make(map[string]*Host)}
+	reg := metrics.New(s.Now)
+	fabCfg := cfg.Fabric
+	fabCfg.Metrics = reg
+	nicCfg := cfg.NIC
+	nicCfg.Metrics = reg
+	net := fabric.New(s, fabCfg)
+	c := &Cluster{Sched: s, Net: net, Hosts: make(map[string]*Host), Metrics: reg}
 	for _, name := range names {
 		mux := fabric.NewMux(net, name)
 		h := &Host{
@@ -62,8 +73,9 @@ func New(cfg Config, names ...string) *Cluster {
 			Sched:    s,
 			Net:      net,
 			Mux:      mux,
-			Dev:      rnic.NewDevice(net, mux, name, cfg.NIC),
+			Dev:      rnic.NewDevice(net, mux, name, nicCfg),
 			Hub:      oob.NewHub(net, mux, name),
+			Metrics:  reg,
 			xferWait: make(map[uint64]*sim.Cond),
 			rxCount:  make(map[uint64]struct{}),
 		}

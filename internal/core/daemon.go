@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"migrrdma/internal/cluster"
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/rnic"
 	"migrrdma/internal/verbs"
 )
@@ -71,6 +72,16 @@ func NewDaemon(h *cluster.Host) *Daemon {
 
 // Node returns the daemon's host node name.
 func (d *Daemon) Node() string { return d.host.Name }
+
+// registry returns the metrics registry sessions record into: the
+// cluster-wide one when the host carries it, otherwise the device's own
+// (detached) registry so instrumentation never needs nil checks.
+func (d *Daemon) registry() *metrics.Registry {
+	if d.host != nil && d.host.Metrics != nil {
+		return d.host.Metrics
+	}
+	return d.dev.Metrics()
+}
 
 // Host returns the daemon's host.
 func (d *Daemon) Host() *cluster.Host { return d.host }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"migrrdma/internal/mem"
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/rnic"
 	"migrrdma/internal/sim"
 	"migrrdma/internal/task"
@@ -65,6 +66,22 @@ type Session struct {
 	// no poller is left parked on a dead pre-migration CQ.
 	activePollers int
 
+	// staleWRIDs maps old physical QPNs (pre-switch incarnations) to the
+	// WRIDs of leftover sends replayed after a timed-out wait-before-stop.
+	// A late completion from the old QP matching one of these must be
+	// dropped — the replay produces its own completion (§3.4 timeout
+	// path).
+	staleWRIDs map[uint32]map[uint64]bool
+
+	// Metric handles, labeled by process name; the registry is the
+	// cluster-wide one, so the series survive migration unchanged.
+	mWBSRounds    *metrics.Counter
+	mSweepCQEs    *metrics.Counter
+	mIntercepts   *metrics.Counter
+	mReplayedWRs  *metrics.Counter
+	mStaleDropped *metrics.Counter
+	mFakeDepth    *metrics.Gauge
+
 	// stats for the virtualization-overhead evaluation.
 	RKeyFetches int64
 
@@ -105,10 +122,19 @@ func NewSession(p *task.Process, d *Daemon) *Session {
 		mws:       make(map[verbs.ObjID]*MW),
 		dms:       make(map[verbs.ObjID]*DM),
 		chanMap:   make(map[verbs.ObjID]*CompChannel),
-		byVQPN:    make(map[uint32]*QP),
-		rkeyCache: make(map[rkeyKey]uint32),
-		qpnCache:  make(map[qpnKey]qpnVal),
+		byVQPN:     make(map[uint32]*QP),
+		rkeyCache:  make(map[rkeyKey]uint32),
+		qpnCache:   make(map[qpnKey]qpnVal),
+		staleWRIDs: make(map[uint32]map[uint64]bool),
 	}
+	reg := d.registry()
+	labels := metrics.Labels{"proc": p.Name}
+	s.mWBSRounds = reg.Counter("core", "wbs_sweep_rounds", labels)
+	s.mSweepCQEs = reg.Counter("core", "wbs_sweep_cqes", labels)
+	s.mIntercepts = reg.Counter("core", "suspended_post_intercepts", labels)
+	s.mReplayedWRs = reg.Counter("core", "restore_replayed_wrs", labels)
+	s.mStaleDropped = reg.Counter("core", "stale_cqes_dropped", labels)
+	s.mFakeDepth = reg.Gauge("core", "fake_cq_depth", labels)
 	s.ctx.SetRecorder(s.ind)
 	p.Attachment = s
 	d.register(s)
@@ -460,6 +486,7 @@ func (qp *QP) postSend(wr rnic.SendWR) error {
 	s := qp.sess
 	if qp.suspended {
 		qp.intercepted = append(qp.intercepted, wr)
+		s.mIntercepts.Inc()
 		return nil
 	}
 	pwr := wr
@@ -670,12 +697,35 @@ func (cq *CQ) Poll(max int) []rnic.CQE {
 	// the WBS thread owns the real CQ (§3.4).
 	if len(out) < max && !s.wbsActive {
 		for _, e := range cq.v.Poll(max - len(out)) {
+			if s.staleCQE(e) {
+				continue
+			}
 			s.absorb(cq, e)
 			s.translateCQE(cq, &e)
 			out = append(out, e)
 		}
 	}
 	return out
+}
+
+// staleCQE reports whether e is a late completion from a pre-switch QP
+// incarnation whose WR was already replayed after a timed-out
+// wait-before-stop; delivering it would double-count the WR, since the
+// replay produces its own completion on the new QP.
+func (s *Session) staleCQE(e rnic.CQE) bool {
+	if e.Opcode == rnic.OpRecv {
+		return false
+	}
+	set, ok := s.staleWRIDs[e.QPN]
+	if !ok || !set[e.WRID] {
+		return false
+	}
+	delete(set, e.WRID)
+	if len(set) == 0 {
+		delete(s.staleWRIDs, e.QPN)
+	}
+	s.mStaleDropped.Inc()
+	return true
 }
 
 // Len reports the completions the application may poll right now: the

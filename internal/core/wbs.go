@@ -168,6 +168,7 @@ func (s *Session) WaitBeforeStop(qps []*QP, cfg WBSConfig) WBSResult {
 // returns the number of completions processed so the caller can charge
 // the per-CQE CPU cost.
 func (s *Session) sweepCQs() int {
+	s.mWBSRounds.Inc()
 	n := 0
 	for _, cq := range s.cqs {
 		for {
@@ -176,12 +177,17 @@ func (s *Session) sweepCQs() int {
 				break
 			}
 			for _, e := range batch {
+				if s.staleCQE(e) {
+					continue
+				}
 				s.absorb(cq, e)
 				cq.fake = append(cq.fake, e)
 			}
 			n += len(batch)
 		}
+		s.mFakeDepth.Set(int64(len(cq.fake)))
 	}
+	s.mSweepCQEs.Add(int64(n))
 	return n
 }
 
@@ -213,6 +219,11 @@ func (s *Session) wbsDone(qps []*QP) bool {
 // after a timed-out wait-before-stop), then the intercepted WRs, then
 // the receive WRs that never saw a message (§3.2 step ⑦ and §3.4).
 func (s *Session) Resume(qps []*QP) error {
+	// Completions may have landed between wait-before-stop's last sweep
+	// (or its timeout) and now; retire them first so their WRs are not
+	// replayed below — the fake-CQ entry plus the replay's own completion
+	// would double-count the WR.
+	s.sweepCQs()
 	for _, qp := range qps {
 		qp.suspended = false
 		qp.peerNSentKnown = false
@@ -231,6 +242,22 @@ func (s *Session) Resume(qps []*QP) error {
 		qp.unfinished = nil
 		intercepted := qp.intercepted
 		qp.intercepted = nil
+		// Leftover sends survive only a timed-out wait-before-stop. Their
+		// original incarnation may still complete on the old QP after the
+		// switch-over; remember the WRIDs so those stale completions are
+		// dropped instead of double-counted.
+		if len(unfinished) > 0 && qp.oldV != nil {
+			oldPhys := qp.oldV.QPN()
+			set := s.staleWRIDs[oldPhys]
+			if set == nil {
+				set = make(map[uint64]bool)
+				s.staleWRIDs[oldPhys] = set
+			}
+			for _, wr := range unfinished {
+				set[wr.WRID] = true
+			}
+		}
+		s.mReplayedWRs.Add(int64(len(unfinished)))
 		for _, wr := range append(unfinished, intercepted...) {
 			if err := qp.postSend(wr); err != nil {
 				return err

@@ -20,7 +20,12 @@ type wbsRig struct {
 
 func newWBSRig(t *testing.T) *wbsRig {
 	t.Helper()
-	cl := cluster.New(cluster.Config{Seed: 21}, "a", "b")
+	return newWBSRigCfg(t, cluster.Config{Seed: 21})
+}
+
+func newWBSRigCfg(t *testing.T, cfg cluster.Config) *wbsRig {
+	t.Helper()
+	cl := cluster.New(cfg, "a", "b")
 	da, db := NewDaemon(cl.Host("a")), NewDaemon(cl.Host("b"))
 	r := &wbsRig{cl: cl}
 	cl.Sched.Go("setup", func() {
@@ -184,6 +189,109 @@ func TestWBSTwoSidedNSentExchange(t *testing.T) {
 		}
 	})
 	r.cl.Sched.RunFor(10 * time.Second)
+}
+
+func TestWBSTimeoutReplayNoDoubleCount(t *testing.T) {
+	// §3.4 timeout path: wait-before-stop gives up across a partition,
+	// leaving WRs in the SQ window. If their original completions land
+	// before Resume replays them, Resume must retire them first — a WR
+	// observed via the fake-CQ sweep AND via its replay would complete
+	// twice.
+	r := newWBSRigCfg(t, cluster.Config{
+		Seed: 23,
+		// Keep the QP retrying through the whole partition instead of
+		// going to error state.
+		NIC: rnic.Config{MaxRetries: 1000},
+	})
+	done := false
+	r.cl.Sched.Go("test", func() {
+		defer func() { done = true }()
+		// Warm the rkey cache first: the initial one-sided post fetches
+		// the peer's rkey out-of-band, which would block on the partition.
+		if err := r.write(100); err != nil {
+			t.Fatal(err)
+		}
+		r.cqA.WaitNonEmpty()
+		r.cqA.Poll(4)
+
+		r.cl.Net.SetPartitioned("b", true)
+		const wrs = 10
+		for i := 0; i < wrs; i++ {
+			if err := r.write(uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		qps := r.sa.SuspendAll()
+		res := r.sa.WaitBeforeStop(qps, WBSConfig{
+			PollInterval: 2 * time.Microsecond,
+			PerCQE:       300 * time.Nanosecond,
+			Timeout:      5 * time.Millisecond,
+		})
+		if !res.TimedOut {
+			t.Fatal("WBS finished across a partition")
+		}
+		if res.LeftoverSends != wrs {
+			t.Fatalf("leftover = %d, want %d", res.LeftoverSends, wrs)
+		}
+		// Heal. The NIC's own retransmission now completes the original
+		// posts; the completions sit in the real CQ while the library
+		// still holds the WRs as leftovers.
+		r.cl.Net.SetPartitioned("b", false)
+		r.cl.Sched.Sleep(100 * time.Millisecond)
+		if err := r.sa.Resume(qps); err != nil {
+			t.Fatal(err)
+		}
+		if r.qpA.Outstanding() != 0 {
+			t.Errorf("resume replayed %d already-completed WRs", r.qpA.Outstanding())
+		}
+		r.cl.Sched.Sleep(100 * time.Millisecond)
+		seen := make(map[uint64]int)
+		for _, e := range r.cqA.Poll(1024) {
+			if e.Status != rnic.WCSuccess {
+				t.Errorf("WR %d status %v", e.WRID, e.Status)
+			}
+			seen[e.WRID]++
+		}
+		if len(seen) != wrs {
+			t.Fatalf("distinct completions = %d, want %d (%v)", len(seen), wrs, seen)
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Errorf("WR %d completed %d times", id, n)
+			}
+		}
+	})
+	r.cl.Sched.RunFor(30 * time.Second)
+	if !done {
+		t.Fatal("test proc never finished (parked at a blocking call)")
+	}
+}
+
+func TestStaleCQESuppressed(t *testing.T) {
+	// A late completion from a pre-switch QP incarnation whose WR was
+	// already replayed must be dropped, once; recvs and unknown WRIDs
+	// pass through.
+	r := newWBSRig(t)
+	r.cl.Sched.Go("test", func() {
+		r.sa.staleWRIDs[0x42] = map[uint64]bool{7: true}
+		if !r.sa.staleCQE(rnic.CQE{QPN: 0x42, WRID: 7, Opcode: rnic.OpWrite}) {
+			t.Error("stale CQE not suppressed")
+		}
+		if r.sa.staleCQE(rnic.CQE{QPN: 0x42, WRID: 7, Opcode: rnic.OpWrite}) {
+			t.Error("suppression must be one-shot")
+		}
+		r.sa.staleWRIDs[0x43] = map[uint64]bool{8: true}
+		if r.sa.staleCQE(rnic.CQE{QPN: 0x43, WRID: 8, Opcode: rnic.OpRecv}) {
+			t.Error("receive completions must never be suppressed")
+		}
+		if r.sa.staleCQE(rnic.CQE{QPN: 0x99, WRID: 8, Opcode: rnic.OpWrite}) {
+			t.Error("unknown QPN suppressed")
+		}
+		if got := r.sa.mStaleDropped.Value(); got != 1 {
+			t.Errorf("stale_cqes_dropped = %d, want 1", got)
+		}
+	})
+	r.cl.Sched.RunFor(time.Second)
 }
 
 func TestSuspendPeerIsSelective(t *testing.T) {

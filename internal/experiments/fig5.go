@@ -53,8 +53,9 @@ func Fig5(migrateSender bool) (Fig5Result, error) {
 	} else {
 		pair = r.StartPair("partner", "src", opts)
 	}
-	// Sample the partner's NIC: bytes received when the sender migrates,
-	// bytes transmitted when the receiver migrates.
+	// Sample the partner's NIC byte counters from the metrics registry
+	// (the simulated ethtool read): bytes received when the sender
+	// migrates, bytes transmitted when the receiver migrates.
 	sampler := trace.NewSampler(r.CL.Host("partner").Dev, 5*time.Millisecond, migrateSender)
 
 	res := Fig5Result{MigrateSender: migrateSender}

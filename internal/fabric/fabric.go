@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/sim"
 )
 
@@ -38,6 +39,9 @@ type Config struct {
 	Rate int64
 	// PropDelay is the one-way propagation delay per hop (default 1 µs).
 	PropDelay time.Duration
+	// Metrics, when set, receives the per-port counters. A nil registry
+	// gets replaced by a detached one so increments are always valid.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig mirrors the paper's testbed.
@@ -49,6 +53,7 @@ func DefaultConfig() Config {
 type Network struct {
 	sched *sim.Scheduler
 	cfg   Config
+	reg   *metrics.Registry
 	ports map[string]*port
 }
 
@@ -81,6 +86,17 @@ type port struct {
 	// duplicated and reordered count injected faults.
 	duplicated, reordered int64
 	rxBytes, txBytes      int64
+
+	// Registry handles, resolved once at Attach (hot-path increments
+	// are single atomic adds).
+	mTxBytes, mRxBytes   *metrics.Counter
+	mTxFrames, mRxFrames *metrics.Counter
+	mDelivered, mDropped *metrics.Counter
+	mDup, mReord         *metrics.Counter
+	// mBacklog tracks the downlink serialization backlog (how far ahead
+	// of now the link is booked, in nanoseconds); its high-water mark is
+	// the queue-depth figure of merit.
+	mBacklog *metrics.Gauge
 }
 
 // New creates an empty network.
@@ -91,7 +107,11 @@ func New(sched *sim.Scheduler, cfg Config) *Network {
 	if cfg.PropDelay == 0 {
 		cfg.PropDelay = DefaultConfig().PropDelay
 	}
-	return &Network{sched: sched, cfg: cfg, ports: make(map[string]*port)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New(sched.Now)
+	}
+	return &Network{sched: sched, cfg: cfg, reg: reg, ports: make(map[string]*port)}
 }
 
 // Scheduler returns the scheduler the network runs on.
@@ -106,7 +126,19 @@ func (n *Network) Attach(name string, h Handler) {
 	if _, dup := n.ports[name]; dup {
 		panic("fabric: duplicate node " + name)
 	}
-	n.ports[name] = &port{name: name, handler: h}
+	l := metrics.Labels{"node": name}
+	n.ports[name] = &port{
+		name: name, handler: h,
+		mTxBytes:   n.reg.Counter("fabric", "tx_bytes", l),
+		mRxBytes:   n.reg.Counter("fabric", "rx_bytes", l),
+		mTxFrames:  n.reg.Counter("fabric", "tx_frames", l),
+		mRxFrames:  n.reg.Counter("fabric", "rx_frames", l),
+		mDelivered: n.reg.Counter("fabric", "delivered_frames", l),
+		mDropped:   n.reg.Counter("fabric", "dropped_frames", l),
+		mDup:       n.reg.Counter("fabric", "duplicated_frames", l),
+		mReord:     n.reg.Counter("fabric", "reordered_frames", l),
+		mBacklog:   n.reg.Gauge("fabric", "downlink_backlog_ns", l),
+	}
 }
 
 // SetHandler replaces the frame handler of an attached node. It is used
@@ -214,17 +246,24 @@ func (n *Network) serializationAt(p *port, size int) time.Duration {
 // store-and-forwards through the switch onto the destination downlink,
 // and is handed to the destination handler. Send never blocks; queueing
 // appears as later delivery times.
+//
+// Fault ordering: the duplication decision is made first (the switch
+// retransmitting onto the downlink produces two physical copies), then
+// loss and reordering are drawn independently per copy — a duplicated
+// frame may lose its original and still deliver the copy, and vice
+// versa. Each copy occupies its own downlink serialization slot whether
+// or not it is subsequently dropped.
 func (n *Network) Send(f Frame) {
 	src := n.mustPort(f.Src)
 	dst := n.mustPort(f.Dst)
 	now := n.sched.Now()
 	if src.partitioned || dst.partitioned {
-		dst.dropped++
+		dst.drop()
 		return
 	}
 	if src.lossProb > 0 && (src.lossPort == "" || src.lossPort == f.Port) &&
 		n.sched.Rand().Float64() < src.lossProb {
-		dst.dropped++
+		dst.drop()
 		return
 	}
 	// Uplink: source NIC → switch.
@@ -234,38 +273,48 @@ func (n *Network) Send(f Frame) {
 	}
 	src.upBusy = start + n.serializationAt(src, f.Size)
 	src.txBytes += int64(f.Size)
+	src.mTxBytes.Add(int64(f.Size))
+	src.mTxFrames.Inc()
 	arriveSwitch := src.upBusy + n.cfg.PropDelay
-	// Downlink: switch → destination NIC (store-and-forward).
-	serDown := n.serializationAt(dst, f.Size)
-	egress := arriveSwitch
-	if dst.downBusy > egress {
-		egress = dst.downBusy
-	}
-	dst.downBusy = egress + serDown
-	arrive := dst.downBusy + n.cfg.PropDelay
-	if dst.lossProb > 0 && (dst.lossPort == "" || dst.lossPort == f.Port) &&
-		n.sched.Rand().Float64() < dst.lossProb {
-		dst.dropped++
-		return
-	}
-	if dst.reorderProb > 0 && (dst.reorderPort == "" || dst.reorderPort == f.Port) &&
-		n.sched.Rand().Float64() < dst.reorderProb {
-		dst.reordered++
-		arrive += dst.reorderDelay
-	}
-	n.deliverAt(dst, f, arrive-now)
+	// Switch-side duplication: the copy re-serializes on the downlink
+	// behind the original, so it always trails it.
+	copies := 1
 	if dst.dupProb > 0 && (dst.dupPort == "" || dst.dupPort == f.Port) &&
 		n.sched.Rand().Float64() < dst.dupProb {
-		// The copy re-serializes on the downlink behind everything queued
-		// so far, so it always trails the original.
-		egress2 := arriveSwitch
-		if dst.downBusy > egress2 {
-			egress2 = dst.downBusy
-		}
-		dst.downBusy = egress2 + serDown
+		copies = 2
 		dst.duplicated++
-		n.deliverAt(dst, f, dst.downBusy+n.cfg.PropDelay-now)
+		dst.mDup.Inc()
 	}
+	// Downlink: switch → destination NIC (store-and-forward), one
+	// serialization slot per copy, with independent loss/reorder draws.
+	serDown := n.serializationAt(dst, f.Size)
+	for c := 0; c < copies; c++ {
+		egress := arriveSwitch
+		if dst.downBusy > egress {
+			egress = dst.downBusy
+		}
+		dst.downBusy = egress + serDown
+		dst.mBacklog.Set(int64(dst.downBusy - now))
+		arrive := dst.downBusy + n.cfg.PropDelay
+		if dst.lossProb > 0 && (dst.lossPort == "" || dst.lossPort == f.Port) &&
+			n.sched.Rand().Float64() < dst.lossProb {
+			dst.drop()
+			continue
+		}
+		if dst.reorderProb > 0 && (dst.reorderPort == "" || dst.reorderPort == f.Port) &&
+			n.sched.Rand().Float64() < dst.reorderProb {
+			dst.reordered++
+			dst.mReord.Inc()
+			arrive += dst.reorderDelay
+		}
+		n.deliverAt(dst, f, arrive-now)
+	}
+}
+
+// drop records one frame lost on the way to the port.
+func (p *port) drop() {
+	p.dropped++
+	p.mDropped.Inc()
 }
 
 // deliverAt schedules one delivery of f to dst after d.
@@ -273,6 +322,9 @@ func (n *Network) deliverAt(dst *port, f Frame, d time.Duration) {
 	n.sched.AfterFunc(d, func() {
 		dst.delivered++
 		dst.rxBytes += int64(f.Size)
+		dst.mDelivered.Inc()
+		dst.mRxBytes.Add(int64(f.Size))
+		dst.mRxFrames.Inc()
 		if dst.handler == nil {
 			panic(fmt.Sprintf("fabric: node %s has no handler", f.Dst))
 		}

@@ -189,6 +189,50 @@ func TestDuplicateInjection(t *testing.T) {
 	}
 }
 
+func TestDuplicateCopiesFaceLossIndependently(t *testing.T) {
+	// With dup=1.0 and loss=0.5 every frame is duplicated, and each of
+	// the two copies must face the loss draw independently. The old
+	// ordering applied loss before the duplication decision, so a lost
+	// frame could never duplicate and a surviving frame's copy was
+	// exempt from loss — deliveries were then always 0 or 2 per frame,
+	// never 1.
+	s, n, got, _ := newPair(t, Config{})
+	n.SetDuplicate("b", 1.0)
+	n.SetLoss("b", 0.5)
+	const frames = 200
+	s.Go("send", func() {
+		for i := 0; i < frames; i++ {
+			n.Send(Frame{Src: "a", Dst: "b", Size: 256, Data: []byte{byte(i)}})
+		}
+	})
+	s.Run()
+	dup, _ := n.FaultStats("b")
+	if dup != frames {
+		t.Fatalf("duplicated = %d, want %d (dup decided before loss)", dup, frames)
+	}
+	// Count deliveries per frame: with independent per-copy loss about
+	// half the frames deliver exactly one copy; seeing any odd count
+	// proves independence.
+	perFrame := make(map[byte]int)
+	for _, f := range *got {
+		perFrame[f.Data[0]]++
+	}
+	singles := 0
+	for _, c := range perFrame {
+		if c == 1 {
+			singles++
+		}
+	}
+	if singles == 0 {
+		t.Fatalf("no frame delivered exactly once in %d: copies are not independently lossy", frames)
+	}
+	_, dropped := n.Stats("b")
+	delivered := int64(len(*got))
+	if delivered+dropped != 2*frames {
+		t.Fatalf("delivered %d + dropped %d != %d copies", delivered, dropped, 2*frames)
+	}
+}
+
 func TestPortScopedDuplicate(t *testing.T) {
 	s, n, got, _ := newPair(t, Config{})
 	n.SetPortDuplicate("b", "data", 1.0)

@@ -1,0 +1,367 @@
+// Package metrics is the deterministic telemetry substrate of the
+// simulated MigrRDMA stack: a registry of counters, gauges and
+// fixed-bucket histograms keyed by component/name{labels}, stamped with
+// the simulation clock.
+//
+// Two properties drive the design:
+//
+//   - Hot-path increments are one atomic add on a cached handle. The
+//     registry map is consulted only at handle-creation time (device,
+//     QP, port and session construction), never on the data path.
+//   - Everything observable is deterministic. Snapshots render metrics
+//     in sorted key order and carry the virtual timestamp, so two runs
+//     of the same seeded simulation produce byte-identical snapshots —
+//     the chaos harness folds the snapshot hash into its trace hash to
+//     make metric regressions break determinism loudly.
+//
+// Increments are atomic so metrics stay truthful even off the
+// simulation loop (the race-detector tests exercise raw concurrent
+// goroutines); reads taken mid-simulation see the values as of the
+// current virtual instant because sim procs are serialized.
+package metrics
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates metric types.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind for rendering.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Labels annotate one metric instance (e.g. node, qpn). They are read
+// once at handle creation; rendering sorts keys, so any map is fine.
+type Labels map[string]string
+
+// Key builds the canonical metric key: component/name{k=v,...} with
+// label keys sorted, or component/name when there are no labels.
+func Key(component, name string, labels Labels) string {
+	if len(labels) == 0 {
+		return component + "/" + name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(component)
+	b.WriteByte('/')
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// metric is the shared storage behind every handle type.
+type metric struct {
+	key  string
+	kind Kind
+
+	// val is the counter/gauge value.
+	val atomic.Int64
+	// high is the gauge high-water mark.
+	high atomic.Int64
+
+	// Histogram state: bounds are the inclusive upper bucket bounds;
+	// buckets[i] counts observations ≤ bounds[i], buckets[len(bounds)]
+	// is the overflow (+Inf) bucket.
+	bounds  []int64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Registry holds the metrics of one simulated cluster.
+type Registry struct {
+	nowFn func() time.Duration
+
+	mu      sync.Mutex
+	byKey   map[string]*metric
+	ordered []*metric // creation order; snapshots re-sort by key
+}
+
+// New creates a registry stamping snapshots with now (typically the
+// scheduler's clock). A nil now yields zero timestamps — useful for
+// detached registries in unit tests.
+func New(now func() time.Duration) *Registry {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Registry{nowFn: now, byKey: make(map[string]*metric)}
+}
+
+// lookup returns the metric for key, creating it with the given kind.
+// A kind clash (same key registered as two different types) panics: it
+// is a programming error, not a runtime condition.
+func (r *Registry) lookup(key string, kind Kind, bounds []int64) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", key, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{key: key, kind: kind}
+	if kind == KindHistogram {
+		m.bounds = append([]int64(nil), bounds...)
+		m.buckets = make([]atomic.Int64, len(bounds)+1)
+	}
+	r.byKey[key] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns (creating if needed) the counter for the key.
+type Counter struct{ m *metric }
+
+// Counter resolves a counter handle. Handles are cheap to hold and are
+// meant to be cached on hot-path structs at construction time.
+func (r *Registry) Counter(component, name string, labels Labels) *Counter {
+	return &Counter{m: r.lookup(Key(component, name, labels), KindCounter, nil)}
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.m.val.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.m.val.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.m.val.Load() }
+
+// Gauge is a point-in-time value that also tracks its high-water mark.
+type Gauge struct{ m *metric }
+
+// Gauge resolves a gauge handle.
+func (r *Registry) Gauge(component, name string, labels Labels) *Gauge {
+	return &Gauge{m: r.lookup(Key(component, name, labels), KindGauge, nil)}
+}
+
+// Set records the current value, updating the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.m.val.Store(v)
+	for {
+		h := g.m.high.Load()
+		if v <= h || g.m.high.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Add shifts the gauge by delta, updating the high-water mark.
+func (g *Gauge) Add(delta int64) {
+	v := g.m.val.Add(delta)
+	for {
+		h := g.m.high.Load()
+		if v <= h || g.m.high.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Value reads the current gauge value.
+func (g *Gauge) Value() int64 { return g.m.val.Load() }
+
+// High reads the high-water mark.
+func (g *Gauge) High() int64 { return g.m.high.Load() }
+
+// Histogram is a fixed-bucket distribution.
+type Histogram struct{ m *metric }
+
+// Histogram resolves a histogram handle with the given inclusive upper
+// bucket bounds (must be sorted ascending). The bounds of the first
+// registration win; later lookups reuse them.
+func (r *Registry) Histogram(component, name string, labels Labels, bounds []int64) *Histogram {
+	return &Histogram{m: r.lookup(Key(component, name, labels), KindHistogram, bounds)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.m.bounds), func(i int) bool { return v <= h.m.bounds[i] })
+	h.m.buckets[i].Add(1)
+	h.m.count.Add(1)
+	h.m.sum.Add(v)
+}
+
+// Count reads the number of observations.
+func (h *Histogram) Count() int64 { return h.m.count.Load() }
+
+// Sum reads the sum of observations.
+func (h *Histogram) Sum() int64 { return h.m.sum.Load() }
+
+// --- Snapshots ---------------------------------------------------------------
+
+// Value is one metric frozen at snapshot time.
+type Value struct {
+	Key  string
+	Kind Kind
+
+	// Counter / gauge value.
+	Value int64
+	// Gauge high-water mark.
+	High int64
+
+	// Histogram state.
+	Bounds  []int64
+	Buckets []int64
+	Count   int64
+	Sum     int64
+}
+
+// Snapshot is a point-in-time copy of every metric, sorted by key.
+type Snapshot struct {
+	Time   time.Duration
+	Values []Value
+}
+
+// Snapshot freezes the registry.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+	s := &Snapshot{Time: r.nowFn(), Values: make([]Value, 0, len(ms))}
+	for _, m := range ms {
+		v := Value{Key: m.key, Kind: m.kind}
+		switch m.kind {
+		case KindCounter:
+			v.Value = m.val.Load()
+		case KindGauge:
+			v.Value = m.val.Load()
+			v.High = m.high.Load()
+		case KindHistogram:
+			v.Bounds = m.bounds
+			v.Buckets = make([]int64, len(m.buckets))
+			for i := range m.buckets {
+				v.Buckets[i] = m.buckets[i].Load()
+			}
+			v.Count = m.count.Load()
+			v.Sum = m.sum.Load()
+		}
+		s.Values = append(s.Values, v)
+	}
+	sort.Slice(s.Values, func(i, j int) bool { return s.Values[i].Key < s.Values[j].Key })
+	return s
+}
+
+// Get returns the value for an exact key.
+func (s *Snapshot) Get(key string) (Value, bool) {
+	i := sort.Search(len(s.Values), func(i int) bool { return s.Values[i].Key >= key })
+	if i < len(s.Values) && s.Values[i].Key == key {
+		return s.Values[i], true
+	}
+	return Value{}, false
+}
+
+// Sum adds up every counter/gauge value whose key is component/name
+// with any label set — the cross-node roll-up the chaos report uses.
+func (s *Snapshot) Sum(component, name string) int64 {
+	exact := component + "/" + name
+	prefix := exact + "{"
+	var total int64
+	for _, v := range s.Values {
+		if v.Key == exact || strings.HasPrefix(v.Key, prefix) {
+			total += v.Value
+		}
+	}
+	return total
+}
+
+// Diff returns a snapshot holding the change since prev: counters and
+// histogram buckets subtract; gauges keep their current value (a gauge
+// delta is meaningless). Metrics absent from prev diff against zero.
+func (s *Snapshot) Diff(prev *Snapshot) *Snapshot {
+	old := make(map[string]Value, len(prev.Values))
+	for _, v := range prev.Values {
+		old[v.Key] = v
+	}
+	out := &Snapshot{Time: s.Time, Values: make([]Value, 0, len(s.Values))}
+	for _, v := range s.Values {
+		d := v
+		if o, ok := old[v.Key]; ok {
+			switch v.Kind {
+			case KindCounter:
+				d.Value = v.Value - o.Value
+			case KindHistogram:
+				d.Count = v.Count - o.Count
+				d.Sum = v.Sum - o.Sum
+				d.Buckets = make([]int64, len(v.Buckets))
+				for i := range v.Buckets {
+					d.Buckets[i] = v.Buckets[i]
+					if i < len(o.Buckets) {
+						d.Buckets[i] -= o.Buckets[i]
+					}
+				}
+			}
+		}
+		out.Values = append(out.Values, d)
+	}
+	return out
+}
+
+// String renders the snapshot as sorted "key value" lines — the format
+// `migrctl stats` prints and the determinism tests byte-compare.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# snapshot at %v (%d metrics)\n", s.Time, len(s.Values))
+	for _, v := range s.Values {
+		switch v.Kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "%-52s %d\n", v.Key, v.Value)
+		case KindGauge:
+			fmt.Fprintf(&b, "%-52s %d high=%d\n", v.Key, v.Value, v.High)
+		case KindHistogram:
+			fmt.Fprintf(&b, "%-52s count=%d sum=%d", v.Key, v.Count, v.Sum)
+			for i, n := range v.Buckets {
+				if i < len(v.Bounds) {
+					fmt.Fprintf(&b, " le%d=%d", v.Bounds[i], n)
+				} else {
+					fmt.Fprintf(&b, " inf=%d", n)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Hash folds the rendered snapshot into a SHA-256 hex digest. Because
+// rendering is key-sorted and timestamped with the virtual clock, the
+// hash is stable across identical seeded runs.
+func (s *Snapshot) Hash() string {
+	h := sha256.Sum256([]byte(s.String()))
+	return hex.EncodeToString(h[:])
+}

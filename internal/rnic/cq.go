@@ -79,6 +79,9 @@ func (cq *CQ) push(e CQE) {
 		return
 	}
 	cq.queue = append(cq.queue, e)
+	if qp, ok := cq.dev.qps[e.QPN]; ok {
+		qp.mCQEs.Inc()
+	}
 	cq.dev.tapCQE(cq.Handle, e)
 	if cq.ringAS != nil {
 		var slot [cqeSlotSize]byte

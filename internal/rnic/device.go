@@ -6,6 +6,7 @@ import (
 
 	"migrrdma/internal/fabric"
 	"migrrdma/internal/mem"
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/sim"
 )
 
@@ -35,6 +36,11 @@ type Config struct {
 	RegMRLat      time.Duration // base cost
 	RegMRPerMB    time.Duration // page pinning cost per MiB
 	DestroyLat    time.Duration // destroy/dealloc commands
+
+	// Metrics, when set, receives the device/QP/CQ counters (the
+	// ethtool-style telemetry the evaluation samples). A nil registry is
+	// replaced by a detached one so increments are always valid.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the testbed-calibrated configuration.
@@ -145,9 +151,12 @@ type Device struct {
 	// checkers (the chaos harness' completion ledger).
 	tap *Tap
 
-	// TxBytes and RxBytes count data-path wire bytes (the mlx5 ethtool
-	// counters used for Fig. 5's throughput sampling).
-	TxBytes, RxBytes int64
+	// reg is the metrics registry; mTx/mRx count data-path wire bytes
+	// (the mlx5 ethtool counters used for Fig. 5's throughput sampling).
+	// Consumers read them through the registry, never device fields.
+	reg                  *metrics.Registry
+	mTx, mRx             *metrics.Counter
+	mTxFrames, mRxFrames *metrics.Counter
 }
 
 // Tap observes device data-path events for external checkers. All
@@ -211,6 +220,15 @@ func NewDevice(net *fabric.Network, mux *fabric.Mux, node string, cfg Config) *D
 		nextKey: 0x2000,
 		nextID:  1,
 	}
+	d.reg = d.cfg.Metrics
+	if d.reg == nil {
+		d.reg = metrics.New(d.sched.Now)
+	}
+	l := metrics.Labels{"node": node}
+	d.mTx = d.reg.Counter("rnic", "tx_bytes", l)
+	d.mRx = d.reg.Counter("rnic", "rx_bytes", l)
+	d.mTxFrames = d.reg.Counter("rnic", "tx_frames", l)
+	d.mRxFrames = d.reg.Counter("rnic", "rx_frames", l)
 	d.work = sim.NewCond(d.sched, "rnic-work@"+node)
 	mux.Register(PortRDMA, d.onFrame)
 	d.sched.GoDaemon("rnic-engine@"+node, d.engineLoop)
@@ -228,6 +246,16 @@ func (d *Device) MTU() int { return d.cfg.MTU }
 
 // Scheduler returns the scheduler the device runs on.
 func (d *Device) Scheduler() *sim.Scheduler { return d.sched }
+
+// Metrics returns the registry the device reports into. Consumers (the
+// trace sampler, the chaos harness) resolve counter handles from it
+// instead of reading device fields.
+func (d *Device) Metrics() *metrics.Registry { return d.reg }
+
+// qpLabels builds the per-QP metric labels.
+func (d *Device) qpLabels(qpn uint32) metrics.Labels {
+	return metrics.Labels{"node": d.node, "qpn": fmt.Sprintf("%#06x", qpn)}
+}
 
 // allocQPN returns a fresh sparse 24-bit QP number.
 func (d *Device) allocQPN() uint32 {
@@ -258,7 +286,8 @@ func (d *Device) onFrame(f fabric.Frame) {
 	if err != nil {
 		return // corrupt frame: dropped, transport recovery handles it
 	}
-	d.RxBytes += int64(f.Size)
+	d.mRx.Add(int64(f.Size))
+	d.mRxFrames.Inc()
 	d.rxq = append(d.rxq, rxItem{p: p, src: f.Src})
 	d.work.Signal()
 }
@@ -274,7 +303,8 @@ func (d *Device) pump() {
 		return
 	}
 	d.txBusy = true
-	d.TxBytes += int64(f.Size)
+	d.mTx.Add(int64(f.Size))
+	d.mTxFrames.Inc()
 	d.net.Send(f)
 	d.sched.AfterFunc(d.net.SerializationTime(f.Size), func() {
 		d.txBusy = false

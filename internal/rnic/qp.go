@@ -3,6 +3,7 @@ package rnic
 import (
 	"fmt"
 
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/sim"
 )
 
@@ -24,6 +25,9 @@ type sqEntry struct {
 	status     WCStatus
 	queued     bool   // currently on the QP transmit queue
 	fragCursor uint16 // next fragment to put on the wire
+	// retransmit marks an entry rewound from sqSent by go-back-N or an
+	// RTO; its subsequent fragments count as retransmitted packets.
+	retransmit bool
 }
 
 // QPCaps sets queue depths.
@@ -84,6 +88,14 @@ type QP struct {
 	NRNRs    uint64
 	NGoBackN uint64
 
+	// Registry handles (per-QP posts, completion and fault telemetry),
+	// resolved once at creation.
+	mPosts, mRecvPosts, mCQEs *metrics.Counter
+
+	mNaks, mRNRs *metrics.Counter
+	mGoBackN      *metrics.Counter
+	mRetx         *metrics.Counter
+
 	// closed marks a destroyed QP.
 	closed bool
 }
@@ -136,6 +148,14 @@ func (d *Device) CreateQP(pd *PD, typ QPType, sendCQ, recvCQ *CQ, srq *SRQ, caps
 		atomicCache: make(map[uint32]uint64),
 		readBuf:     make(map[uint32][]byte),
 	}
+	l := d.qpLabels(qp.QPN)
+	qp.mPosts = d.reg.Counter("rnic", "send_posts", l)
+	qp.mRecvPosts = d.reg.Counter("rnic", "recv_posts", l)
+	qp.mCQEs = d.reg.Counter("rnic", "cqes", l)
+	qp.mNaks = d.reg.Counter("rnic", "naks", l)
+	qp.mRNRs = d.reg.Counter("rnic", "rnr_naks", l)
+	qp.mGoBackN = d.reg.Counter("rnic", "go_back_n", l)
+	qp.mRetx = d.reg.Counter("rnic", "retx_packets", l)
 	d.qps[qp.QPN] = qp
 	return qp
 }
@@ -313,6 +333,7 @@ func (qp *QP) PostSend(wr SendWR) error {
 	e := &sqEntry{wr: wr, psn: qp.nextPSN}
 	qp.nextPSN = psnAdd(qp.nextPSN, 1)
 	qp.sq = append(qp.sq, e)
+	qp.mPosts.Inc()
 	if wr.Opcode == OpSend || wr.Opcode == OpSendImm || wr.Opcode == OpWriteImm {
 		qp.NSent++
 	}
@@ -345,6 +366,7 @@ func (qp *QP) PostRecv(wr RecvWR) error {
 		wr.SGEs = sges
 	}
 	qp.rq = append(qp.rq, wr)
+	qp.mRecvPosts.Inc()
 	return nil
 }
 

@@ -92,6 +92,9 @@ func (qp *QP) nextTxFrame() (*packet, bool, bool) {
 			continue
 		}
 		pkt, last := qp.buildFragment(e)
+		if e.retransmit {
+			qp.mRetx.Inc()
+		}
 		if last {
 			e.queued = false
 			e.fragCursor = 0
@@ -493,6 +496,7 @@ func (qp *QP) streamReadResponse(dst string, dstQPN, psn uint32, data []byte) {
 // sendNak sends a go-back-N sequence NAK for the expected PSN.
 func (qp *QP) sendNak(dst string, dstQPN, expected uint32, syndrome uint8) {
 	qp.NNaks++
+	qp.mNaks.Inc()
 	qp.dev.sendCtl(dst, &packet{
 		Type: ptNak, DstQPN: dstQPN, SrcQPN: qp.QPN, AckPSN: expected,
 		Syndrome: syndrome, Last: true,
@@ -502,6 +506,7 @@ func (qp *QP) sendNak(dst string, dstQPN, expected uint32, syndrome uint8) {
 // sendRNR reports receiver-not-ready for the given message PSN.
 func (qp *QP) sendRNR(dst string, dstQPN, psn uint32) {
 	qp.NRNRs++
+	qp.mRNRs.Inc()
 	qp.dev.sendCtl(dst, &packet{
 		Type: ptRnrNak, DstQPN: dstQPN, SrcQPN: qp.QPN, AckPSN: psn, Last: true,
 	})
@@ -649,6 +654,7 @@ func (qp *QP) afterAck() {
 // goBackN re-queues every entry with PSN ≥ from for retransmission.
 func (qp *QP) goBackN(from uint32) {
 	qp.NGoBackN++
+	qp.mGoBackN.Inc()
 	qp.markUnsent(from)
 	qp.requeueUnsent()
 }
@@ -658,6 +664,7 @@ func (qp *QP) markUnsent(from uint32) {
 	for _, e := range qp.sq {
 		if e.state == sqSent && !psnLess(e.psn, from) {
 			e.state = sqQueued
+			e.retransmit = true
 		}
 	}
 }
@@ -678,9 +685,11 @@ func (qp *QP) requeueUnsent() {
 // retransmitUnackedImpl re-queues all sent-unacked entries (RTO / RNR).
 func (qp *QP) retransmitUnackedQueued() {
 	qp.NGoBackN++
+	qp.mGoBackN.Inc()
 	for _, e := range qp.sq {
 		if e.state == sqSent {
 			e.state = sqQueued
+			e.retransmit = true
 		}
 	}
 	qp.requeueUnsent()

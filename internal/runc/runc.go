@@ -13,10 +13,16 @@ import (
 	"migrrdma/internal/cluster"
 	"migrrdma/internal/core"
 	"migrrdma/internal/criu"
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/sim"
 	"migrrdma/internal/task"
 	"migrrdma/internal/trace"
 )
+
+// blackoutBucketsUS are the histogram bounds (µs) for the migration
+// blackout distributions — Fig. 3 spans ~hundreds of µs (pre-setup) to
+// ~hundreds of ms (baseline).
+var blackoutBucketsUS = []int64{100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000}
 
 // Container is a running container: an init process plus any number of
 // exec'd processes, all migrated together (§4 runs one CRIU per root
@@ -381,6 +387,14 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 	m.setStage("done")
 	rep.ServiceBlackout = sched.Now() - svcStart
 	rep.CommBlackout = sched.Now() - commStart
+	if reg := src.Metrics; reg != nil {
+		labels := metrics.Labels{"proc": p.Name}
+		reg.Histogram("migr", "service_blackout_us", labels, blackoutBucketsUS).
+			Observe(rep.ServiceBlackout.Microseconds())
+		reg.Histogram("migr", "comm_blackout_us", labels, blackoutBucketsUS).
+			Observe(rep.CommBlackout.Microseconds())
+		reg.Counter("migr", "migrations", labels).Inc()
+	}
 
 	// The source reclaims the migrated service's resources (off the
 	// critical path).

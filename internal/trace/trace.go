@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"migrrdma/internal/metrics"
 	"migrrdma/internal/rnic"
 	"migrrdma/internal/sim"
 )
@@ -20,12 +21,15 @@ type Timeline struct {
 	sched  *sim.Scheduler
 	phases []Phase
 	open   map[string]time.Duration
+	errs   []string
 }
 
-// Phase is one named interval.
+// Phase is one named interval. Annotation is empty for a normally
+// closed phase and "unclosed" for one still open at snapshot time.
 type Phase struct {
 	Name       string
 	Start, End time.Duration
+	Annotation string
 }
 
 // Dur returns the phase length.
@@ -39,11 +43,15 @@ func NewTimeline(s *sim.Scheduler) *Timeline {
 // Begin opens a phase.
 func (t *Timeline) Begin(name string) { t.open[name] = t.sched.Now() }
 
-// End closes a phase, recording it.
+// End closes a phase, recording it. Ending a phase that was never
+// opened is a harness bug, but one that must not kill a long
+// experiment mid-run: it is recorded as an error marker retrievable
+// via Errs and rendered in the report instead of panicking.
 func (t *Timeline) End(name string) {
 	start, ok := t.open[name]
 	if !ok {
-		panic("trace: End of unopened phase " + name)
+		t.errs = append(t.errs, fmt.Sprintf("End of unopened phase %q at %v", name, t.sched.Now()))
+		return
 	}
 	delete(t.open, name)
 	t.phases = append(t.phases, Phase{Name: name, Start: start, End: t.sched.Now()})
@@ -56,7 +64,14 @@ func (t *Timeline) Measure(name string, fn func()) {
 	t.End(name)
 }
 
-// Get returns the total duration of all phases with the name.
+// Errs returns the error markers recorded so far (unopened-phase Ends).
+func (t *Timeline) Errs() []string {
+	out := make([]string, len(t.errs))
+	copy(out, t.errs)
+	return out
+}
+
+// Get returns the total duration of all closed phases with the name.
 func (t *Timeline) Get(name string) time.Duration {
 	var sum time.Duration
 	for _, p := range t.phases {
@@ -67,19 +82,39 @@ func (t *Timeline) Get(name string) time.Duration {
 	return sum
 }
 
-// Phases returns the recorded phases in start order.
+// Phases returns the recorded phases in start order. Phases still open
+// are closed at the current instant and annotated "unclosed" instead of
+// being silently dropped; the timeline itself is not mutated, so a
+// later End still records the real interval.
 func (t *Timeline) Phases() []Phase {
-	out := make([]Phase, len(t.phases))
+	out := make([]Phase, len(t.phases), len(t.phases)+len(t.open))
 	copy(out, t.phases)
+	now := t.sched.Now()
+	openNames := make([]string, 0, len(t.open))
+	for name := range t.open {
+		openNames = append(openNames, name)
+	}
+	sort.Strings(openNames)
+	for _, name := range openNames {
+		out = append(out, Phase{Name: name, Start: t.open[name], End: now, Annotation: "unclosed"})
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
 
-// String formats the timeline for reports.
+// String formats the timeline for reports, including unclosed phases
+// and error markers.
 func (t *Timeline) String() string {
 	var b strings.Builder
 	for _, p := range t.Phases() {
-		fmt.Fprintf(&b, "%-14s %10v  (at %v)\n", p.Name, p.Dur().Round(time.Microsecond), p.Start.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%-14s %10v  (at %v)", p.Name, p.Dur().Round(time.Microsecond), p.Start.Round(time.Microsecond))
+		if p.Annotation != "" {
+			fmt.Fprintf(&b, "  [%s]", p.Annotation)
+		}
+		b.WriteByte('\n')
+	}
+	for _, e := range t.errs {
+		fmt.Fprintf(&b, "error: %s\n", e)
 	}
 	return b.String()
 }
@@ -90,30 +125,41 @@ type Sample struct {
 	Gbps float64
 }
 
-// Sampler periodically reads a device's byte counters and converts the
-// delta to throughput.
+// Sampler periodically reads a byte counter and converts the delta to
+// throughput. It consumes the metrics registry (the simulated ethtool
+// counter file) rather than reaching into device internals.
 type Sampler struct {
 	sched    *sim.Scheduler
-	dev      *rnic.Device
+	counter  *metrics.Counter
 	interval time.Duration
-	rx       bool
 
 	samples []Sample
 	stop    bool
 }
 
-// NewSampler samples dev every interval. rx selects the receive counter
-// (otherwise transmit).
+// NewSampler samples dev's wire byte counter every interval. rx selects
+// the receive counter (otherwise transmit). The counter handle is
+// resolved from the device's metrics registry.
 func NewSampler(dev *rnic.Device, interval time.Duration, rx bool) *Sampler {
-	return &Sampler{sched: dev.Scheduler(), dev: dev, interval: interval, rx: rx}
+	name := "tx_bytes"
+	if rx {
+		name = "rx_bytes"
+	}
+	c := dev.Metrics().Counter("rnic", name, metrics.Labels{"node": dev.Node()})
+	return NewCounterSampler(dev.Scheduler(), c, interval)
+}
+
+// NewCounterSampler samples an arbitrary registry byte counter.
+func NewCounterSampler(sched *sim.Scheduler, c *metrics.Counter, interval time.Duration) *Sampler {
+	return &Sampler{sched: sched, counter: c, interval: interval}
 }
 
 // Run samples until Stop is called; spawn it as a proc.
 func (s *Sampler) Run() {
-	last := s.read()
+	last := s.counter.Value()
 	for !s.stop {
 		s.sched.Sleep(s.interval)
-		cur := s.read()
+		cur := s.counter.Value()
 		gbps := float64(cur-last) * 8 / s.interval.Seconds() / 1e9
 		s.samples = append(s.samples, Sample{T: s.sched.Now(), Gbps: gbps})
 		last = cur
@@ -122,13 +168,6 @@ func (s *Sampler) Run() {
 
 // Stop ends sampling after the current interval.
 func (s *Sampler) Stop() { s.stop = true }
-
-func (s *Sampler) read() int64 {
-	if s.rx {
-		return s.dev.RxBytes
-	}
-	return s.dev.TxBytes
-}
 
 // Samples returns the collected series.
 func (s *Sampler) Samples() []Sample { return s.samples }
