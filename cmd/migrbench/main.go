@@ -7,6 +7,7 @@
 //	migrbench -exp fig3 -qps 16,64,256,1024,4096
 //	migrbench -exp fig4a|fig4b|fig4c|fig5|fig6|table4
 //	migrbench -exp migros|latency|loss
+//	migrbench -exp concurrent -k 4 -conc 2
 //	migrbench -exp ablation-keytable|ablation-wbs|ablation-rkey|ablation-partner
 //
 // Output is a textual rendition of each table/figure: the same rows or
@@ -25,10 +26,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss")
 	qps := flag.String("qps", "16,64,256,1024", "comma-separated QP counts for fig3/fig4a/migros")
 	sizes := flag.String("sizes", "512,4096,65536,524288", "message sizes for fig4b")
 	partners := flag.String("partners", "1,2,4", "partner counts for fig4c")
+	k := flag.Int("k", 4, "container count for the concurrent experiment")
+	conc := flag.Int("conc", 2, "admission cap for the concurrent experiment")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -142,6 +145,16 @@ func main() {
 				return err
 			}
 			fmt.Println(r)
+			return nil
+		})
+	}
+	if want("concurrent") {
+		run("Concurrent drain — K container migrations under an admission cap", func() error {
+			res, err := experiments.ConcurrentMigrations(*k, *conc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res)
 			return nil
 		})
 	}

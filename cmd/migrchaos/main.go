@@ -5,6 +5,8 @@
 //	migrchaos                          # default sweep: all schedules, 32 seeds
 //	migrchaos -seeds 1000              # long sweep
 //	migrchaos -schedule loss-burst -seed 17 -v   # replay one run
+//	migrchaos -concurrent              # sweep three overlapping migrations
+//	migrchaos -concurrent -cap 1       # same jobs, serialized admission
 package main
 
 import (
@@ -21,10 +23,16 @@ func main() {
 	seeds := flag.Int64("seeds", 32, "number of seeds to sweep")
 	verbose := flag.Bool("v", false, "print every run, not just failures")
 	list := flag.Bool("list", false, "list the available schedules and exit")
+	concurrent := flag.Bool("concurrent", false, "run the concurrent-migration schedules (three overlapping migrations)")
+	cap := flag.Int("cap", 3, "admission cap for -concurrent runs")
 	flag.Parse()
 
 	if *list {
-		for _, s := range chaos.Schedules() {
+		all := chaos.Schedules()
+		if *concurrent {
+			all = chaos.ConcurrentSchedules()
+		}
+		for _, s := range all {
 			fmt.Printf("%-22s %d faults\n", s.Name, len(s.Faults))
 			for _, f := range s.Faults {
 				when := fmt.Sprintf("at %v", f.At)
@@ -38,8 +46,13 @@ func main() {
 	}
 
 	schedules := chaos.Schedules()
+	byName := chaos.ScheduleByName
+	if *concurrent {
+		schedules = chaos.ConcurrentSchedules()
+		byName = chaos.ConcurrentScheduleByName
+	}
 	if *scheduleName != "" {
-		s, ok := chaos.ScheduleByName(*scheduleName)
+		s, ok := byName(*scheduleName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown schedule %q (try -list)\n", *scheduleName)
 			os.Exit(2)
@@ -54,17 +67,29 @@ func main() {
 	runs, failures := 0, 0
 	for _, sched := range schedules {
 		for s := lo; s <= hi; s++ {
-			rep := chaos.Run(s, sched)
+			var ok bool
+			var line string
+			var violations []string
+			var replay string
+			if *concurrent {
+				rep := chaos.RunConcurrent(s, sched, *cap)
+				ok, line, violations = rep.OK(), rep.String(), rep.Violations
+				replay = fmt.Sprintf("migrchaos -concurrent -cap %d -schedule %s -seed %d -v", *cap, sched.Name, s)
+			} else {
+				rep := chaos.Run(s, sched)
+				ok, line, violations = rep.OK(), rep.String(), rep.Violations
+				replay = fmt.Sprintf("migrchaos -schedule %s -seed %d -v", sched.Name, s)
+			}
 			runs++
-			if !rep.OK() {
+			if !ok {
 				failures++
-				fmt.Println(rep)
-				for _, v := range rep.Violations {
+				fmt.Println(line)
+				for _, v := range violations {
 					fmt.Printf("    violation: %s\n", v)
 				}
-				fmt.Printf("    replay: migrchaos -schedule %s -seed %d -v\n", sched.Name, s)
+				fmt.Printf("    replay: %s\n", replay)
 			} else if *verbose {
-				fmt.Println(rep)
+				fmt.Println(line)
 			}
 		}
 	}

@@ -70,6 +70,10 @@ type Fault struct {
 	// Phase arms the fault when the migration workflow enters the named
 	// runc stage ("predump", "suspend-wbs", "transfer", "resume", ...).
 	Phase string
+	// Mig restricts a Phase fault to the named migration in concurrent
+	// runs ("m1", "m2", …); empty matches every migration. Ignored for
+	// absolute-time faults.
+	Mig string
 	// Duration disarms the fault this long after arming; zero keeps it
 	// armed until the driver's final cleanup.
 	Duration time.Duration

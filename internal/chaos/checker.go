@@ -21,18 +21,27 @@ type qpKey struct {
 // and final workload state, returning one message per breach.
 func check(rec *recorder, cli *perftest.Client, srv *perftest.Server, done bool, migErr error, atMig int64) []string {
 	var v []string
-	badf := func(format string, args ...interface{}) {
-		v = append(v, fmt.Sprintf(format, args...))
-	}
-
 	// Liveness: the driver (migration + drain) finished inside the
 	// horizon. Everything else is meaningless if it did not.
 	if !done {
-		badf("run did not complete within the horizon")
-		return v
+		return []string{"run did not complete within the horizon"}
 	}
 	if migErr != nil {
-		badf("migration failed: %v", migErr)
+		v = append(v, fmt.Sprintf("migration failed: %v", migErr))
+	}
+	v = append(v, checkPair(cli, srv, atMig, "dst", "")...)
+	v = append(v, checkLedger(rec)...)
+	return v
+}
+
+// checkPair validates one client/server pair's end-to-end invariants:
+// exactly-once in-order delivery, post-migration progress, the client
+// landing on wantNode, and poller drain. label prefixes every message
+// (a migration ID in concurrent runs).
+func checkPair(cli *perftest.Client, srv *perftest.Server, atMig int64, wantNode, label string) []string {
+	var v []string
+	badf := func(format string, args ...interface{}) {
+		v = append(v, label+fmt.Sprintf(format, args...))
 	}
 
 	// Exactly-once, in-order, uncorrupted delivery across the migration
@@ -52,8 +61,8 @@ func check(rec *recorder, cli *perftest.Client, srv *perftest.Server, done bool,
 	if cli.Stats.Completed <= atMig {
 		badf("no progress after migration (stuck at %d completions)", atMig)
 	}
-	if cli.Sess != nil && cli.Sess.Node() != "dst" {
-		badf("client session on %q, want dst", cli.Sess.Node())
+	if cli.Sess != nil && cli.Sess.Node() != wantNode {
+		badf("client session on %q, want %s", cli.Sess.Node(), wantNode)
 	}
 
 	// Every WaitNonEmpty poller on the migrated session drained: once
@@ -63,6 +72,18 @@ func check(rec *recorder, cli *perftest.Client, srv *perftest.Server, done bool,
 	// completion-count equality above.)
 	if cli.Sess != nil && cli.Sess.ActivePollers() != 0 {
 		badf("client still has %d active CQ pollers", cli.Sess.ActivePollers())
+	}
+	return v
+}
+
+// checkLedger scans the event ledger for transport-level invariant
+// breaches: PSN/ACK monotonicity, send-completion WR-ID order, and
+// rkey protection after deregistration. The ledger mixes all
+// migrations' QPs; the per-(node, qpn) keying keeps them separate.
+func checkLedger(rec *recorder) []string {
+	var v []string
+	badf := func(format string, args ...interface{}) {
+		v = append(v, fmt.Sprintf(format, args...))
 	}
 
 	// Ledger scan. Runs are far below 2^24 packets, so PSN monotonicity

@@ -1,0 +1,251 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/metrics"
+	"migrrdma/internal/migmgr"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// JobOutcome summarises one migration of a concurrent chaos run.
+type JobOutcome struct {
+	ID       string
+	Src, Dst string
+	// AtSwitch is the client's completion count when its migration hit
+	// the "done" stage; post-migration progress is measured against it.
+	AtSwitch          int64
+	Started, Finished time.Duration
+	// FinalStage is the last workflow stage the migration reached —
+	// "done" on success, the stuck stage on a hung run.
+	FinalStage string
+	Report     *runc.Report
+	Err        error
+}
+
+// ConcurrentReport summarises one concurrent chaos run.
+type ConcurrentReport struct {
+	Seed     int64
+	Schedule string
+	Cap      int
+	// TraceHash is a SHA-256 over the run's event ledger; same (seed,
+	// schedule, cap) ⇒ identical hash.
+	TraceHash string
+	Events    int
+
+	Jobs []JobOutcome
+
+	Dropped     int64
+	Duplicated  int64
+	Reordered   int64
+	FaultsArmed int
+	Metrics     *metrics.Snapshot
+
+	Violations []string
+}
+
+// OK reports whether every invariant held for every migration.
+func (r *ConcurrentReport) OK() bool { return len(r.Violations) == 0 }
+
+// String renders a one-line summary.
+func (r *ConcurrentReport) String() string {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = fmt.Sprintf("FAIL(%d)", len(r.Violations))
+	}
+	return fmt.Sprintf("seed=%-4d schedule=%-24s cap=%d %s jobs=%d dropped=%d dup=%d reord=%d hash=%s",
+		r.Seed, r.Schedule, r.Cap, verdict, len(r.Jobs), r.Dropped, r.Duplicated, r.Reordered, r.TraceHash[:16])
+}
+
+// RunConcurrent executes one chaos run with three overlapping
+// migrations under the given admission cap, validating every invariant
+// per migration. The four-host topology exercises the concurrency
+// matrix of the migration manager:
+//
+//	cli1 on a → srv1 on c; m1 migrates cli1 a → b
+//	cli2 on b → srv2 on c; m2 migrates cli2 b → a
+//	cli3 on c → srv3 on a; m3 migrates cli3 c → d
+//
+// so host a is simultaneously migration source (m1), destination (m2),
+// and partner (m3), while host c partners two migrations (m1, m2) and
+// sources a third. Like Run, the same (seed, schedule, cap) always
+// yields a byte-identical TraceHash.
+func RunConcurrent(seed int64, schedule Schedule, cap int) *ConcurrentReport {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cl := cluster.New(cfg, "a", "b", "c", "d")
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+	}
+	type pair struct {
+		cli  *perftest.Client
+		srv  *perftest.Server
+		cont *runc.Container
+		dst  string
+	}
+	mk := func(i int, cNode, sNode, dst string) *pair {
+		name := fmt.Sprintf("%d", i)
+		p := &pair{
+			srv: perftest.NewServer(sched, "srv"+name, opts),
+			cli: perftest.NewClient(sched, "cli"+name, opts, perftest.Target{Node: sNode, Name: "srv" + name}),
+			dst: dst,
+		}
+		srvCont := runc.NewContainer(cl.Host(sNode), "srv"+name+"-cont")
+		srvCont.Start(func(tp *task.Process) { p.srv.Run(tp, daemons[sNode]) })
+		p.cont = runc.NewContainer(cl.Host(cNode), "cli"+name+"-cont")
+		sched.Go("chaos-start-cli"+name, func() {
+			p.srv.WaitReady()
+			p.cont.Start(func(tp *task.Process) { p.cli.Run(tp, daemons[cNode]) })
+		})
+		return p
+	}
+	pairs := []*pair{
+		mk(1, "a", "c", "b"),
+		mk(2, "b", "c", "a"),
+		mk(3, "c", "a", "d"),
+	}
+
+	inj := &injector{sched: sched, net: cl.Net, rec: rec}
+	rep := &ConcurrentReport{Seed: seed, Schedule: schedule.Name, Cap: cap}
+	mgr := migmgr.New(cl, daemons, cap)
+	atSwitch := make(map[string]int64)
+	jobPair := make(map[string]*pair)
+	done := false
+	sched.Go("chaos-driver", func() {
+		for _, p := range pairs {
+			p.cli.WaitReady()
+		}
+		sched.Sleep(Warmup)
+		for _, f := range schedule.Faults {
+			if f.Phase != "" {
+				continue
+			}
+			f := f
+			d := f.At - sched.Now()
+			if d < 0 {
+				d = 0
+			}
+			sched.AfterFunc(d, func() { inj.arm(f) })
+		}
+		mgr.OnStage = func(j *migmgr.Job, stage string) {
+			rec.add(event{kind: "stage", note: j.ID + ":" + stage})
+			if stage == "done" {
+				atSwitch[j.ID] = jobPair[j.ID].cli.Stats.Completed
+			}
+			for _, f := range schedule.Faults {
+				if f.Phase == stage && (f.Mig == "" || f.Mig == j.ID) {
+					inj.arm(f)
+				}
+			}
+		}
+		for _, p := range pairs {
+			j := mgr.Submit(migmgr.Spec{C: p.cont, Dst: p.dst, Opts: runc.DefaultMigrateOptions()})
+			jobPair[j.ID] = p
+		}
+		mgr.WaitAll()
+		// Mid-run metrics checkpoint, as in Run.
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
+		sched.Sleep(settle)
+		inj.clearAll()
+		sched.Sleep(settle)
+		for _, p := range pairs {
+			p.cli.Stop()
+			p.cli.Wait()
+		}
+		sched.Sleep(settle)
+		for _, p := range pairs {
+			p.srv.Stop()
+		}
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.Duplicated = snap.Sum("fabric", "duplicated_frames")
+	rep.Reordered = snap.Sum("fabric", "reordered_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
+	for _, e := range rec.events {
+		if e.kind == "fault" && e.ok {
+			rep.FaultsArmed++
+		}
+	}
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+
+	for _, j := range mgr.Jobs() {
+		rep.Jobs = append(rep.Jobs, JobOutcome{
+			ID: j.ID, Src: j.Src, Dst: j.Spec.Dst, AtSwitch: atSwitch[j.ID],
+			Started: j.Started, Finished: j.Finished, FinalStage: j.Stage,
+			Report: j.Report, Err: j.Err,
+		})
+	}
+	if !done {
+		rep.Violations = []string{"run did not complete within the horizon"}
+		for _, j := range rep.Jobs {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s: last stage %q", j.ID, j.FinalStage))
+		}
+		return rep
+	}
+	for _, j := range mgr.Jobs() {
+		p := jobPair[j.ID]
+		label := j.ID + ": "
+		if j.Err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("%smigration failed: %v", label, j.Err))
+			continue
+		}
+		rep.Violations = append(rep.Violations, checkPair(p.cli, p.srv, atSwitch[j.ID], j.Spec.Dst, label)...)
+	}
+	rep.Violations = append(rep.Violations, checkLedger(rec)...)
+	return rep
+}
+
+// ConcurrentSchedules returns the fault-schedule library for concurrent
+// runs. Windows follow the same transport budgets as Schedules.
+func ConcurrentSchedules() []Schedule {
+	return []Schedule{
+		{Name: "concurrent-clean"},
+		{Name: "concurrent-loss", Faults: []Fault{
+			// A loss burst on the shared partner/source node c while all
+			// three migrations are in flight, and one on a timed to m1's
+			// resume phase.
+			{Kind: FaultLoss, Node: "c", Prob: 0.25, At: Warmup, Duration: 2 * time.Millisecond},
+			{Kind: FaultLoss, Node: "a", Prob: 0.25, Phase: "resume", Mig: "m1", Duration: time.Millisecond},
+		}},
+		{Name: "concurrent-partner-blackhole", Faults: []Fault{
+			// c partners m1 and m2; blackhole its RDMA port while m2 runs
+			// wait-before-stop. 1 ms stays inside the 7 × 500 µs retry
+			// budget of any one WR.
+			{Kind: FaultBlackhole, Node: "c", Phase: "suspend-wbs", Mig: "m2", Duration: time.Millisecond},
+		}},
+	}
+}
+
+// ConcurrentScheduleByName returns the named concurrent schedule, or
+// false.
+func ConcurrentScheduleByName(name string) (Schedule, bool) {
+	for _, s := range ConcurrentSchedules() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}

@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// concurrentSweepSeeds keeps the concurrent sweep (3 schedules × seeds ×
+// three migrations per run) inside the tier-1 budget.
+const concurrentSweepSeeds = 6
+
+// TestConcurrentChaosSweep is the concurrent acceptance test: every
+// concurrent schedule, swept across seeds, must complete all three
+// overlapping migrations with every invariant intact per migration.
+func TestConcurrentChaosSweep(t *testing.T) {
+	for _, sched := range ConcurrentSchedules() {
+		sched := sched
+		t.Run(sched.Name, func(t *testing.T) {
+			var dropped, armed int64
+			for seed := int64(1); seed <= concurrentSweepSeeds; seed++ {
+				rep := RunConcurrent(seed, sched, 3)
+				for _, v := range rep.Violations {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+				if t.Failed() {
+					t.Fatalf("seed %d failed; replay with: go run ./cmd/migrchaos -concurrent -schedule %s -seed %d -v",
+						seed, sched.Name, seed)
+				}
+				if len(rep.Jobs) != 3 {
+					t.Fatalf("seed %d: %d jobs, want 3", seed, len(rep.Jobs))
+				}
+				for _, j := range rep.Jobs {
+					if j.FinalStage != "done" {
+						t.Fatalf("seed %d: %s ended in stage %q", seed, j.ID, j.FinalStage)
+					}
+					if j.Report == nil || j.Report.MigrationID != j.ID {
+						t.Fatalf("seed %d: %s report not tagged with its migration ID", seed, j.ID)
+					}
+				}
+				dropped += rep.Dropped
+				armed += int64(rep.FaultsArmed)
+			}
+			switch sched.Name {
+			case "concurrent-loss":
+				if dropped == 0 {
+					t.Fatalf("schedule dropped no frames across %d seeds", concurrentSweepSeeds)
+				}
+			case "concurrent-partner-blackhole":
+				if armed == 0 {
+					t.Fatalf("schedule armed no faults across %d seeds", concurrentSweepSeeds)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentFullOverlap pins the tentpole acceptance shape: under
+// cap 3 on the clean schedule, all three migrations must actually
+// overlap in time — every job starts before the first one finishes —
+// covering the node that is simultaneously source (m1), destination
+// (m2), and partner (m3).
+func TestConcurrentFullOverlap(t *testing.T) {
+	rep := RunConcurrent(7, Schedule{Name: "concurrent-clean"}, 3)
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	var maxStart, minFinish time.Duration
+	for i, j := range rep.Jobs {
+		if j.Started > maxStart {
+			maxStart = j.Started
+		}
+		if i == 0 || j.Finished < minFinish {
+			minFinish = j.Finished
+		}
+	}
+	if maxStart >= minFinish {
+		t.Fatalf("migrations did not overlap: last start %v >= first finish %v", maxStart, minFinish)
+	}
+	// The per-migration IDs must be visible in the metrics labels.
+	snap := rep.Metrics.String()
+	for _, id := range []string{"mig=m1", "mig=m2", "mig=m3"} {
+		if !strings.Contains(snap, id) {
+			t.Errorf("metrics snapshot missing label %s", id)
+		}
+	}
+}
+
+// TestConcurrentCapSerializes verifies the admission cap: with cap 1
+// the three migrations must run strictly one after another, and later
+// jobs must report a non-zero queue wait.
+func TestConcurrentCapSerializes(t *testing.T) {
+	rep := RunConcurrent(7, Schedule{Name: "concurrent-clean"}, 1)
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	for i := 1; i < len(rep.Jobs); i++ {
+		prev, cur := rep.Jobs[i-1], rep.Jobs[i]
+		if cur.Started < prev.Finished {
+			t.Fatalf("%s started at %v before %s finished at %v under cap 1",
+				cur.ID, cur.Started, prev.ID, prev.Finished)
+		}
+		// Everything was submitted together, so queued jobs must have
+		// waited at least one full predecessor migration.
+		if cur.Started <= rep.Jobs[0].Started {
+			t.Fatalf("%s reports no queue wait under cap 1", cur.ID)
+		}
+	}
+}
+
+// TestConcurrentSameSeedSameHashAndMetrics extends the determinism
+// contract to concurrent runs: two identical (seed, schedule, cap)
+// executions must produce byte-identical trace hashes and metric
+// snapshots, and the migrations counter must see all three runs.
+func TestConcurrentSameSeedSameHashAndMetrics(t *testing.T) {
+	sched, ok := ConcurrentScheduleByName("concurrent-loss")
+	if !ok {
+		t.Fatal("concurrent-loss schedule missing")
+	}
+	a := RunConcurrent(7, sched, 3)
+	b := RunConcurrent(7, sched, 3)
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("hash differs across identical runs:\n  %s\n  %s", a.TraceHash, b.TraceHash)
+	}
+	if a.Events == 0 {
+		t.Fatal("empty trace")
+	}
+	ra, rb := a.Metrics.String(), b.Metrics.String()
+	if ra != rb {
+		t.Fatalf("metric snapshots differ across identical runs:\n--- a ---\n%s\n--- b ---\n%s", ra, rb)
+	}
+	if got := a.Metrics.Sum("migr", "migrations"); got != 3 {
+		t.Errorf("migrations counter = %d, want 3", got)
+	}
+	if got := a.Metrics.Sum("migmgr", "completed"); got != 3 {
+		t.Errorf("migmgr completed counter = %d, want 3", got)
+	}
+}

@@ -29,16 +29,31 @@ type Daemon struct {
 	// fetch routing and n_sent delivery).
 	byPhys map[uint32]*Session
 
-	// staging holds restores in progress on this host, keyed by process
-	// name (the migration destination side).
+	// staging holds restores in progress on this host (the migration
+	// destination side), keyed by stagingKey — migration ID plus process
+	// name — so concurrent restores of identically named processes from
+	// different migrations never collide.
 	staging map[string]*Staged
 
 	// movedVQPN records virtual QPNs whose owning process migrated away
 	// and the node it now lives on, so fetches can be redirected.
 	movedVQPN map[uint32]string
 
+	// pendingNSent stashes n_sent announcements addressed to a physical
+	// QPN this host does not own yet: under concurrent migrations a
+	// peer's announcement can race the local switch-over that installs
+	// the QPN, and dropping it would stall the waiting side's
+	// wait-before-stop until its timeout. Delivered when mapQPN installs
+	// the QPN.
+	pendingNSent map[uint32]uint64
+
 	wbs        WBSConfig
 	helloCache map[string]bool
+
+	// partnerWBS records partner-side wait-before-stop results on this
+	// host keyed by migration ID, so overlapping migrations sharing this
+	// partner don't clobber each other's result.
+	partnerWBS map[string]WBSResult
 
 	// LastPartnerWBS records the most recent partner-side
 	// wait-before-stop result on this host (for the Fig. 4 harness).
@@ -58,12 +73,14 @@ const EndpointName = "migrrdma"
 // NewDaemon starts the MigrRDMA daemon on a host.
 func NewDaemon(h *cluster.Host) *Daemon {
 	d := &Daemon{
-		host:      h,
-		dev:       h.Dev,
-		byPhys:    make(map[uint32]*Session),
-		staging:   make(map[string]*Staged),
-		movedVQPN: make(map[uint32]string),
-		wbs:       DefaultWBSConfig(),
+		host:         h,
+		dev:          h.Dev,
+		byPhys:       make(map[uint32]*Session),
+		staging:      make(map[string]*Staged),
+		movedVQPN:    make(map[uint32]string),
+		pendingNSent: make(map[uint32]uint64),
+		wbs:          DefaultWBSConfig(),
+		partnerWBS:   make(map[string]WBSResult),
 	}
 	d.ep = newOOBAdapter(h)
 	d.installHandlers()
@@ -110,10 +127,15 @@ func (d *Daemon) unregister(s *Session) {
 	}
 }
 
-// mapQPN installs a physical→virtual QPN mapping for a session's QP.
+// mapQPN installs a physical→virtual QPN mapping for a session's QP,
+// delivering any n_sent announcement that arrived ahead of it.
 func (d *Daemon) mapQPN(phys, virt uint32, s *Session) {
 	d.qpn.set(phys, virt)
 	d.byPhys[phys] = s
+	if n, ok := d.pendingNSent[phys]; ok {
+		delete(d.pendingNSent, phys)
+		s.deliverNSent(phys, n)
+	}
 }
 
 // unmapQPN removes a physical QPN mapping (old QP fully drained).
@@ -151,7 +173,17 @@ type nsentMsg struct {
 	NSent  uint64
 }
 
-type suspendForReq struct{ SrcNode string }
+type suspendForReq struct {
+	// MigID identifies the migration so the partner's wait-before-stop
+	// result is stashed per migration.
+	MigID   string
+	SrcNode string
+	// PartnerQPNs lists this host's physical QPNs connected to the
+	// migrating process; only these QPs are suspended. Empty falls back
+	// to suspending every QP toward SrcNode — correct only while no
+	// other migration involves that node.
+	PartnerQPNs []uint32
+}
 
 type suspendForResp struct {
 	ElapsedNS int64
@@ -166,12 +198,14 @@ type notifyPair struct {
 }
 
 type notifyReq struct {
+	MigID    string
 	Proc     string
 	DestNode string
 	Pairs    []notifyPair
 }
 
 type connectNewReq struct {
+	MigID       string
 	Proc        string
 	VQPN        uint32
 	PartnerNode string
@@ -184,6 +218,7 @@ type connectNewResp struct {
 }
 
 type switchReq struct {
+	MigID    string
 	Proc     string
 	SrcNode  string
 	DestNode string
@@ -252,15 +287,27 @@ func (d *Daemon) hNSent(_ string, body []byte) []byte {
 	if err := dec(body, &m); err != nil {
 		return nil
 	}
-	if s, ok := d.byPhys[m.DstQPN]; ok {
-		s.deliverNSent(m.DstQPN, m.NSent)
-	}
+	d.deliverOrStashNSent(m.DstQPN, m.NSent)
 	return nil
 }
 
-// hSuspendFor runs the partner side of stop-and-copy: suspend every QP
-// destined for the migration source and conduct wait-before-stop,
-// blocking the caller until it terminates.
+// deliverOrStashNSent routes a peer's n_sent to the owning session, or
+// stashes it until the physical QPN is mapped (it may belong to a spare
+// QP whose switch-over has not happened yet).
+func (d *Daemon) deliverOrStashNSent(phys uint32, nSent uint64) {
+	if s, ok := d.byPhys[phys]; ok {
+		s.deliverNSent(phys, nSent)
+		return
+	}
+	d.pendingNSent[phys] = nSent
+}
+
+// hSuspendFor runs the partner side of stop-and-copy: suspend the QPs
+// serving the migrating process (the request lists their physical QPNs)
+// and conduct wait-before-stop, blocking the caller until it
+// terminates. Several of these can run concurrently on one host — one
+// per in-flight migration this host partners — each draining only its
+// own migration's QPs.
 func (d *Daemon) hSuspendFor(_ string, body []byte) []byte {
 	var req suspendForReq
 	if err := dec(body, &req); err != nil {
@@ -268,7 +315,12 @@ func (d *Daemon) hSuspendFor(_ string, body []byte) []byte {
 	}
 	var worst WBSResult
 	for _, s := range d.sessions {
-		qps := s.SuspendPeer(req.SrcNode)
+		var qps []*QP
+		if len(req.PartnerQPNs) > 0 {
+			qps = s.SuspendByPhys(req.PartnerQPNs)
+		} else {
+			qps = s.SuspendPeer(req.SrcNode)
+		}
 		if len(qps) == 0 {
 			continue
 		}
@@ -277,8 +329,16 @@ func (d *Daemon) hSuspendFor(_ string, body []byte) []byte {
 			worst = res
 		}
 	}
+	d.partnerWBS[req.MigID] = worst
 	d.LastPartnerWBS = worst
 	return enc(suspendForResp{ElapsedNS: int64(worst.Elapsed), TimedOut: worst.TimedOut})
+}
+
+// PartnerWBSResult reports the partner-side wait-before-stop result
+// this host recorded for the given migration ID.
+func (d *Daemon) PartnerWBSResult(migID string) (WBSResult, bool) {
+	r, ok := d.partnerWBS[migID]
+	return r, ok
 }
 
 // hNotify implements the partner pre-setup of §3.2: for each listed
@@ -305,7 +365,7 @@ func (d *Daemon) hNotify(_ string, body []byte) []byte {
 			return []byte(err.Error())
 		}
 		resp, ok := d.call(req.DestNode, "connect-new", enc(connectNewReq{
-			Proc: req.Proc, VQPN: pair.VQPN,
+			MigID: req.MigID, Proc: req.Proc, VQPN: pair.VQPN,
 			PartnerNode: d.Node(), PartnerQPN: nv.QPN(),
 		}))
 		if !ok {
@@ -322,6 +382,7 @@ func (d *Daemon) hNotify(_ string, body []byte) []byte {
 			return []byte(err.Error())
 		}
 		qp.pendingNew = nv
+		qp.pendingNewMig = req.MigID
 	}
 	return nil
 }
@@ -333,7 +394,12 @@ func (d *Daemon) hConnectNew(_ string, body []byte) []byte {
 	if err := dec(body, &req); err != nil {
 		return enc(connectNewResp{Err: err.Error()})
 	}
-	st, ok := d.staging[req.Proc]
+	st, ok := d.staging[stagingKey(req.MigID, req.Proc)]
+	if !ok {
+		// A restore staged without a migration ID is keyed by process
+		// name alone.
+		st, ok = d.staging[req.Proc]
+	}
 	if !ok {
 		return enc(connectNewResp{Err: "no staged restore for " + req.Proc})
 	}
@@ -357,7 +423,11 @@ func (d *Daemon) hConnectNew(_ string, body []byte) []byte {
 // hSwitch runs on partners after the destination restore completed:
 // activate the spare QPs (map the virtual QPN to the new QP, §3.2),
 // invalidate remote caches pointing at the source, replay pending
-// receives and post intercepted WRs.
+// receives and post intercepted WRs. Only spares stashed for this
+// request's migration ID switch: a host partnering several concurrent
+// migrations holds one pendingNew set per migration, and activating
+// another migration's spares here would connect QPs whose destination
+// has not finished restoring.
 func (d *Daemon) hSwitch(_ string, body []byte) []byte {
 	var req switchReq
 	if err := dec(body, &req); err != nil {
@@ -366,13 +436,14 @@ func (d *Daemon) hSwitch(_ string, body []byte) []byte {
 	for _, s := range d.sessions {
 		var resumed []*QP
 		for _, qp := range s.sortedQPs() {
-			if qp.pendingNew == nil {
+			if qp.pendingNew == nil || qp.pendingNewMig != req.MigID {
 				continue
 			}
 			old := qp.v
 			qp.oldV = old
 			qp.v = qp.pendingNew
 			qp.pendingNew = nil
+			qp.pendingNewMig = ""
 			// The wrapper now stands for the spare QP: re-key it to the
 			// spare's roadmap record so a later migration of this
 			// process replays the QP that actually exists (the old QP's
@@ -493,12 +564,19 @@ func (d *Daemon) fetchQPN(node string, vqpn uint32) (string, uint32, error) {
 // sendNSent delivers this side's n_sent to the peer QP (§3.4).
 func (d *Daemon) sendNSent(node string, dstQPN uint32, nSent uint64) {
 	if node == d.Node() {
-		if s, ok := d.byPhys[dstQPN]; ok {
-			s.deliverNSent(dstQPN, nSent)
-		}
+		d.deliverOrStashNSent(dstQPN, nSent)
 		return
 	}
 	d.ep.Send(node, "nsent", enc(nsentMsg{DstQPN: dstQPN, NSent: nSent}))
+}
+
+// stagingKey keys an in-progress restore: migration ID plus process
+// name when an ID is known, the bare process name otherwise.
+func stagingKey(migID, proc string) string {
+	if migID != "" {
+		return migID + "/" + proc
+	}
+	return proc
 }
 
 // Hello probes whether node runs a MigrRDMA daemon (§6 negotiation).

@@ -16,6 +16,12 @@ import (
 type Plugin struct {
 	Src, Dst *Daemon
 
+	// ID identifies the migration this plugin drives. It keys the
+	// per-migration state stashed on partner and destination daemons
+	// (spare QPs, staged restores, partner WBS results) so one node can
+	// take part in several overlapping migrations.
+	ID string
+
 	sess       *Session
 	staged     *Staged
 	partnerWBS WBSResult
@@ -83,7 +89,7 @@ func (pl *Plugin) PreRestore(r *criu.Restore, img *criu.Image, blob []byte) erro
 	if err != nil {
 		return err
 	}
-	st, err := pl.Dst.RestoreContext(r, img, b)
+	st, err := pl.Dst.RestoreContextFor(r, img, b, pl.ID)
 	if err != nil {
 		return err
 	}
@@ -118,7 +124,7 @@ func (pl *Plugin) PostRestore(r *criu.Restore, p *task.Process, blob []byte) err
 	if pl.staged == nil {
 		// No pre-setup (the baseline of §5.2): build everything now,
 		// inside the blackout.
-		st, err := pl.Dst.RestoreContext(r, nil, final)
+		st, err := pl.Dst.RestoreContextFor(r, nil, final, pl.ID)
 		if err != nil {
 			return err
 		}
@@ -154,7 +160,7 @@ func (pl *Plugin) adopt(s *Session) error {
 	for _, qp := range s.sortedQPs() {
 		pl.Dst.mapQPN(qp.v.QPN(), qp.vqpn, s)
 	}
-	delete(pl.Dst.staging, s.Proc.Name)
+	delete(pl.Dst.staging, st.key)
 	return nil
 }
 
@@ -178,7 +184,7 @@ func (pl *Plugin) NotifyPartners() error {
 		byNode[node] = append(byNode[node], notifyPair{PartnerQPN: qp.v.RemoteQPN(), VQPN: qp.vqpn})
 	}
 	for _, node := range nodes {
-		req := notifyReq{Proc: s.Proc.Name, DestNode: pl.Dst.Node(), Pairs: byNode[node]}
+		req := notifyReq{MigID: pl.ID, Proc: s.Proc.Name, DestNode: pl.Dst.Node(), Pairs: byNode[node]}
 		resp, ok := pl.Src.call(node, "notify-migr", enc(req))
 		if !ok {
 			return fmt.Errorf("core: partner %s unreachable for notification", node)
@@ -196,15 +202,26 @@ func (pl *Plugin) NotifyPartners() error {
 // concurrently with the source's own wait-before-stop.
 func (pl *Plugin) SuspendPartners() error {
 	s := pl.sess
-	seen := map[string]bool{}
+	// Collect, per partner node, the partner-side physical QPNs of this
+	// migration's connections so the partner suspends exactly those and
+	// not QPs of other processes that merely talk to the same source.
+	byNode := make(map[string][]uint32)
+	var nodes []string
 	pl.partnerWBS = WBSResult{}
 	for _, qp := range s.sortedQPs() {
 		node := qp.v.RemoteNode()
-		if node == "" || node == pl.Src.Node() || seen[node] {
+		if node == "" || node == pl.Src.Node() || qp.typ != rnic.RC {
 			continue
 		}
-		seen[node] = true
-		resp, ok := pl.Src.call(node, "suspend-for", enc(suspendForReq{SrcNode: pl.Src.Node()}))
+		if _, seen := byNode[node]; !seen {
+			nodes = append(nodes, node)
+		}
+		byNode[node] = append(byNode[node], qp.v.RemoteQPN())
+	}
+	for _, node := range nodes {
+		resp, ok := pl.Src.call(node, "suspend-for", enc(suspendForReq{
+			MigID: pl.ID, SrcNode: pl.Src.Node(), PartnerQPNs: byNode[node],
+		}))
 		if !ok {
 			return fmt.Errorf("core: partner %s unreachable for suspension", node)
 		}
@@ -241,7 +258,7 @@ func (pl *Plugin) SwitchPartners() error {
 		}
 		seen[node] = true
 		resp, ok := pl.Dst.call(node, "switch-to", enc(switchReq{
-			Proc: s.Proc.Name, SrcNode: pl.Src.Node(), DestNode: pl.Dst.Node(),
+			MigID: pl.ID, Proc: s.Proc.Name, SrcNode: pl.Src.Node(), DestNode: pl.Dst.Node(),
 		}))
 		if !ok {
 			return fmt.Errorf("core: partner %s unreachable for switch", node)

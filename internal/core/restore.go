@@ -18,6 +18,8 @@ type Staged struct {
 	daemon *Daemon
 	ctx    *verbs.Context
 	blob   *Blob
+	// key is this restore's slot in the daemon's staging map.
+	key string
 
 	pds   map[verbs.ObjID]*verbs.PD
 	cqs   map[verbs.ObjID]*verbs.CQ
@@ -52,6 +54,14 @@ type Staged struct {
 // img may be nil when there is no partial restore (the no-presetup
 // baseline); MR memory must then already be at its original addresses.
 func (d *Daemon) RestoreContext(r *criu.Restore, img *criu.Image, b *Blob) (*Staged, error) {
+	return d.RestoreContextFor(r, img, b, "")
+}
+
+// RestoreContextFor is RestoreContext for an identified migration: the
+// staged restore is keyed by (migID, process), so concurrent inbound
+// migrations on one host stay separable for partner connect-new
+// requests.
+func (d *Daemon) RestoreContextFor(r *criu.Restore, img *criu.Image, b *Blob, migID string) (*Staged, error) {
 	st := &Staged{
 		daemon:   d,
 		ctx:      verbs.OpenDevice(d.dev, r.AS),
@@ -87,7 +97,8 @@ func (d *Daemon) RestoreContext(r *criu.Restore, img *criu.Image, b *Blob) (*Sta
 			return nil, err
 		}
 	}
-	d.staging[b.Proc] = st
+	st.key = stagingKey(migID, b.Proc)
+	d.staging[st.key] = st
 	return st, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"migrrdma/internal/mem"
@@ -56,10 +57,13 @@ type Session struct {
 	// recvScratch is the receive-side translation buffer.
 	recvScratch []rnic.SGE
 
-	// wbsActive marks a wait-before-stop in progress: the WBS thread is
-	// then the sole consumer of the real CQs and application polling is
-	// directed to the fake CQs (§3.4).
-	wbsActive bool
+	// wbsDepth counts wait-before-stop executions in progress: WBS
+	// threads are then the sole consumers of the real CQs and
+	// application polling is directed to the fake CQs (§3.4). It nests
+	// because a node partnering two concurrent migrations runs one WBS
+	// per suspend-for request on the same session, and the first to
+	// finish must not re-open the real CQs under the other.
+	wbsDepth int
 
 	// activePollers counts procs currently blocked in CQ.WaitNonEmpty.
 	// The chaos checker asserts it returns to zero after traffic stops:
@@ -282,8 +286,14 @@ func (ch *CompChannel) Get() *CQ {
 		if vcq, ok := ch.v.TryGet(); ok {
 			for _, cq := range ch.sess.cqs {
 				if cq.v == vcq {
-					ch.sess.unhandledEvents++
-					cq.eventPending = true
+					// Count at most one unhandled event per CQ: a second
+					// event (or a repeated Get) before the next Poll must
+					// not drift the §3.4 consistency counter — Poll only
+					// ever decrements it once per CQ.
+					if !cq.eventPending {
+						ch.sess.unhandledEvents++
+						cq.eventPending = true
+					}
 					return cq
 				}
 			}
@@ -293,8 +303,10 @@ func (ch *CompChannel) Get() *CQ {
 		// wait-before-stop thread; deliver it from there.
 		for _, cq := range ch.sess.cqs {
 			if cq.ch == ch && len(cq.fake) > 0 {
-				ch.sess.unhandledEvents++
-				cq.eventPending = true
+				if !cq.eventPending {
+					ch.sess.unhandledEvents++
+					cq.eventPending = true
+				}
 				return cq
 			}
 		}
@@ -427,7 +439,11 @@ type QP struct {
 
 	// pendingNew is a partner-side spare QP pre-connected to the
 	// migration destination, activated at switch-over (§3.2).
-	pendingNew *verbs.QP
+	// pendingNewMig records which migration stashed it, so a switch-over
+	// for one migration never activates spares another migration (on a
+	// shared partner host) is still preparing.
+	pendingNew    *verbs.QP
+	pendingNewMig string
 	// oldV is the partner-side previous QP kept until its completions
 	// drain after a switch-over.
 	oldV *verbs.QP
@@ -690,12 +706,18 @@ func (cq *CQ) Poll(max int) []rnic.CQE {
 	for len(out) < max && len(cq.fake) > 0 {
 		e := cq.fake[0]
 		cq.fake = cq.fake[1:]
-		s.translateCQE(cq, &e)
+		s.translateFakeCQE(cq, &e)
 		out = append(out, e)
+	}
+	if len(cq.fake) == 0 && len(cq.tempQPN) > 0 {
+		// Every pre-migration completion has been consumed; drop the
+		// temporary table so a future QP that happens to reuse one of the
+		// old numbers is not mistranslated.
+		cq.tempQPN = make(map[uint32]uint32)
 	}
 	// During wait-before-stop the application polls the fake CQ only;
 	// the WBS thread owns the real CQ (§3.4).
-	if len(out) < max && !s.wbsActive {
+	if len(out) < max && !s.wbsActive() {
 		for _, e := range cq.v.Poll(max - len(out)) {
 			if s.staleCQE(e) {
 				continue
@@ -732,11 +754,15 @@ func (s *Session) staleCQE(e rnic.CQE) bool {
 // fake CQ plus — outside wait-before-stop — the real CQ (§3.4: during
 // WBS the application is directed to the fake CQ only).
 func (cq *CQ) Len() int {
-	if cq.sess.wbsActive {
+	if cq.sess.wbsActive() {
 		return len(cq.fake)
 	}
 	return len(cq.fake) + cq.v.Len()
 }
+
+// wbsActive reports whether any wait-before-stop is draining this
+// session's real CQs right now.
+func (s *Session) wbsActive() bool { return s.wbsDepth > 0 }
 
 // WaitNonEmpty parks the caller until completions are available. It
 // re-checks the freeze gate and the (migration-swappable) underlying CQ
@@ -748,10 +774,10 @@ func (cq *CQ) WaitNonEmpty() {
 	defer func() { cq.sess.activePollers-- }()
 	for {
 		cq.sess.Proc.Gate()
-		if len(cq.fake) > 0 || (!cq.sess.wbsActive && cq.v.Len() > 0) {
+		if len(cq.fake) > 0 || (!cq.sess.wbsActive() && cq.v.Len() > 0) {
 			return
 		}
-		if cq.sess.wbsActive {
+		if cq.sess.wbsActive() {
 			// The real CQ belongs to the WBS thread right now; it may be
 			// non-empty, so waiting on it would return immediately and
 			// spin. Pace on the clock until entries reach the fake CQ.
@@ -788,6 +814,21 @@ func (s *Session) translateCQE(cq *CQ, e *rnic.CQE) {
 	}
 }
 
+// translateFakeCQE translates a fake-CQ entry. Entries parked during
+// wait-before-stop carry the *source* device's physical QPNs, and each
+// device numbers QPs independently, so after a migration the
+// destination's live table may map the same number to an unrelated QP;
+// the temporary table installed at restore time must win.
+func (s *Session) translateFakeCQE(cq *CQ, e *rnic.CQE) {
+	if v, ok := cq.tempQPN[e.QPN]; ok {
+		e.QPN = v
+		return
+	}
+	if v, ok := s.daemon.qpn.lookup(e.QPN); ok {
+		e.QPN = v
+	}
+}
+
 // absorb performs the library bookkeeping for one raw completion: it
 // pops the SQ window (a completion for WR k retires every WR ≤ k, which
 // is how unsignaled WRs are accounted) or the RQ/SRQ pending list.
@@ -804,14 +845,10 @@ func (s *Session) absorb(cq *CQ, e rnic.CQE) {
 	}
 	if e.Opcode == rnic.OpRecv {
 		if qp.srq != nil {
-			if n := len(qp.srq.pending); n > 0 {
-				qp.srq.pending = qp.srq.pending[1:]
-			}
+			qp.srq.pending = retireRecvWR(qp.srq.pending, e.WRID)
 			return
 		}
-		if len(qp.pendingRecvs) > 0 {
-			qp.pendingRecvs = qp.pendingRecvs[1:]
-		}
+		qp.pendingRecvs = retireRecvWR(qp.pendingRecvs, e.WRID)
 		return
 	}
 	for i, wr := range qp.unfinished {
@@ -821,6 +858,24 @@ func (s *Session) absorb(cq *CQ, e rnic.CQE) {
 		}
 	}
 	// A flush/error completion may not match (already popped); ignore.
+}
+
+// retireRecvWR removes the first pending receive WR matching the
+// completed WRID. Receive completions are one per WR (never coalesced
+// like unsignaled sends) but can surface out of posting order — across
+// an SRQ shared by several QPs, or after go-back-N recovery — so the
+// list is matched like the SQ path rather than popped head-first;
+// popping by count would desync the list and make restore replay the
+// wrong receive WRs. Recv WRIDs recycle, so the first occurrence is the
+// oldest posting; an error/flush completion whose WR was already
+// retired leaves the list untouched.
+func retireRecvWR(pend []rnic.RecvWR, wrid uint64) []rnic.RecvWR {
+	for i := range pend {
+		if pend[i].WRID == wrid {
+			return append(pend[:i], pend[i+1:]...)
+		}
+	}
+	return pend
 }
 
 // Sched is a convenience accessor for workloads built on the session.
@@ -841,29 +896,42 @@ func (s *Session) Close() {
 		delete(s.qps, qp.id)
 		delete(s.byVQPN, qp.vqpn)
 	}
-	for id, mw := range s.mws {
-		mw.v.Dealloc()
+	// Every remaining class tears down in ObjID (creation) order: map
+	// iteration order would vary across runs, and the destroy records it
+	// emits feed the deterministic trace/metrics hashes.
+	for _, id := range sortedObjIDs(s.mws) {
+		s.mws[id].v.Dealloc()
 		delete(s.mws, id)
 	}
-	for id, mr := range s.mrs {
-		mr.v.Dereg()
+	for _, id := range sortedObjIDs(s.mrs) {
+		s.mrs[id].v.Dereg()
 		delete(s.mrs, id)
 	}
-	for id, dm := range s.dms {
-		dm.v.Free()
+	for _, id := range sortedObjIDs(s.dms) {
+		s.dms[id].v.Free()
 		delete(s.dms, id)
 	}
-	for id, srq := range s.srqs {
-		srq.v.Destroy()
+	for _, id := range sortedObjIDs(s.srqs) {
+		s.srqs[id].v.Destroy()
 		delete(s.srqs, id)
 	}
 	for _, cq := range s.cqs {
 		cq.v.Destroy()
 	}
 	s.cqs = nil
-	for id, pd := range s.pds {
-		pd.v.Dealloc()
+	for _, id := range sortedObjIDs(s.pds) {
+		s.pds[id].v.Dealloc()
 		delete(s.pds, id)
 	}
 	s.daemon.unregister(s)
+}
+
+// sortedObjIDs returns the map's keys in ascending ObjID order.
+func sortedObjIDs[T any](m map[verbs.ObjID]T) []verbs.ObjID {
+	ids := make([]verbs.ObjID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }

@@ -89,6 +89,28 @@ func (s *Session) SuspendPeer(node string) []*QP {
 	return out
 }
 
+// SuspendByPhys suspends exactly the session QPs whose current physical
+// QPN is listed — the partner side of one identified migration. Unlike
+// SuspendPeer it leaves QPs that merely share the peer node but belong
+// to other (possibly also migrating) processes untouched; under
+// concurrent migrations those would otherwise be suspended with nobody
+// ever switching or resuming them.
+func (s *Session) SuspendByPhys(qpns []uint32) []*QP {
+	want := make(map[uint32]bool, len(qpns))
+	for _, q := range qpns {
+		want[q] = true
+	}
+	var out []*QP
+	for _, qp := range s.qps {
+		if qp.typ == rnic.RC && want[qp.v.QPN()] {
+			out = append(out, qp)
+		}
+	}
+	s.sortQPs(out)
+	s.Suspend(out)
+	return out
+}
+
 // sortQPs orders QPs by virtual QPN for deterministic iteration.
 func (s *Session) sortQPs(qps []*QP) {
 	for i := 1; i < len(qps); i++ {
@@ -133,8 +155,8 @@ func (s *Session) WaitBeforeStop(qps []*QP, cfg WBSConfig) WBSResult {
 		cfg = DefaultWBSConfig()
 	}
 	sched := s.ctx.Scheduler()
-	s.wbsActive = true
-	defer func() { s.wbsActive = false }()
+	s.wbsDepth++
+	defer func() { s.wbsDepth-- }()
 	start := sched.Now()
 	var inflight int64
 	for _, qp := range qps {

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"migrrdma/internal/migmgr"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+)
+
+// ConcurrentRow is one migration of the concurrent-drain benchmark.
+type ConcurrentRow struct {
+	Mig       string
+	Src, Dst  string
+	QueueWait time.Duration
+
+	ServiceBlackout time.Duration
+	CommBlackout    time.Duration
+	Total           time.Duration
+}
+
+// String renders a table row.
+func (r ConcurrentRow) String() string {
+	return fmt.Sprintf("%-4s %s->%s  queue=%-10v blackout=%-10v comm=%-10v total=%v",
+		r.Mig, r.Src, r.Dst,
+		r.QueueWait.Round(time.Microsecond),
+		r.ServiceBlackout.Round(time.Microsecond),
+		r.CommBlackout.Round(time.Microsecond),
+		r.Total.Round(time.Microsecond))
+}
+
+// ConcurrentResult is the outcome of one ConcurrentMigrations run.
+type ConcurrentResult struct {
+	K, Cap int
+	Rows   []ConcurrentRow
+	// WireBytes is the aggregate fabric transmit volume attributable to
+	// the run (post-warmup delta across all NICs).
+	WireBytes int64
+	// Elapsed is submission of the first job to completion of the last.
+	Elapsed time.Duration
+}
+
+// String renders the result.
+func (cr *ConcurrentResult) String() string {
+	s := fmt.Sprintf("K=%d cap=%d  elapsed=%v wire=%d B\n", cr.K, cr.Cap,
+		cr.Elapsed.Round(time.Microsecond), cr.WireBytes)
+	for _, r := range cr.Rows {
+		s += "  " + r.String() + "\n"
+	}
+	return s
+}
+
+// ConcurrentMigrations drains K client containers concurrently under
+// the given admission cap. The topology is a ring of K hosts n0..n{K-1}
+// plus a partner host p: client i lives on n_i, its server on p, and it
+// migrates to n_{(i+1)%K} — so under cap >= 2 every ring node acts as a
+// migration source and a migration destination simultaneously, and p
+// partners all K migrations at once. The per-migration blackout should
+// stay flat-ish in K while aggregate wire volume and total drain time
+// grow with it.
+func ConcurrentMigrations(k, cap int) (*ConcurrentResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("concurrent: need k >= 2, got %d", k)
+	}
+	names := make([]string, k, k+1)
+	for i := range names {
+		names[i] = "n" + strconv.Itoa(i)
+	}
+	names = append(names, "p")
+	r := NewRig(17, names...)
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2, Messages: 0,
+		CheckOrder: true, PostGap: 60 * time.Microsecond,
+	}
+	pairs := make([]*Pair, k)
+	for i := 0; i < k; i++ {
+		pairs[i] = r.StartPairNamed(names[i], "p",
+			"cli"+strconv.Itoa(i), "srv"+strconv.Itoa(i), opts)
+	}
+
+	mgr := migmgr.New(r.CL, r.Daemons, cap)
+	var res *ConcurrentResult
+	var runErr error
+	r.CL.Sched.Go("driver", func() {
+		for _, p := range pairs {
+			p.Client.WaitReady()
+		}
+		r.CL.Sched.Sleep(settle)
+		before := r.CL.Metrics.Snapshot().Sum("rnic", "tx_bytes")
+		start := r.CL.Sched.Now()
+		for i := 0; i < k; i++ {
+			mgr.Submit(migmgr.Spec{
+				C:    pairs[i].ClientCont,
+				Dst:  names[(i+1)%k],
+				Opts: runc.DefaultMigrateOptions(),
+			})
+		}
+		mgr.WaitAll()
+		elapsed := r.CL.Sched.Now() - start
+		// Drain a little, then stop the workload.
+		r.CL.Sched.Sleep(2 * time.Millisecond)
+		for _, p := range pairs {
+			p.Client.Stop()
+			p.Client.Wait()
+			p.Server.Stop()
+		}
+		wire := r.CL.Metrics.Snapshot().Sum("rnic", "tx_bytes") - before
+		out := &ConcurrentResult{K: k, Cap: cap, Elapsed: elapsed, WireBytes: wire}
+		for _, j := range mgr.Jobs() {
+			if j.Err != nil {
+				runErr = fmt.Errorf("concurrent: %s %s->%s: %w", j.ID, j.Src, j.Spec.Dst, j.Err)
+				return
+			}
+			out.Rows = append(out.Rows, ConcurrentRow{
+				Mig: j.ID, Src: j.Src, Dst: j.Spec.Dst, QueueWait: j.QueueWait(),
+				ServiceBlackout: j.Report.ServiceBlackout,
+				CommBlackout:    j.Report.CommBlackout,
+				Total:           j.Report.Total,
+			})
+		}
+		res = out
+	})
+	r.CL.Sched.RunFor(10 * time.Minute)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if res == nil {
+		return nil, fmt.Errorf("concurrent: run did not complete (k=%d cap=%d)", k, cap)
+	}
+	for i, p := range pairs {
+		if len(p.Client.Stats.Errors) > 0 {
+			return nil, fmt.Errorf("concurrent: client %d errors: %v", i, p.Client.Stats.Errors[0])
+		}
+		if len(p.Server.Stats.Errors) > 0 {
+			return nil, fmt.Errorf("concurrent: server %d errors: %v", i, p.Server.Stats.Errors[0])
+		}
+	}
+	return res, nil
+}

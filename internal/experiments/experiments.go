@@ -52,14 +52,26 @@ type Pair struct {
 
 // StartPair launches a server on sNode and a client container on cNode.
 func (r *Rig) StartPair(cNode, sNode string, opts perftest.Options) *Pair {
+	return r.startPair(cNode, sNode, "cli", "srv", "client", "server", opts)
+}
+
+// StartPairNamed is StartPair with explicit perftest names; several
+// pairs can then coexist on one node (each server registers an OOB
+// endpoint derived from its name). Container names follow the perftest
+// names.
+func (r *Rig) StartPairNamed(cNode, sNode, cliName, srvName string, opts perftest.Options) *Pair {
+	return r.startPair(cNode, sNode, cliName, srvName, cliName+"-cont", srvName+"-cont", opts)
+}
+
+func (r *Rig) startPair(cNode, sNode, cliName, srvName, cliCont, srvCont string, opts perftest.Options) *Pair {
 	p := &Pair{
-		Server: perftest.NewServer(r.CL.Sched, "srv", opts),
-		Client: perftest.NewClient(r.CL.Sched, "cli", opts, perftest.Target{Node: sNode, Name: "srv"}),
+		Server: perftest.NewServer(r.CL.Sched, srvName, opts),
+		Client: perftest.NewClient(r.CL.Sched, cliName, opts, perftest.Target{Node: sNode, Name: srvName}),
 	}
-	p.ServerCont = runc.NewContainer(r.CL.Host(sNode), "server")
+	p.ServerCont = runc.NewContainer(r.CL.Host(sNode), srvCont)
 	p.ServerCont.Start(func(tp *task.Process) { p.Server.Run(tp, r.Daemons[sNode]) })
-	p.ClientCont = runc.NewContainer(r.CL.Host(cNode), "client")
-	r.CL.Sched.Go("start-client", func() {
+	p.ClientCont = runc.NewContainer(r.CL.Host(cNode), cliCont)
+	r.CL.Sched.Go("start-"+cliName, func() {
 		p.Server.WaitReady()
 		p.ClientCont.Start(func(tp *task.Process) { p.Client.Run(tp, r.Daemons[cNode]) })
 	})

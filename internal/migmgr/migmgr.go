@@ -1,0 +1,272 @@
+// Package migmgr is the cluster-level migration manager: the cloud
+// manager role of §4 scaled past the paper's one-at-a-time testbed. It
+// admits container migrations under a configurable concurrency cap,
+// queues the rest, assigns each migration a stable ID ("m1", "m2", …)
+// and threads it through the Migrator so overlapping runs stay
+// distinguishable in daemon state, trace timelines, and metrics labels.
+package migmgr
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/metrics"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/sim"
+)
+
+// queueWaitBucketsUS are the histogram bounds (µs) for admission queue
+// wait times: sub-millisecond when the cap is generous, up to whole
+// migration durations when drains pile up.
+var queueWaitBucketsUS = []int64{100, 1000, 10000, 100000, 1000000, 10000000}
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	Queued State = iota
+	Running
+	Done
+	Failed
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Spec describes one requested container migration. The source host is
+// read from the container at start time (not submission time), so a
+// container that was itself just migrated drains from wherever it
+// currently lives.
+type Spec struct {
+	C    *runc.Container
+	Dst  string
+	Opts runc.MigrateOptions
+	// ExtraPlugs is the number of additional RDMA-holding processes in
+	// the container beyond the first (see runc.Migrator.ExtraPlugs).
+	ExtraPlugs int
+}
+
+// Job tracks one submitted migration through the manager.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	mgr   *Manager
+	state State
+	// Stage mirrors the underlying Migrator.Stage while running.
+	Stage string
+	// Src is the source host name, resolved when the job starts.
+	Src string
+
+	Submitted, Started, Finished time.Duration
+
+	Report *runc.Report
+	Err    error
+}
+
+// State returns the job's lifecycle position.
+func (j *Job) State() State { return j.state }
+
+// QueueWait is the admission delay: start time minus submission time.
+func (j *Job) QueueWait() time.Duration { return j.Started - j.Submitted }
+
+// Wait parks the calling proc until the job finished (Done or Failed).
+func (j *Job) Wait() {
+	for j.state != Done && j.state != Failed {
+		j.mgr.changed.Wait()
+	}
+}
+
+// Manager admits migrations under a concurrency cap.
+type Manager struct {
+	sched   *sim.Scheduler
+	cl      *cluster.Cluster
+	daemons map[string]*core.Daemon
+	max     int
+
+	nextID  int
+	queue   []*Job
+	jobs    []*Job
+	running int
+	// busy guards against two concurrent migrations of one container.
+	busy    map[*runc.Container]bool
+	changed *sim.Cond
+
+	mActive    *metrics.Gauge
+	mQueued    *metrics.Gauge
+	mSubmitted *metrics.Counter
+	mCompleted *metrics.Counter
+	mFailed    *metrics.Counter
+
+	// OnStage, when set, observes every stage transition of every
+	// managed migration; it runs on the migration's driver proc.
+	OnStage func(j *Job, stage string)
+}
+
+// New creates a manager over the cluster's daemons admitting at most
+// max concurrent migrations (max <= 0 means 1).
+func New(cl *cluster.Cluster, daemons map[string]*core.Daemon, max int) *Manager {
+	if max <= 0 {
+		max = 1
+	}
+	m := &Manager{
+		sched:   cl.Sched,
+		cl:      cl,
+		daemons: daemons,
+		max:     max,
+		busy:    make(map[*runc.Container]bool),
+		changed: sim.NewCond(cl.Sched, "migmgr"),
+	}
+	if reg := cl.Metrics; reg != nil {
+		m.mActive = reg.Gauge("migmgr", "active", nil)
+		m.mQueued = reg.Gauge("migmgr", "queued", nil)
+		m.mSubmitted = reg.Counter("migmgr", "submitted", nil)
+		m.mCompleted = reg.Counter("migmgr", "completed", nil)
+		m.mFailed = reg.Counter("migmgr", "failed", nil)
+	}
+	return m
+}
+
+// Submit enqueues a migration and returns its job. IDs are assigned in
+// submission order per manager ("m1", "m2", …) — deterministic under a
+// fixed schedule, unlike a process-global counter.
+func (m *Manager) Submit(spec Spec) *Job {
+	m.nextID++
+	j := &Job{
+		ID:        "m" + strconv.Itoa(m.nextID),
+		Spec:      spec,
+		mgr:       m,
+		state:     Queued,
+		Submitted: m.sched.Now(),
+	}
+	m.jobs = append(m.jobs, j)
+	m.queue = append(m.queue, j)
+	if m.mSubmitted != nil {
+		m.mSubmitted.Inc()
+		m.mQueued.Set(int64(len(m.queue)))
+	}
+	m.pump()
+	return j
+}
+
+// Jobs returns every job in submission order.
+func (m *Manager) Jobs() []*Job {
+	out := make([]*Job, len(m.jobs))
+	copy(out, m.jobs)
+	return out
+}
+
+// WaitAll parks until every submitted job finished.
+func (m *Manager) WaitAll() {
+	for {
+		pending := false
+		for _, j := range m.jobs {
+			if j.state == Queued || j.state == Running {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			return
+		}
+		m.changed.Wait()
+	}
+}
+
+// pump starts queued jobs while capacity allows. A job whose container
+// is already migrating is skipped (it stays queued, later jobs may
+// overtake it); the container can only be drained once at a time.
+func (m *Manager) pump() {
+	for i := 0; i < len(m.queue) && m.running < m.max; {
+		j := m.queue[i]
+		if m.busy[j.Spec.C] {
+			i++
+			continue
+		}
+		m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		m.start(j)
+	}
+	if m.mQueued != nil {
+		m.mQueued.Set(int64(len(m.queue)))
+	}
+}
+
+// start launches a job's migration on its own proc.
+func (m *Manager) start(j *Job) {
+	m.running++
+	m.busy[j.Spec.C] = true
+	j.state = Running
+	j.Started = m.sched.Now()
+	j.Src = j.Spec.C.Host.Name
+	if m.mActive != nil {
+		m.mActive.Set(int64(m.running))
+		m.cl.Metrics.Histogram("migmgr", "queue_wait_us", metrics.Labels{"mig": j.ID}, queueWaitBucketsUS).
+			Observe(j.QueueWait().Microseconds())
+	}
+	m.sched.Go("migmgr/"+j.ID, func() {
+		j.Report, j.Err = m.migrate(j)
+		j.Finished = m.sched.Now()
+		m.running--
+		delete(m.busy, j.Spec.C)
+		if j.Err != nil {
+			j.state = Failed
+			if m.mFailed != nil {
+				m.mFailed.Inc()
+			}
+		} else {
+			j.state = Done
+			if m.mCompleted != nil {
+				m.mCompleted.Inc()
+			}
+		}
+		if m.mActive != nil {
+			m.mActive.Set(int64(m.running))
+		}
+		m.pump()
+		m.changed.Broadcast()
+	})
+}
+
+// migrate builds the Migrator for a job and runs it.
+func (m *Manager) migrate(j *Job) (*runc.Report, error) {
+	srcD, ok := m.daemons[j.Src]
+	if !ok {
+		return nil, fmt.Errorf("migmgr: no daemon on source host %s", j.Src)
+	}
+	dstD, ok := m.daemons[j.Spec.Dst]
+	if !ok {
+		return nil, fmt.Errorf("migmgr: no daemon on destination host %s", j.Spec.Dst)
+	}
+	mig := &runc.Migrator{
+		ID:   j.ID,
+		C:    j.Spec.C,
+		Dst:  m.cl.Host(j.Spec.Dst),
+		Plug: core.NewPlugin(srcD, dstD),
+		Opts: j.Spec.Opts,
+	}
+	for i := 0; i < j.Spec.ExtraPlugs; i++ {
+		mig.ExtraPlugs = append(mig.ExtraPlugs, core.NewPlugin(srcD, dstD))
+	}
+	mig.OnStage = func(stage string) {
+		j.Stage = stage
+		if m.OnStage != nil {
+			m.OnStage(j, stage)
+		}
+	}
+	return mig.Migrate()
+}

@@ -1,0 +1,265 @@
+package migmgr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// rig is a minimal in-package testbed: a cluster, one daemon per host,
+// and helper state for perftest pairs. (The experiments package has a
+// richer rig, but importing it here would be an import cycle —
+// experiments builds on migmgr.)
+type rig struct {
+	cl      *cluster.Cluster
+	daemons map[string]*core.Daemon
+}
+
+func newRig(seed int64, hosts ...string) *rig {
+	cl := cluster.New(cluster.FastCheckpointTestbed(seed), hosts...)
+	r := &rig{cl: cl, daemons: make(map[string]*core.Daemon)}
+	for _, n := range hosts {
+		r.daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	return r
+}
+
+type workload struct {
+	cli  *perftest.Client
+	srv  *perftest.Server
+	cont *runc.Container
+}
+
+// startPair launches a perftest server on sNode and a client container
+// on cNode, returning the client's container as the migration target.
+func (r *rig) startPair(name, cNode, sNode string) *workload {
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+	}
+	w := &workload{
+		srv: perftest.NewServer(r.cl.Sched, "srv-"+name, opts),
+		cli: perftest.NewClient(r.cl.Sched, "cli-"+name, opts, perftest.Target{Node: sNode, Name: "srv-" + name}),
+	}
+	srvCont := runc.NewContainer(r.cl.Host(sNode), "srv-"+name+"-cont")
+	srvCont.Start(func(tp *task.Process) { w.srv.Run(tp, r.daemons[sNode]) })
+	w.cont = runc.NewContainer(r.cl.Host(cNode), "cli-"+name+"-cont")
+	r.cl.Sched.Go("start-"+name, func() {
+		w.srv.WaitReady()
+		w.cont.Start(func(tp *task.Process) { w.cli.Run(tp, r.daemons[cNode]) })
+	})
+	return w
+}
+
+func (w *workload) stop() {
+	w.cli.Stop()
+	w.cli.Wait()
+	w.srv.Stop()
+}
+
+// TestManagerCapAndQueueing submits four migrations under cap 2 and
+// checks admission: sequential IDs, never more than two running at
+// once, and a real queue wait for the jobs that had to queue.
+func TestManagerCapAndQueueing(t *testing.T) {
+	r := newRig(21, "a", "b", "s")
+	var ws []*workload
+	for i := 0; i < 4; i++ {
+		ws = append(ws, r.startPair(fmt.Sprintf("p%d", i), "a", "s"))
+	}
+	mgr := New(r.cl, r.daemons, 2)
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		for _, w := range ws {
+			w.cli.WaitReady()
+		}
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		for _, w := range ws {
+			mgr.Submit(Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions()})
+		}
+		mgr.WaitAll()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		for _, w := range ws {
+			w.stop()
+		}
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+
+	jobs := mgr.Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("%d jobs, want 4", len(jobs))
+	}
+	for i, j := range jobs {
+		want := fmt.Sprintf("m%d", i+1)
+		if j.ID != want {
+			t.Errorf("job %d ID = %s, want %s", i, j.ID, want)
+		}
+		if j.State() != Done {
+			t.Errorf("%s state = %v (err %v), want done", j.ID, j.State(), j.Err)
+		}
+	}
+	// The cap must hold at every job start: the starting job plus every
+	// job already running at that instant may not exceed 2.
+	for _, j := range jobs {
+		running := 0
+		for _, o := range jobs {
+			if o.Started <= j.Started && j.Started < o.Finished {
+				running++
+			}
+		}
+		if running > 2 {
+			t.Errorf("%d jobs running when %s started, cap is 2", running, j.ID)
+		}
+	}
+	// All four were submitted together, so at least two had to queue
+	// behind the first wave.
+	queued := 0
+	for _, j := range jobs {
+		if j.QueueWait() > 0 {
+			queued++
+		}
+	}
+	if queued < 2 {
+		t.Errorf("only %d jobs report a queue wait, want >= 2", queued)
+	}
+	snap := r.cl.Metrics.Snapshot()
+	if got := snap.Sum("migmgr", "completed"); got != 4 {
+		t.Errorf("completed counter = %d, want 4", got)
+	}
+	for _, w := range ws {
+		if len(w.cli.Stats.Errors) != 0 || len(w.srv.Stats.Errors) != 0 {
+			t.Errorf("workload errors: cli=%v srv=%v", w.cli.Stats.Errors, w.srv.Stats.Errors)
+		}
+	}
+}
+
+// TestOppositeDirections is the satellite concurrency test: two client
+// sessions whose containers migrate in opposite directions between the
+// same two hosts at the same time, so each host is simultaneously a
+// migration source and destination.
+func TestOppositeDirections(t *testing.T) {
+	r := newRig(22, "x", "y", "s")
+	w1 := r.startPair("fwd", "x", "s")
+	w2 := r.startPair("rev", "y", "s")
+	mgr := New(r.cl, r.daemons, 2)
+	var j1, j2 *Job
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		w1.cli.WaitReady()
+		w2.cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		j1 = mgr.Submit(Spec{C: w1.cont, Dst: "y", Opts: runc.DefaultMigrateOptions()})
+		j2 = mgr.Submit(Spec{C: w2.cont, Dst: "x", Opts: runc.DefaultMigrateOptions()})
+		mgr.WaitAll()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		w1.stop()
+		w2.stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	for _, j := range []*Job{j1, j2} {
+		if j.State() != Done {
+			t.Fatalf("%s state = %v (err %v)", j.ID, j.State(), j.Err)
+		}
+	}
+	// The two migrations must genuinely overlap — that is the point.
+	if j1.Finished <= j2.Started || j2.Finished <= j1.Started {
+		t.Fatalf("migrations serialized: m1 [%v,%v] m2 [%v,%v]",
+			j1.Started, j1.Finished, j2.Started, j2.Finished)
+	}
+	if n := w1.cli.Sess.Node(); n != "y" {
+		t.Errorf("fwd client ended on %s, want y", n)
+	}
+	if n := w2.cli.Sess.Node(); n != "x" {
+		t.Errorf("rev client ended on %s, want x", n)
+	}
+	// Each report's timeline carries its own migration ID.
+	for _, j := range []*Job{j1, j2} {
+		if j.Report == nil || j.Report.Timeline == nil {
+			t.Fatalf("%s missing report timeline", j.ID)
+		}
+		if got := j.Report.Timeline.Label(); !strings.HasPrefix(got, j.ID+"/") {
+			t.Errorf("%s timeline label = %q, want %s/<proc>", j.ID, got, j.ID)
+		}
+	}
+}
+
+// TestBusyContainerSerializes submits two migrations of the same
+// container; the second must wait for the first and then drain from the
+// container's new home (source resolved at start, not submission).
+func TestBusyContainerSerializes(t *testing.T) {
+	r := newRig(23, "x", "y", "s")
+	w := r.startPair("rt", "x", "s")
+	mgr := New(r.cl, r.daemons, 2)
+	var there, back *Job
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		w.cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		there = mgr.Submit(Spec{C: w.cont, Dst: "y", Opts: runc.DefaultMigrateOptions()})
+		back = mgr.Submit(Spec{C: w.cont, Dst: "x", Opts: runc.DefaultMigrateOptions()})
+		mgr.WaitAll()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		w.stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	if there.State() != Done || back.State() != Done {
+		t.Fatalf("states: %v (%v), %v (%v)", there.State(), there.Err, back.State(), back.Err)
+	}
+	if back.Started < there.Finished {
+		t.Fatalf("second migration of the container started at %v before the first finished at %v",
+			back.Started, there.Finished)
+	}
+	if there.Src != "x" || back.Src != "y" {
+		t.Fatalf("sources = %s, %s; want x then y (resolved at start time)", there.Src, back.Src)
+	}
+	if n := w.cli.Sess.Node(); n != "x" {
+		t.Errorf("client ended on %s, want x after the round trip", n)
+	}
+}
+
+// TestSubmitUnknownDestinationFails exercises the failure path: a job
+// whose destination has no daemon must finish Failed with an error, and
+// must not wedge the queue.
+func TestSubmitUnknownDestinationFails(t *testing.T) {
+	r := newRig(24, "x")
+	cont := runc.NewContainer(r.cl.Host("x"), "idle-cont")
+	mgr := New(r.cl, r.daemons, 1)
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		j := mgr.Submit(Spec{C: cont, Dst: "ghost", Opts: runc.DefaultMigrateOptions()})
+		j.Wait()
+		if j.State() != Failed {
+			t.Errorf("state = %v, want failed", j.State())
+		}
+		if j.Err == nil || !strings.Contains(j.Err.Error(), "ghost") {
+			t.Errorf("err = %v, want mention of missing daemon", j.Err)
+		}
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Second)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	if got := r.cl.Metrics.Snapshot().Sum("migmgr", "failed"); got != 1 {
+		t.Errorf("failed counter = %d, want 1", got)
+	}
+}

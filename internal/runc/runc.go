@@ -107,6 +107,12 @@ type Report struct {
 
 	PreCopyIterations int
 	PagesTransferred  int
+
+	// MigrationID is the Migrator.ID this report belongs to.
+	MigrationID string
+	// Timeline is the phase timeline of the (first) migrated process,
+	// labelled with the migration ID.
+	Timeline *trace.Timeline
 }
 
 // Blackout returns the sum of the blackout components.
@@ -132,6 +138,14 @@ type Migrator struct {
 	Dst  *cluster.Host
 	Plug *core.Plugin
 	Opts MigrateOptions
+
+	// ID is the stable migration identifier threaded through daemon
+	// handlers, trace timelines, and metrics labels so overlapping
+	// migrations stay distinguishable. Empty defaults to "m0" — a
+	// constant, not a global counter, to keep same-seed runs
+	// byte-identical. Cluster-level callers (internal/migmgr) assign
+	// unique IDs.
+	ID string
 
 	// ExtraPlugs supplies one additional plugin per additional
 	// RDMA-holding process in a multi-process container.
@@ -163,6 +177,15 @@ func (m *Migrator) setStage(stage string) {
 func (m *Migrator) Migrate() (*Report, error) {
 	if len(m.C.Procs) == 0 {
 		return nil, fmt.Errorf("runc: empty container")
+	}
+	if m.ID == "" {
+		m.ID = "m0"
+	}
+	if m.Plug != nil {
+		m.Plug.ID = m.ID
+	}
+	for _, plug := range m.ExtraPlugs {
+		plug.ID = m.ID
 	}
 	if len(m.C.Procs) == 1 {
 		return m.migrateProc(m.C.Procs[0], m.Plug, true)
@@ -218,7 +241,8 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 	sched := src.Sched
 	srcTool, dstTool := src.CRIU, dst.CRIU
 	tl := trace.NewTimeline(sched)
-	rep := &Report{}
+	tl.SetLabel(m.ID + "/" + p.Name)
+	rep := &Report{MigrationID: m.ID, Timeline: tl}
 	start := sched.Now()
 
 	hasRDMA := false
@@ -388,7 +412,7 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 	rep.ServiceBlackout = sched.Now() - svcStart
 	rep.CommBlackout = sched.Now() - commStart
 	if reg := src.Metrics; reg != nil {
-		labels := metrics.Labels{"proc": p.Name}
+		labels := metrics.Labels{"proc": p.Name, "mig": m.ID}
 		reg.Histogram("migr", "service_blackout_us", labels, blackoutBucketsUS).
 			Observe(rep.ServiceBlackout.Microseconds())
 		reg.Histogram("migr", "comm_blackout_us", labels, blackoutBucketsUS).

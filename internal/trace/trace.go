@@ -19,10 +19,19 @@ import (
 // Timeline records named, possibly overlapping phases.
 type Timeline struct {
 	sched  *sim.Scheduler
+	label  string
 	phases []Phase
 	open   map[string]time.Duration
 	errs   []string
 }
+
+// SetLabel tags the timeline (e.g. with a migration ID); String
+// prefixes every rendered line with it so overlapping timelines stay
+// distinguishable in merged output.
+func (t *Timeline) SetLabel(label string) { t.label = label }
+
+// Label returns the timeline's tag.
+func (t *Timeline) Label() string { return t.label }
 
 // Phase is one named interval. Annotation is empty for a normally
 // closed phase and "unclosed" for one still open at snapshot time.
@@ -105,16 +114,20 @@ func (t *Timeline) Phases() []Phase {
 // String formats the timeline for reports, including unclosed phases
 // and error markers.
 func (t *Timeline) String() string {
+	prefix := ""
+	if t.label != "" {
+		prefix = "[" + t.label + "] "
+	}
 	var b strings.Builder
 	for _, p := range t.Phases() {
-		fmt.Fprintf(&b, "%-14s %10v  (at %v)", p.Name, p.Dur().Round(time.Microsecond), p.Start.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%s%-14s %10v  (at %v)", prefix, p.Name, p.Dur().Round(time.Microsecond), p.Start.Round(time.Microsecond))
 		if p.Annotation != "" {
 			fmt.Fprintf(&b, "  [%s]", p.Annotation)
 		}
 		b.WriteByte('\n')
 	}
 	for _, e := range t.errs {
-		fmt.Fprintf(&b, "error: %s\n", e)
+		fmt.Fprintf(&b, "%serror: %s\n", prefix, e)
 	}
 	return b.String()
 }
