@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test test-race chaos fuzz check
+# Tier-1 benchmarks: the event-engine microbenches plus one end-to-end
+# figure sweep. `make bench` records them in BENCH_4.json (preserving
+# the checked-in pre-optimization baseline section).
+BENCH_PATTERN = ^(BenchmarkEngineThroughput|BenchmarkEngineThroughput16K|BenchmarkSchedDispatch|BenchmarkTimerFire|BenchmarkTimerCancel|BenchmarkSleep|BenchmarkFabricDelivery|BenchmarkFig4aQP64)$$
+BENCH_PKGS = . ./internal/sim ./internal/fabric ./internal/rnic
+
+.PHONY: all build vet test test-race chaos fuzz check bench bench-smoke
 
 all: build
 
@@ -28,4 +34,16 @@ fuzz:
 	$(GO) test ./internal/rnic -run=Fuzz -fuzz=FuzzDecodePacket -fuzztime=10s
 	$(GO) test ./internal/rnic -run=Fuzz -fuzz=FuzzRCFaultScript -fuzztime=10s
 
-check: vet test chaos fuzz test-race
+# Run the tier-1 benchmarks with -benchmem and fold the results into
+# BENCH_4.json. The baseline section (captured before the PR-4
+# optimizations) is preserved; only "current" is rewritten.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -out BENCH_4.json
+
+# One-iteration smoke over the same benchmarks: catches bench rot
+# (compile errors, setup panics) without timing flakiness. CI runs this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x $(BENCH_PKGS)
+
+check: vet test bench-smoke chaos fuzz test-race

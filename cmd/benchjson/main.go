@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` output into the
+// BENCH_<pr>.json schema the perf trajectory records.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... | go run ./cmd/benchjson -out BENCH_4.json
+//
+// The file holds two sections: "baseline" (the pre-optimization
+// numbers, captured once and preserved across regenerations) and
+// "current" (the numbers of the tree the tool just ran on). On the
+// first run, or with -set-baseline, the parsed results become both
+// sections.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed numbers. Metrics maps unit → value
+// for every "value unit" pair on the line (ns/op, B/op, allocs/op and
+// any custom b.ReportMetric units such as pkts/s).
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Section is one capture of the tier-1 benchmarks.
+type Section struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// File is the BENCH_<pr>.json schema.
+type File struct {
+	Schema   string   `json:"schema"`
+	Baseline *Section `json:"baseline,omitempty"`
+	Current  *Section `json:"current,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "output file; an existing baseline section is preserved")
+	setBaseline := flag.Bool("set-baseline", false, "record the parsed results as the baseline section too")
+	note := flag.String("note", "", "annotation stored on the section(s) written")
+	flag.Parse()
+
+	parsed := Section{Note: *note, Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal
+		name, res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		parsed.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(parsed.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	f := File{Schema: "migrrdma-bench/v1"}
+	if buf, err := os.ReadFile(*out); err == nil {
+		_ = json.Unmarshal(buf, &f) // a corrupt file is rebuilt from scratch
+		f.Schema = "migrrdma-bench/v1"
+	}
+	f.Current = &parsed
+	if f.Baseline == nil || *setBaseline {
+		base := parsed
+		if base.Note == "" {
+			base.Note = "baseline captured by benchjson (first run)"
+		}
+		f.Baseline = &base
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(parsed.Benchmarks), *out)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   104852   12261 ns/op   163112 pkts/s   8345 B/op   57 allocs/op
+func parseBenchLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix so results compare across hosts.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return "", Result{}, false
+	}
+	return name, res, true
+}

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenSeeds are the fixed seeds the determinism goldens are captured
+// at. Three seeds per schedule catches reorderings that a single seed's
+// event pattern happens to mask.
+var goldenSeeds = []int64{1, 7, 13}
+
+// goldenEntry pins the trace hash and final metrics snapshot hash of
+// one (mode, schedule, seed) run.
+type goldenEntry struct {
+	Mode     string `json:"mode"` // "single" or "concurrent"
+	Schedule string `json:"schedule"`
+	Seed     int64  `json:"seed"`
+	Trace    string `json:"trace"`
+	Metrics  string `json:"metrics"`
+}
+
+const goldenPath = "testdata/golden_hashes.json"
+
+// concurrentGoldenCap is the admission cap golden concurrent runs use.
+const concurrentGoldenCap = 2
+
+// collectGoldens runs every schedule at every golden seed and returns
+// the resulting hash entries in a stable order.
+func collectGoldens() []goldenEntry {
+	var out []goldenEntry
+	for _, sched := range Schedules() {
+		for _, seed := range goldenSeeds {
+			rep := Run(seed, sched)
+			out = append(out, goldenEntry{
+				Mode: "single", Schedule: sched.Name, Seed: seed,
+				Trace: rep.TraceHash, Metrics: rep.Metrics.Hash(),
+			})
+		}
+	}
+	for _, sched := range ConcurrentSchedules() {
+		for _, seed := range goldenSeeds {
+			rep := RunConcurrent(seed, sched, concurrentGoldenCap)
+			out = append(out, goldenEntry{
+				Mode: "concurrent", Schedule: sched.Name, Seed: seed,
+				Trace: rep.TraceHash, Metrics: rep.Metrics.Hash(),
+			})
+		}
+	}
+	return out
+}
+
+// TestGoldenHashes is the cross-seed determinism regression gate: the
+// trace hash and metrics snapshot hash of every chaos scenario at the
+// golden seeds must match the checked-in goldens byte for byte. Perf
+// work on the sim/fabric/rnic hot paths must not reorder events — a
+// mismatch here means the event engine changed observable behavior.
+//
+// Regenerate (only when an intentional semantic change is made, with
+// review of what moved) with:
+//
+//	UPDATE_CHAOS_GOLDENS=1 go test ./internal/chaos -run TestGoldenHashes
+func TestGoldenHashes(t *testing.T) {
+	got := collectGoldens()
+	if os.Getenv("UPDATE_CHAOS_GOLDENS") != "" {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d goldens to %s", len(got), goldenPath)
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with UPDATE_CHAOS_GOLDENS=1 to capture): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantBy := make(map[string]goldenEntry, len(want))
+	for _, e := range want {
+		wantBy[fmt.Sprintf("%s/%s/%d", e.Mode, e.Schedule, e.Seed)] = e
+	}
+	seen := make(map[string]bool, len(got))
+	for _, g := range got {
+		key := fmt.Sprintf("%s/%s/%d", g.Mode, g.Schedule, g.Seed)
+		seen[key] = true
+		w, ok := wantBy[key]
+		if !ok {
+			t.Errorf("%s: no golden recorded (new scenario? regenerate goldens deliberately)", key)
+			continue
+		}
+		if g.Trace != w.Trace {
+			t.Errorf("%s: trace hash drifted\n  want %s\n  got  %s", key, w.Trace, g.Trace)
+		}
+		if g.Metrics != w.Metrics {
+			t.Errorf("%s: metrics snapshot hash drifted\n  want %s\n  got  %s", key, w.Metrics, g.Metrics)
+		}
+	}
+	for key := range wantBy {
+		if !seen[key] {
+			t.Errorf("%s: golden exists but scenario no longer runs", key)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"migrrdma/internal/sim"
+)
+
+// BenchmarkFabricDelivery measures the per-frame cost of the fabric
+// data path: Send through the switch model plus the scheduled delivery
+// callback. allocs/op here is the figure of merit — every allocation on
+// this path is paid by every simulated packet in every experiment.
+func BenchmarkFabricDelivery(b *testing.B) {
+	s := sim.New(1)
+	net := New(s, Config{})
+	net.Attach("a", func(Frame) {})
+	received := 0
+	net.Attach("b", func(Frame) { received++ })
+
+	data := make([]byte, 1024)
+	f := Frame{Src: "a", Dst: "b", Port: "bench", Size: len(data) + 58, Data: data}
+	const burst = 64
+	ser := net.SerializationTime(f.Size)
+
+	s.Go("sender", func() {
+		sent := 0
+		for sent < b.N {
+			n := burst
+			if left := b.N - sent; n > left {
+				n = left
+			}
+			for i := 0; i < n; i++ {
+				net.Send(f)
+			}
+			sent += n
+			// Sleep past the burst's serialization + propagation so the
+			// downlink drains before the next burst.
+			s.Sleep(time.Duration(n)*ser + 10*time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+	b.StopTimer()
+	if received != b.N {
+		b.Fatalf("delivered %d of %d", received, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}

@@ -55,6 +55,52 @@ type Network struct {
 	cfg   Config
 	reg   *metrics.Registry
 	ports map[string]*port
+
+	// freeDeliveries recycles the per-frame delivery events scheduled by
+	// deliverAt, so the steady-state data path allocates no event state
+	// per packet.
+	freeDeliveries []*delivery
+
+	// freeBufs is the network-wide wire-buffer pool. It lives on the
+	// Network rather than on each NIC because buffers flow between
+	// hosts: the sender allocates a frame's buffer and the receiver
+	// retires it, so per-NIC pools drain on any host that transmits
+	// more frames than it receives (a one-way bulk sender never gets
+	// its buffers back, and its receiver's pool grows without bound).
+	// Everything on one Network runs on one scheduler, so the shared
+	// slice needs no locking.
+	freeBufs [][]byte
+}
+
+// maxPooledBufs bounds the buffer pool; beyond it, retired buffers are
+// left to the garbage collector.
+const maxPooledBufs = 4096
+
+// TakeBuf pops a retired buffer with capacity ≥ size, or nil when the
+// pool has none (the caller allocates with whatever capacity class it
+// wants). Callers hand the buffer to Send as Frame.Data; the receiver
+// retires it with PutBuf once the frame is fully consumed.
+func (n *Network) TakeBuf(size int) []byte {
+	for ln := len(n.freeBufs); ln > 0; ln = len(n.freeBufs) {
+		b := n.freeBufs[ln-1]
+		n.freeBufs[ln-1] = nil
+		n.freeBufs = n.freeBufs[:ln-1]
+		if cap(b) >= size {
+			return b[:size]
+		}
+		// Undersized for this caller (mixed-MTU networks): drop it and
+		// keep looking rather than returning a short buffer.
+	}
+	return nil
+}
+
+// PutBuf retires a frame buffer into the shared pool. The caller must
+// hold the only live reference.
+func (n *Network) PutBuf(b []byte) {
+	if cap(b) == 0 || len(n.freeBufs) >= maxPooledBufs {
+		return
+	}
+	n.freeBufs = append(n.freeBufs, b[:0])
 }
 
 type port struct {
@@ -294,7 +340,6 @@ func (n *Network) Send(f Frame) {
 			egress = dst.downBusy
 		}
 		dst.downBusy = egress + serDown
-		dst.mBacklog.Set(int64(dst.downBusy - now))
 		arrive := dst.downBusy + n.cfg.PropDelay
 		if dst.lossProb > 0 && (dst.lossPort == "" || dst.lossPort == f.Port) &&
 			n.sched.Rand().Float64() < dst.lossProb {
@@ -307,8 +352,19 @@ func (n *Network) Send(f Frame) {
 			dst.mReord.Inc()
 			arrive += dst.reorderDelay
 		}
+		if c > 0 && f.Data != nil {
+			// The switch retransmit is a second physical copy on the
+			// wire; give it its own bytes so a receiver that recycles
+			// frame buffers after consuming the first copy cannot
+			// corrupt this one.
+			f.Data = append([]byte(nil), f.Data...)
+		}
 		n.deliverAt(dst, f, arrive-now)
 	}
+	// downBusy only grows across the copies, so recording the backlog
+	// once after the loop observes the same final value and high-water
+	// mark as a per-copy set would.
+	dst.mBacklog.Set(int64(dst.downBusy - now))
 }
 
 // drop records one frame lost on the way to the port.
@@ -317,19 +373,52 @@ func (p *port) drop() {
 	p.mDropped.Inc()
 }
 
+// delivery is the pending arrival of one frame at one port. Instances
+// are pooled on the Network and dispatched through the shared deliverCB
+// callback, so scheduling a delivery allocates neither a closure nor an
+// event struct in steady state.
+type delivery struct {
+	n   *Network
+	dst *port
+	f   Frame
+}
+
+// deliverCB is the one callback every delivery event shares; the
+// per-event state rides in the argument.
+var deliverCB = func(arg any) { arg.(*delivery).run() }
+
 // deliverAt schedules one delivery of f to dst after d.
 func (n *Network) deliverAt(dst *port, f Frame, d time.Duration) {
-	n.sched.AfterFunc(d, func() {
-		dst.delivered++
-		dst.rxBytes += int64(f.Size)
-		dst.mDelivered.Inc()
-		dst.mRxBytes.Add(int64(f.Size))
-		dst.mRxFrames.Inc()
-		if dst.handler == nil {
-			panic(fmt.Sprintf("fabric: node %s has no handler", f.Dst))
-		}
-		dst.handler(f)
-	})
+	var dv *delivery
+	if ln := len(n.freeDeliveries); ln > 0 {
+		dv = n.freeDeliveries[ln-1]
+		n.freeDeliveries[ln-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:ln-1]
+	} else {
+		dv = &delivery{n: n}
+	}
+	dv.dst = dst
+	dv.f = f
+	n.sched.AfterFuncArg(d, deliverCB, dv)
+}
+
+// run hands the frame to the destination handler. The event struct is
+// recycled before the handler runs: handlers may send (and schedule new
+// deliveries) inline.
+func (dv *delivery) run() {
+	n, dst, f := dv.n, dv.dst, dv.f
+	dv.dst = nil
+	dv.f = Frame{}
+	n.freeDeliveries = append(n.freeDeliveries, dv)
+	dst.delivered++
+	dst.rxBytes += int64(f.Size)
+	dst.mDelivered.Inc()
+	dst.mRxBytes.Add(int64(f.Size))
+	dst.mRxFrames.Inc()
+	if dst.handler == nil {
+		panic(fmt.Sprintf("fabric: node %s has no handler", f.Dst))
+	}
+	dst.handler(f)
 }
 
 // Bytes reports cumulative bytes received and transmitted by the node,

@@ -60,6 +60,7 @@ func (d *Device) CreateCQ(capacity int, comp *CompChannel) *CQ {
 		dev:     d,
 		cap:     capacity,
 		comp:    comp,
+		queue:   make([]CQE, 0, ringCap(capacity)),
 		waiters: sim.NewCond(d.sched, "cq-wait"),
 	}
 	d.cqs[cq.Handle] = cq
@@ -79,7 +80,7 @@ func (cq *CQ) push(e CQE) {
 		return
 	}
 	cq.queue = append(cq.queue, e)
-	if qp, ok := cq.dev.qps[e.QPN]; ok {
+	if qp, ok := cq.dev.lookupQP(e.QPN); ok {
 		qp.mCQEs.Inc()
 	}
 	cq.dev.tapCQE(cq.Handle, e)
@@ -109,7 +110,10 @@ func (cq *CQ) Poll(max int) []CQE {
 	}
 	out := make([]CQE, max)
 	copy(out, cq.queue[:max])
-	cq.queue = cq.queue[max:]
+	// Shift the remainder down so the ring keeps its capacity (pollers
+	// usually drain the CQ, making the shift free).
+	n := copy(cq.queue, cq.queue[max:])
+	cq.queue = cq.queue[:n]
 	return out
 }
 

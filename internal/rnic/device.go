@@ -133,19 +133,40 @@ type Device struct {
 	nextKey uint32
 	nextID  uint32
 
-	rxq  []rxItem
+	rxq  fifo[rxItem]
 	work *sim.Cond
 
 	// TX pacer: frames are pulled (control first, then responder data,
 	// then requester data in QP round-robin) only when the uplink is
 	// free, so retransmission timers see true wire occupancy and deep
 	// send queues drain at line rate instead of flooding the fabric.
-	ctlq   []fabric.Frame
-	respq  []fabric.Frame
-	txRing []*QP
+	ctlq   fifo[fabric.Frame]
+	respq  fifo[fabric.Frame]
+	txRing fifo[*QP]
 	txBusy bool
+	pumpCb func() // the serialization-slot callback, bound once
 
 	closed bool
+
+	// Hot-path recycling: packet structs and wire buffers are pooled so
+	// the steady-state data path allocates nothing per frame. Buffers
+	// hold one max-size frame (header + MTU); a received buffer is
+	// recycled after its packet is fully handled (handlers copy payload
+	// bytes out before returning).
+	freePkts []*packet
+	bufCap   int
+	// gatherBuf is the DMA-gather scratch: each outbound fragment is
+	// gathered here and immediately copied into its wire buffer by
+	// encodeInto, so the scratch is reusable for the next fragment.
+	gatherBuf []byte
+
+	// Single-entry lookup caches for the per-packet map lookups
+	// (QPN→QP, lkey→MR, rkey→MR). A pointer compare plus a key compare
+	// replaces a map hash on the common same-flow-as-last-packet case;
+	// destroy/dereg invalidates them directly.
+	qpCache   *QP
+	lkeyCache *MR
+	rkeyCache *MR
 
 	// tap, when installed, observes data-path events for external
 	// checkers (the chaos harness' completion ledger).
@@ -230,9 +251,82 @@ func NewDevice(net *fabric.Network, mux *fabric.Mux, node string, cfg Config) *D
 	d.mTxFrames = d.reg.Counter("rnic", "tx_frames", l)
 	d.mRxFrames = d.reg.Counter("rnic", "rx_frames", l)
 	d.work = sim.NewCond(d.sched, "rnic-work@"+node)
+	d.bufCap = packetHeaderLen + d.cfg.MTU
+	d.pumpCb = func() {
+		d.txBusy = false
+		d.pump()
+	}
 	mux.Register(PortRDMA, d.onFrame)
 	d.sched.GoDaemon("rnic-engine@"+node, d.engineLoop)
 	return d
+}
+
+// --- Hot-path pools and caches --------------------------------------------
+
+// getPkt takes a zeroed packet from the free list or allocates one.
+func (d *Device) getPkt() *packet {
+	if n := len(d.freePkts); n > 0 {
+		p := d.freePkts[n-1]
+		d.freePkts[n-1] = nil
+		d.freePkts = d.freePkts[:n-1]
+		return p
+	}
+	return &packet{}
+}
+
+// putPkt recycles a packet the device is done with.
+func (d *Device) putPkt(p *packet) {
+	*p = packet{}
+	d.freePkts = append(d.freePkts, p)
+}
+
+// getBuf returns an n-byte wire buffer, pooled when n fits a max-size
+// frame. The pool is the network-wide one: a buffer is allocated by the
+// sending NIC and retired by the receiving NIC, so a per-device pool
+// would drain on any host that transmits more frames than it receives.
+func (d *Device) getBuf(n int) []byte {
+	if n <= d.bufCap {
+		if b := d.net.TakeBuf(n); b != nil {
+			return b
+		}
+		return make([]byte, n, d.bufCap)
+	}
+	return make([]byte, n)
+}
+
+// putBuf retires a wire buffer if it has this device's full frame
+// capacity (buffers arriving from a peer device with the same MTU
+// qualify; odd-size test frames fall back to the GC).
+func (d *Device) putBuf(b []byte) {
+	if cap(b) >= d.bufCap {
+		d.net.PutBuf(b)
+	}
+}
+
+// lookupQP resolves a QPN, serving repeated lookups of the same flow
+// from a single-entry cache.
+func (d *Device) lookupQP(qpn uint32) (*QP, bool) {
+	if qp := d.qpCache; qp != nil && qp.QPN == qpn {
+		return qp, true
+	}
+	qp, ok := d.qps[qpn]
+	if ok {
+		d.qpCache = qp
+	}
+	return qp, ok
+}
+
+// mrByLKey resolves an lkey, serving repeated lookups from a
+// single-entry cache.
+func (d *Device) mrByLKey(lkey uint32) (*MR, bool) {
+	if mr := d.lkeyCache; mr != nil && mr.LKey == lkey {
+		return mr, true
+	}
+	mr, ok := d.mrs[lkey]
+	if ok {
+		d.lkeyCache = mr
+	}
+	return mr, ok
 }
 
 // PortRDMA is the fabric mux port RDMA traffic travels on.
@@ -282,13 +376,14 @@ func (d *Device) onFrame(f fabric.Frame) {
 	if d.closed {
 		return
 	}
-	p, err := decodePacket(f.Data)
-	if err != nil {
+	p := d.getPkt()
+	if err := decodePacketInto(p, f.Data); err != nil {
+		d.putPkt(p)
 		return // corrupt frame: dropped, transport recovery handles it
 	}
 	d.mRx.Add(int64(f.Size))
 	d.mRxFrames.Inc()
-	d.rxq = append(d.rxq, rxItem{p: p, src: f.Src})
+	d.rxq.push(rxItem{p: p, src: f.Src, buf: f.Data})
 	d.work.Signal()
 }
 
@@ -306,23 +401,23 @@ func (d *Device) pump() {
 	d.mTx.Add(int64(f.Size))
 	d.mTxFrames.Inc()
 	d.net.Send(f)
-	d.sched.AfterFunc(d.net.SerializationTime(f.Size), func() {
-		d.txBusy = false
-		d.pump()
-	})
+	d.sched.AfterFunc(d.net.SerializationTime(f.Size), d.pumpCb)
 }
 
 // engineLoop is the device processing engine: it drains received packets
 // and advances requester state. It runs until the device is closed.
 func (d *Device) engineLoop() {
 	for !d.closed {
-		if len(d.rxq) == 0 {
+		if d.rxq.len() == 0 {
 			d.work.Wait()
 			continue
 		}
-		it := d.rxq[0]
-		d.rxq = d.rxq[1:]
+		it := d.rxq.pop()
 		d.handlePacket(it)
+		// The handlers copy payload bytes out before returning, so the
+		// packet and its wire buffer can be recycled here.
+		d.putPkt(it.p)
+		d.putBuf(it.buf)
 	}
 }
 
@@ -398,6 +493,12 @@ func (d *Device) DeregMR(mr *MR) {
 	d.sched.Sleep(d.cfg.DestroyLat)
 	delete(d.mrs, mr.LKey)
 	delete(d.rmrs, mr.RKey)
+	if d.lkeyCache == mr {
+		d.lkeyCache = nil
+	}
+	if d.rkeyCache == mr {
+		d.rkeyCache = nil
+	}
 	if d.tap != nil && d.tap.Dereg != nil {
 		d.tap.Dereg(d.node, mr.RKey)
 	}
@@ -406,7 +507,7 @@ func (d *Device) DeregMR(mr *MR) {
 // lookupLocal resolves an SGE to its MR, validating range and (for recv
 // targets) local-write permission.
 func (d *Device) lookupLocal(pd *PD, sge SGE, needWrite bool) (*MR, error) {
-	mr, ok := d.mrs[sge.LKey]
+	mr, ok := d.mrByLKey(sge.LKey)
 	if !ok {
 		return nil, errUnknown("lkey", sge.LKey)
 	}
@@ -432,7 +533,19 @@ func (d *Device) lookupRemote(rkey uint32, addr mem.Addr, length uint32, need Ac
 }
 
 func (d *Device) lookupRemoteKey(rkey uint32, addr mem.Addr, length uint32, need Access) (*mem.AddressSpace, bool) {
-	if mr, ok := d.rmrs[rkey]; ok {
+	mr, ok := d.rkeyCache, false
+	if mr != nil && mr.RKey == rkey {
+		ok = true
+	} else {
+		mr, ok = d.rmrs[rkey]
+		if ok {
+			d.rkeyCache = mr
+		}
+	}
+	if ok {
+		// The cache only short-circuits the map hash; the bounds and
+		// access checks run on every packet, as the hardware's MTT walk
+		// would.
 		if addr >= mr.Addr && addr+mem.Addr(length) <= mr.Addr+mem.Addr(mr.Len) && mr.Access&need != 0 {
 			return mr.as, true
 		}

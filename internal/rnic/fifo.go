@@ -1,0 +1,43 @@
+package rnic
+
+// fifo is a head-indexed FIFO queue. Popping advances a head index
+// instead of re-slicing, so the backing array's capacity survives
+// arbitrary push/pop interleavings: per-packet queues (the device rx
+// queue, the control/response transmit queues, the QP transmit ring)
+// reach a steady state with no allocation per element.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *fifo[T]) len() int { return len(q.buf) - q.head }
+
+func (q *fifo[T]) push(v T) { q.buf = append(q.buf, v) }
+
+func (q *fifo[T]) pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 1024 && q.head > len(q.buf)/2 {
+		// Slide the live tail down so a queue that never fully drains
+		// cannot grow its backing array without bound.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = zero
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}
+
+// front returns the head element without removing it.
+func (q *fifo[T]) front() T { return q.buf[q.head] }
+
+// items returns the live elements in order. The slice aliases the
+// queue's storage and is invalidated by push/pop.
+func (q *fifo[T]) items() []T { return q.buf[q.head:] }

@@ -60,15 +60,24 @@ type packet struct {
 // packetHeaderLen is the fixed encoded header size.
 const packetHeaderLen = 1 + 3 + 3 + 3 + 2 + 1 + 1 + 8 + 4 + 4 + 8 + 8 + 4 + 1 + 3 + 1 + 2
 
-// encode serializes the packet to wire bytes.
+// encode serializes the packet into a fresh buffer.
 func (p *packet) encode() []byte {
 	buf := make([]byte, packetHeaderLen+len(p.Payload))
-	b := buf
+	p.encodeInto(buf)
+	return buf
+}
+
+// encodeInto serializes the packet into b, which must be exactly
+// packetHeaderLen+len(p.Payload) bytes. Every header byte is written
+// unconditionally (no stale flag bytes) so b may come from a buffer
+// pool without zeroing.
+func (p *packet) encodeInto(b []byte) {
 	b[0] = byte(p.Type)
 	put24(b[1:], p.DstQPN)
 	put24(b[4:], p.SrcQPN)
 	put24(b[7:], p.PSN)
 	binary.BigEndian.PutUint16(b[10:], p.Frag)
+	b[12] = 0
 	if p.Last {
 		b[12] = 1
 	}
@@ -79,6 +88,7 @@ func (p *packet) encode() []byte {
 	binary.BigEndian.PutUint64(b[30:], p.CompareAdd)
 	binary.BigEndian.PutUint64(b[38:], p.Swap)
 	binary.BigEndian.PutUint32(b[46:], p.Imm)
+	b[50] = 0
 	if p.HasImm {
 		b[50] = 1
 	}
@@ -86,15 +96,24 @@ func (p *packet) encode() []byte {
 	b[54] = p.Syndrome
 	binary.BigEndian.PutUint16(b[55:], uint16(len(p.Payload)))
 	copy(b[packetHeaderLen:], p.Payload)
-	return buf
 }
 
-// decodePacket parses wire bytes back into a packet.
+// decodePacket parses wire bytes into a fresh packet.
 func decodePacket(b []byte) (*packet, error) {
-	if len(b) < packetHeaderLen {
-		return nil, fmt.Errorf("rnic: short packet (%d bytes)", len(b))
+	p := &packet{}
+	if err := decodePacketInto(p, b); err != nil {
+		return nil, err
 	}
-	p := &packet{
+	return p, nil
+}
+
+// decodePacketInto parses wire bytes into p, overwriting every field (p
+// may come from a pool). The payload aliases b.
+func decodePacketInto(p *packet, b []byte) error {
+	if len(b) < packetHeaderLen {
+		return fmt.Errorf("rnic: short packet (%d bytes)", len(b))
+	}
+	*p = packet{
 		Type:       packetType(b[0]),
 		DstQPN:     get24(b[1:]),
 		SrcQPN:     get24(b[4:]),
@@ -114,10 +133,10 @@ func decodePacket(b []byte) (*packet, error) {
 	}
 	plen := int(binary.BigEndian.Uint16(b[55:]))
 	if len(b) != packetHeaderLen+plen {
-		return nil, fmt.Errorf("rnic: packet length mismatch: have %d, header says %d", len(b)-packetHeaderLen, plen)
+		return fmt.Errorf("rnic: packet length mismatch: have %d, header says %d", len(b)-packetHeaderLen, plen)
 	}
 	p.Payload = b[packetHeaderLen:]
-	return p, nil
+	return nil
 }
 
 // wireSize is the on-wire frame size of the packet.

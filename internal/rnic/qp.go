@@ -56,13 +56,18 @@ type QP struct {
 
 	// Requester side.
 	sq         []*sqEntry
-	txq        []*sqEntry // entries with fragments still to transmit
+	txq        fifo[*sqEntry] // entries with fragments still to transmit
 	inTxRing   bool
 	nextPSN    uint32
 	rnrBackoff bool
 	retries    int
 	rnrRetries int
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
+	// rtoCb/rnrCb are the retransmission callbacks bound once at
+	// creation, so re-arming a timer does not allocate a method value
+	// or closure per packet.
+	rtoCb func()
+	rnrCb func()
 
 	// Responder side.
 	expPSN      uint32
@@ -93,8 +98,8 @@ type QP struct {
 	mPosts, mRecvPosts, mCQEs *metrics.Counter
 
 	mNaks, mRNRs *metrics.Counter
-	mGoBackN      *metrics.Counter
-	mRetx         *metrics.Counter
+	mGoBackN     *metrics.Counter
+	mRetx        *metrics.Counter
 
 	// closed marks a destroyed QP.
 	closed bool
@@ -148,6 +153,12 @@ func (d *Device) CreateQP(pd *PD, typ QPType, sendCQ, recvCQ *CQ, srq *SRQ, caps
 		atomicCache: make(map[uint32]uint64),
 		readBuf:     make(map[uint32][]byte),
 	}
+	qp.rtoCb = qp.onRTO
+	qp.rnrCb = qp.rnrResume
+	// Pre-size the WQE rings to the (bounded) queue caps so steady-state
+	// posting never grows them.
+	qp.sq = make([]*sqEntry, 0, ringCap(caps.MaxSend))
+	qp.rq = make([]RecvWR, 0, ringCap(caps.MaxRecv))
 	l := d.qpLabels(qp.QPN)
 	qp.mPosts = d.reg.Counter("rnic", "send_posts", l)
 	qp.mRecvPosts = d.reg.Counter("rnic", "recv_posts", l)
@@ -164,11 +175,12 @@ func (d *Device) CreateQP(pd *PD, typ QPType, sendCQ, recvCQ *CQ, srq *SRQ, caps
 func (d *Device) DestroyQP(qp *QP) {
 	d.sched.Sleep(d.cfg.DestroyLat)
 	qp.closed = true
-	if qp.rtoTimer != nil {
-		qp.rtoTimer.Cancel()
-		qp.rtoTimer = nil
-	}
+	qp.rtoTimer.Cancel()
+	qp.rtoTimer = sim.Timer{}
 	delete(d.qps, qp.QPN)
+	if d.qpCache == qp {
+		d.qpCache = nil
+	}
 }
 
 // State returns the QP state.
@@ -242,10 +254,8 @@ func (qp *QP) reset() {
 	qp.remoteNode = ""
 	qp.remoteQPN = 0
 	qp.reasm = nil
-	if qp.rtoTimer != nil {
-		qp.rtoTimer.Cancel()
-		qp.rtoTimer = nil
-	}
+	qp.rtoTimer.Cancel()
+	qp.rtoTimer = sim.Timer{}
 }
 
 // enterError moves to ERR and flushes outstanding WQEs with flush status.
@@ -384,17 +394,22 @@ func (qp *QP) popRecv() (RecvWR, bool) {
 		return RecvWR{}, false
 	}
 	wr := qp.rq[0]
-	qp.rq = qp.rq[1:]
+	// Shift down to keep the ring's capacity (queue depths are small,
+	// the copy is cheaper than the reallocation churn of re-slicing).
+	n := copy(qp.rq, qp.rq[1:])
+	qp.rq[n] = RecvWR{}
+	qp.rq = qp.rq[:n]
 	return wr, true
 }
 
 // completeInOrder walks the send queue from the front, retiring acked
 // entries in posting order (completions are ordered on RC).
 func (qp *QP) completeInOrder() {
-	for len(qp.sq) > 0 {
-		e := qp.sq[0]
+	done := 0
+	for done < len(qp.sq) {
+		e := qp.sq[done]
 		if e.state != sqAcked {
-			return
+			break
 		}
 		e.state = sqCompleted
 		if e.wr.Signaled || e.status != WCSuccess {
@@ -406,16 +421,31 @@ func (qp *QP) completeInOrder() {
 				ByteLen: wrLen(e.wr.SGEs),
 			})
 		}
-		qp.sq = qp.sq[1:]
+		done++
 	}
+	if done > 0 {
+		// Shift the remainder down instead of re-slicing: the ring keeps
+		// its capacity, so steady-state post/complete never reallocates.
+		n := copy(qp.sq, qp.sq[done:])
+		for i := n; i < len(qp.sq); i++ {
+			qp.sq[i] = nil
+		}
+		qp.sq = qp.sq[:n]
+	}
+}
+
+// ringCap bounds a pre-sized WQE ring allocation.
+func ringCap(n int) int {
+	if n > 256 {
+		return 256
+	}
+	return n
 }
 
 // armRTO (re)arms the retransmission timer if unacked work remains.
 func (qp *QP) armRTO() {
-	if qp.rtoTimer != nil {
-		qp.rtoTimer.Cancel()
-		qp.rtoTimer = nil
-	}
+	qp.rtoTimer.Cancel()
+	qp.rtoTimer = sim.Timer{}
 	if qp.Type != RC || qp.state != StateRTS {
 		return
 	}
@@ -429,7 +459,7 @@ func (qp *QP) armRTO() {
 	if !pending {
 		return
 	}
-	qp.rtoTimer = qp.dev.sched.AfterFunc(qp.dev.cfg.RTO, qp.onRTO)
+	qp.rtoTimer = qp.dev.sched.AfterFunc(qp.dev.cfg.RTO, qp.rtoCb)
 }
 
 // onRTO fires when the oldest unacked message timed out: go-back-N.
@@ -467,12 +497,15 @@ func (qp *QP) rnrRetry() {
 		return
 	}
 	qp.rnrBackoff = true
-	qp.dev.sched.AfterFunc(qp.dev.cfg.RNRDelay, func() {
-		qp.rnrBackoff = false
-		if qp.closed || qp.dev.closed || qp.state != StateRTS {
-			return
-		}
-		qp.requeueUnsent()
-		qp.armRTO()
-	})
+	qp.dev.sched.AfterFunc(qp.dev.cfg.RNRDelay, qp.rnrCb)
+}
+
+// rnrResume ends the RNR back-off window and restarts transmission.
+func (qp *QP) rnrResume() {
+	qp.rnrBackoff = false
+	if qp.closed || qp.dev.closed || qp.state != StateRTS {
+		return
+	}
+	qp.requeueUnsent()
+	qp.armRTO()
 }

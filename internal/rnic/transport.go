@@ -10,10 +10,12 @@ import (
 // retransmission timers measure true wire occupancy), the responder
 // pipeline with protection checks, and ACK/NAK/RNR recovery.
 
-// rxItem is a received packet with its source node.
+// rxItem is a received packet with its source node and the wire buffer
+// it was decoded from (recycled together once handled).
 type rxItem struct {
 	p   *packet
 	src string
+	buf []byte
 }
 
 // --- Requester: transmission ---------------------------------------------
@@ -21,7 +23,7 @@ type rxItem struct {
 // transmit queues a newly posted entry for wire transmission.
 func (qp *QP) transmit(e *sqEntry) {
 	e.queued = true
-	qp.txq = append(qp.txq, e)
+	qp.txq.push(e)
 	qp.dev.enqueueTx(qp)
 }
 
@@ -31,7 +33,7 @@ func (d *Device) enqueueTx(qp *QP) {
 		return
 	}
 	qp.inTxRing = true
-	d.txRing = append(d.txRing, qp)
+	d.txRing.push(qp)
 	d.pump()
 }
 
@@ -39,26 +41,21 @@ func (d *Device) enqueueTx(qp *QP) {
 // (ACKs/NAKs) first, then responder data (READ responses), then
 // requester data in QP round-robin order.
 func (d *Device) nextFrame() (fabric.Frame, bool) {
-	if len(d.ctlq) > 0 {
-		f := d.ctlq[0]
-		d.ctlq = d.ctlq[1:]
-		return f, true
+	if d.ctlq.len() > 0 {
+		return d.ctlq.pop(), true
 	}
-	if len(d.respq) > 0 {
-		f := d.respq[0]
-		d.respq = d.respq[1:]
-		return f, true
+	if d.respq.len() > 0 {
+		return d.respq.pop(), true
 	}
-	for len(d.txRing) > 0 {
-		qp := d.txRing[0]
-		d.txRing = d.txRing[1:]
+	for d.txRing.len() > 0 {
+		qp := d.txRing.pop()
 		pkt, more, ok := qp.nextTxFrame()
 		if !ok {
 			qp.inTxRing = false
 			continue
 		}
 		if more {
-			d.txRing = append(d.txRing, qp)
+			d.txRing.push(qp)
 		} else {
 			qp.inTxRing = false
 		}
@@ -82,13 +79,13 @@ func (qp *QP) nextTxFrame() (*packet, bool, bool) {
 	if qp.rnrBackoff || qp.closed || qp.state != StateRTS {
 		return nil, false, false
 	}
-	for len(qp.txq) > 0 {
-		e := qp.txq[0]
+	for qp.txq.len() > 0 {
+		e := qp.txq.front()
 		if e.state == sqAcked || e.state == sqCompleted {
 			// Acked while waiting in the queue (e.g. by a retransmitted
 			// duplicate); skip.
 			e.queued = false
-			qp.txq = qp.txq[1:]
+			qp.txq.pop()
 			continue
 		}
 		pkt, last := qp.buildFragment(e)
@@ -98,12 +95,12 @@ func (qp *QP) nextTxFrame() (*packet, bool, bool) {
 		if last {
 			e.queued = false
 			e.fragCursor = 0
-			qp.txq = qp.txq[1:]
+			qp.txq.pop()
 			qp.finishTransmit(e)
 		} else {
 			e.fragCursor++
 		}
-		return pkt, len(qp.txq) > 0, true
+		return pkt, qp.txq.len() > 0, true
 	}
 	return nil, false, false
 }
@@ -120,15 +117,16 @@ func (qp *QP) finishTransmit(e *sqEntry) {
 	qp.armRTO()
 }
 
-// buildFragment creates fragment fragCursor of entry e.
+// buildFragment creates fragment fragCursor of entry e. The returned
+// packet comes from the device pool; frameFor recycles it after
+// encoding.
 func (qp *QP) buildFragment(e *sqEntry) (*packet, bool) {
 	wr := &e.wr
-	base := packet{
-		DstQPN: qp.remoteQPN,
-		SrcQPN: qp.QPN,
-		PSN:    e.psn,
-		Opcode: wr.Opcode,
-	}
+	base := qp.dev.getPkt()
+	base.DstQPN = qp.remoteQPN
+	base.SrcQPN = qp.QPN
+	base.PSN = e.psn
+	base.Opcode = wr.Opcode
 	if qp.Type == UD {
 		base.DstQPN = wr.RemoteQPN
 		base.udNode = wr.RemoteNode
@@ -140,7 +138,7 @@ func (qp *QP) buildFragment(e *sqEntry) (*packet, bool) {
 		base.RKey = wr.RKey
 		base.DLen = wrLen(wr.SGEs)
 		base.Last = true
-		return &base, true
+		return base, true
 	case OpCompSwap, OpFetchAdd:
 		base.Type = ptAtomicReq
 		base.RemoteAddr = wr.RemoteAddr
@@ -149,7 +147,7 @@ func (qp *QP) buildFragment(e *sqEntry) (*packet, bool) {
 		base.CompareAdd = wr.CompareAdd
 		base.Swap = wr.Swap
 		base.Last = true
-		return &base, true
+		return base, true
 	}
 	// SEND / WRITE family: fragment the gathered payload.
 	total := wrLen(wr.SGEs)
@@ -177,12 +175,19 @@ func (qp *QP) buildFragment(e *sqEntry) (*packet, bool) {
 	if n > 0 {
 		base.Payload = qp.gather(wr.SGEs, off, n)
 	}
-	return &base, last
+	return base, last
 }
 
-// gather DMA-reads n bytes starting at offset off of the SGE list.
+// gather DMA-reads n bytes starting at offset off of the SGE list into
+// the device's gather scratch. The result is valid until the next
+// gather: encodeInto copies it into the wire buffer before the pacer
+// pulls another fragment.
 func (qp *QP) gather(sges []SGE, off, n uint32) []byte {
-	out := make([]byte, n)
+	d := qp.dev
+	if uint32(cap(d.gatherBuf)) < n {
+		d.gatherBuf = make([]byte, n)
+	}
+	out := d.gatherBuf[:n]
 	var filled uint32
 	var pos uint32
 	for _, sge := range sges {
@@ -201,14 +206,25 @@ func (qp *QP) gather(sges []SGE, off, n uint32) []byte {
 		if take > n-filled {
 			take = n - filled
 		}
-		mr := qp.dev.mrs[sge.LKey]
-		if mr != nil {
+		mr, ok := d.mrByLKey(sge.LKey)
+		if ok {
 			_ = mr.as.Read(sge.Addr+mem.Addr(start), out[filled:filled+take])
+		} else {
+			// Deregistered mid-flight: DMA reads garbage, not stale
+			// scratch contents from an unrelated message.
+			zero(out[filled : filled+take])
 		}
 		filled += take
 		pos += sge.Len
 	}
 	return out
+}
+
+// zero clears b.
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
 }
 
 // scatter DMA-writes data across the SGE list, returning false on local
@@ -226,8 +242,7 @@ func (qp *QP) scatter(sges []SGE, data []byte) bool {
 		if n > len(data)-off {
 			n = len(data) - off
 		}
-		mr := qp.dev.mrs[sge.LKey]
-		if mr != nil {
+		if mr, ok := qp.dev.mrByLKey(sge.LKey); ok {
 			_ = mr.as.Write(sge.Addr, data[off:off+n])
 		}
 		off += n
@@ -235,27 +250,34 @@ func (qp *QP) scatter(sges []SGE, data []byte) bool {
 	return true
 }
 
-// frameFor wraps a packet in a fabric frame addressed to dst.
+// frameFor wraps a packet in a fabric frame addressed to dst, encoding
+// it into a pooled wire buffer. The packet struct (which every caller
+// obtained from the device pool) is recycled here: the frame owns the
+// encoded bytes and nothing else references p.
 func (d *Device) frameFor(dst string, p *packet) fabric.Frame {
-	return fabric.Frame{
+	buf := d.getBuf(packetHeaderLen + len(p.Payload))
+	p.encodeInto(buf)
+	f := fabric.Frame{
 		Src:  d.node,
 		Dst:  dst,
 		Port: PortRDMA,
 		Size: p.wireSize(),
-		Data: p.encode(),
+		Data: buf,
 	}
+	d.putPkt(p)
+	return f
 }
 
 // sendCtl queues a control packet (ACK/NAK) at high priority.
 func (d *Device) sendCtl(dst string, p *packet) {
-	d.ctlq = append(d.ctlq, d.frameFor(dst, p))
+	d.ctlq.push(d.frameFor(dst, p))
 	d.pump()
 }
 
 // sendResp queues responder data (READ responses) behind control but
 // ahead of new requester work from this node.
 func (d *Device) sendResp(dst string, p *packet) {
-	d.respq = append(d.respq, d.frameFor(dst, p))
+	d.respq.push(d.frameFor(dst, p))
 	d.pump()
 }
 
@@ -264,7 +286,7 @@ func (d *Device) sendResp(dst string, p *packet) {
 // handlePacket processes one received packet on the device engine.
 func (d *Device) handlePacket(it rxItem) {
 	p := it.p
-	qp, ok := d.qps[p.DstQPN]
+	qp, ok := d.lookupQP(p.DstQPN)
 	if !ok {
 		return // stale packet for a destroyed QP: drop silently
 	}
@@ -312,12 +334,27 @@ func (qp *QP) responder(p *packet, src string) {
 		}
 		return
 	}
-	// Reassemble the expected message. A zeroth fragment always starts a
-	// fresh reassembly (retransmission after a partial loss).
-	if qp.reasm == nil || qp.reasm.psn != p.PSN || p.Frag == 0 {
-		qp.reasm = &reassembly{psn: p.PSN}
+	// Single-fragment message: deliver the payload in place. execute
+	// consumes it synchronously (scatter and AddressSpace.Write copy the
+	// bytes out), and the RX buffer backing it is only recycled after
+	// handlePacket returns, so no reassembly copy is needed.
+	if p.Frag == 0 && p.Last {
+		qp.execute(p, p.Payload, src)
+		return
 	}
+	// Reassemble the expected message into a per-QP scratch buffer
+	// (reused across messages — execute consumes it before the next
+	// message can start). A zeroth fragment always restarts the
+	// reassembly (retransmission after a partial loss).
 	r := qp.reasm
+	if r == nil {
+		r = &reassembly{}
+		qp.reasm = r
+	}
+	if r.psn != p.PSN || p.Frag == 0 {
+		r.psn, r.nextFrag, r.bad = p.PSN, 0, false
+		r.buf = r.buf[:0]
+	}
 	if p.Frag != r.nextFrag {
 		r.bad = true // lost fragment inside the message
 	}
@@ -328,14 +365,11 @@ func (qp *QP) responder(p *packet, src string) {
 	if !p.Last {
 		return
 	}
-	data := r.buf
-	bad := r.bad
-	qp.reasm = nil
-	if bad {
+	if r.bad {
 		qp.sendNak(src, p.SrcQPN, qp.expPSN, nakSeqErr)
 		return
 	}
-	qp.execute(p, data, src)
+	qp.execute(p, r.buf, src)
 }
 
 // execute runs a fully received message at the expected PSN.
@@ -424,11 +458,20 @@ func (qp *QP) execute(p *packet, data []byte, src string) {
 		_ = as.WriteU64(p.RemoteAddr, next)
 		qp.atomicCache[p.PSN] = orig
 		qp.expPSN = psnAdd(qp.expPSN, 1)
-		qp.dev.sendCtl(src, &packet{
-			Type: ptAtomicResp, DstQPN: p.SrcQPN, SrcQPN: qp.QPN,
-			PSN: p.PSN, Last: true, CompareAdd: orig,
-		})
+		qp.sendAtomicResp(src, p.SrcQPN, p.PSN, orig)
 	}
+}
+
+// sendAtomicResp queues an atomic response carrying the original value.
+func (qp *QP) sendAtomicResp(dst string, dstQPN, psn uint32, orig uint64) {
+	r := qp.dev.getPkt()
+	r.Type = ptAtomicResp
+	r.DstQPN = dstQPN
+	r.SrcQPN = qp.QPN
+	r.PSN = psn
+	r.Last = true
+	r.CompareAdd = orig
+	qp.dev.sendCtl(dst, r)
 }
 
 // advance bumps expPSN and acknowledges it cumulatively.
@@ -437,9 +480,18 @@ func (qp *QP) advance(src string, srcQPN uint32) {
 	qp.expPSN = psnAdd(qp.expPSN, 1)
 	qp.dev.tapExpPSN(qp.QPN, qp.expPSN)
 	qp.nakSent = false
-	qp.dev.sendCtl(src, &packet{
-		Type: ptAck, DstQPN: srcQPN, SrcQPN: qp.QPN, AckPSN: acked, Last: true,
-	})
+	qp.sendAck(src, srcQPN, acked)
+}
+
+// sendAck queues a cumulative acknowledgement for PSN acked.
+func (qp *QP) sendAck(dst string, dstQPN, acked uint32) {
+	a := qp.dev.getPkt()
+	a.Type = ptAck
+	a.DstQPN = dstQPN
+	a.SrcQPN = qp.QPN
+	a.AckPSN = acked
+	a.Last = true
+	qp.dev.sendCtl(dst, a)
 }
 
 // replyDuplicate re-acknowledges an already-delivered message and
@@ -457,26 +509,26 @@ func (qp *QP) replyDuplicate(p *packet, src string) {
 		}
 	case ptAtomicReq:
 		if orig, ok := qp.atomicCache[p.PSN]; ok {
-			qp.dev.sendCtl(src, &packet{
-				Type: ptAtomicResp, DstQPN: p.SrcQPN, SrcQPN: qp.QPN,
-				PSN: p.PSN, Last: true, CompareAdd: orig,
-			})
+			qp.sendAtomicResp(src, p.SrcQPN, p.PSN, orig)
 			return
 		}
 	}
 	last := psnAdd(qp.expPSN, 0xFFFFFF) // expPSN-1 mod 2^24
-	qp.dev.sendCtl(src, &packet{
-		Type: ptAck, DstQPN: p.SrcQPN, SrcQPN: qp.QPN, AckPSN: last, Last: true,
-	})
+	qp.sendAck(src, p.SrcQPN, last)
 }
 
 // streamReadResponse fragments and queues a READ response.
 func (qp *QP) streamReadResponse(dst string, dstQPN, psn uint32, data []byte) {
 	mtu := qp.dev.cfg.MTU
 	if len(data) == 0 {
-		qp.dev.sendResp(dst, &packet{
-			Type: ptReadResp, DstQPN: dstQPN, SrcQPN: qp.QPN, PSN: psn, Last: true, Opcode: OpRead,
-		})
+		r := qp.dev.getPkt()
+		r.Type = ptReadResp
+		r.DstQPN = dstQPN
+		r.SrcQPN = qp.QPN
+		r.PSN = psn
+		r.Last = true
+		r.Opcode = OpRead
+		qp.dev.sendResp(dst, r)
 		return
 	}
 	for off, frag := 0, uint16(0); off < len(data); frag++ {
@@ -484,11 +536,17 @@ func (qp *QP) streamReadResponse(dst string, dstQPN, psn uint32, data []byte) {
 		if n > mtu {
 			n = mtu
 		}
-		qp.dev.sendResp(dst, &packet{
-			Type: ptReadResp, DstQPN: dstQPN, SrcQPN: qp.QPN, PSN: psn,
-			Frag: frag, Last: off+n == len(data), Opcode: OpRead,
-			DLen: uint32(len(data)), Payload: data[off : off+n],
-		})
+		r := qp.dev.getPkt()
+		r.Type = ptReadResp
+		r.DstQPN = dstQPN
+		r.SrcQPN = qp.QPN
+		r.PSN = psn
+		r.Frag = frag
+		r.Last = off+n == len(data)
+		r.Opcode = OpRead
+		r.DLen = uint32(len(data))
+		r.Payload = data[off : off+n]
+		qp.dev.sendResp(dst, r)
 		off += n
 	}
 }
@@ -497,19 +555,27 @@ func (qp *QP) streamReadResponse(dst string, dstQPN, psn uint32, data []byte) {
 func (qp *QP) sendNak(dst string, dstQPN, expected uint32, syndrome uint8) {
 	qp.NNaks++
 	qp.mNaks.Inc()
-	qp.dev.sendCtl(dst, &packet{
-		Type: ptNak, DstQPN: dstQPN, SrcQPN: qp.QPN, AckPSN: expected,
-		Syndrome: syndrome, Last: true,
-	})
+	n := qp.dev.getPkt()
+	n.Type = ptNak
+	n.DstQPN = dstQPN
+	n.SrcQPN = qp.QPN
+	n.AckPSN = expected
+	n.Syndrome = syndrome
+	n.Last = true
+	qp.dev.sendCtl(dst, n)
 }
 
 // sendRNR reports receiver-not-ready for the given message PSN.
 func (qp *QP) sendRNR(dst string, dstQPN, psn uint32) {
 	qp.NRNRs++
 	qp.mRNRs.Inc()
-	qp.dev.sendCtl(dst, &packet{
-		Type: ptRnrNak, DstQPN: dstQPN, SrcQPN: qp.QPN, AckPSN: psn, Last: true,
-	})
+	r := qp.dev.getPkt()
+	r.Type = ptRnrNak
+	r.DstQPN = dstQPN
+	r.SrcQPN = qp.QPN
+	r.AckPSN = psn
+	r.Last = true
+	qp.dev.sendCtl(dst, r)
 }
 
 // respondError NAKs a request with a remote-access error and moves the
@@ -676,7 +742,7 @@ func (qp *QP) requeueUnsent() {
 		if e.state == sqQueued && !e.queued {
 			e.queued = true
 			e.fragCursor = 0
-			qp.txq = append(qp.txq, e)
+			qp.txq.push(e)
 		}
 	}
 	qp.dev.enqueueTx(qp)

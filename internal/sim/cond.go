@@ -7,14 +7,15 @@ import "time"
 // lock: the running proc has exclusive access to shared state by
 // construction, and Wait atomically parks and releases the CPU.
 type Cond struct {
-	s       *Scheduler
-	name    string
-	waiters []*Proc
+	s          *Scheduler
+	name       string
+	parkReason string // precomputed "wait <name>" so Wait never allocates
+	waiters    []*Proc
 }
 
 // NewCond creates a condition variable.
 func NewCond(s *Scheduler, name string) *Cond {
-	return &Cond{s: s, name: name}
+	return &Cond{s: s, name: name, parkReason: "wait " + name}
 }
 
 // Wait parks the current proc until Signal or Broadcast wakes it. As with
@@ -22,7 +23,7 @@ func NewCond(s *Scheduler, name string) *Cond {
 func (c *Cond) Wait() {
 	p := c.s.current("Cond.Wait")
 	c.waiters = append(c.waiters, p)
-	p.park("wait " + c.name)
+	p.park(c.parkReason)
 }
 
 // WaitTimeout parks the current proc until woken or until d elapses. It
@@ -43,7 +44,7 @@ func (c *Cond) WaitTimeout(d time.Duration) bool {
 			}
 		}
 	})
-	p.park("wait " + c.name)
+	p.park(c.parkReason)
 	if !fired {
 		tm.Cancel()
 	}
@@ -56,16 +57,21 @@ func (c *Cond) Signal() {
 		return
 	}
 	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	// Shift down rather than re-slice so the backing array's capacity is
+	// kept for future waiters.
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = nil
+	c.waiters = c.waiters[:n]
 	c.s.ready(p)
 }
 
 // Broadcast wakes every waiting proc.
 func (c *Cond) Broadcast() {
-	for _, p := range c.waiters {
+	for i, p := range c.waiters {
 		c.s.ready(p)
+		c.waiters[i] = nil
 	}
-	c.waiters = nil
+	c.waiters = c.waiters[:0]
 }
 
 // WaitGroup waits for a collection of procs to finish, mirroring

@@ -38,7 +38,9 @@ func (p *Proc) park(reason string) {
 	p.blockedOn = reason
 	blockedProcs[p] = struct{}{}
 	DebugParks.Add(1)
-	DebugLastPark.Store(p.name + ":" + reason)
+	if DebugTrace.Load() {
+		DebugLastPark.Store(p.name + ":" + reason)
+	}
 	p.s.yielded <- struct{}{}
 	<-p.resume
 	delete(blockedProcs, p)
@@ -58,7 +60,7 @@ func (s *Scheduler) current(op string) *Proc {
 // Sleep parks the current proc for d of virtual time.
 func (s *Scheduler) Sleep(d time.Duration) {
 	p := s.current("Sleep")
-	s.after(d, p, nil)
+	s.after(d, p, nil, nil, nil)
 	p.park("sleep")
 }
 

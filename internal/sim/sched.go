@@ -12,12 +12,13 @@ import (
 // Scheduler owns the virtual clock and the set of managed procs. The zero
 // value is not usable; create one with New.
 type Scheduler struct {
-	now    time.Duration // virtual time since simulation start
-	runq   []*Proc       // FIFO of runnable procs
-	timers timerHeap
-	seq    uint64 // tie-breaker for timers scheduled at the same instant
-	live   int    // procs spawned and not yet finished
-	cur    *Proc  // proc currently executing, nil when the loop runs
+	now      time.Duration // virtual time since simulation start
+	runq     []*Proc       // FIFO of runnable procs; head index below
+	runqHead int           // first live element of runq
+	timers   timerHeap
+	seq      uint64 // tie-breaker for timers scheduled at the same instant
+	live     int    // procs spawned and not yet finished
+	cur      *Proc  // proc currently executing, nil when the loop runs
 
 	yielded chan struct{} // running proc -> scheduler: "I parked or exited"
 	stopped bool
@@ -30,11 +31,28 @@ type Scheduler struct {
 
 	nextProcID int64
 
+	// Timer free list: fired and compacted timers are recycled here so
+	// the per-packet delivery load allocates no timer structs in steady
+	// state. Generation counters keep stale Timer handles inert.
+	freeTimers []*timer
+	// cancelledTimers counts cancelled entries still sitting in the heap
+	// (they are dropped lazily at pop); when they outnumber the live
+	// entries the heap is compacted in one pass.
+	cancelledTimers int
+
 	// Livelock detection: dispatches since the clock last advanced.
 	sameInstant int
-	recentNames []string
+	// recentNames is a fixed ring of the most recently dispatched proc
+	// names, reported when the livelock limit trips. A ring (rather than
+	// a shifted slice) keeps the dispatch hot path allocation-free.
+	recentNames [recentNamesSize]string
+	recentHead  int // next slot to write
+	recentLen   int
 	seed        int64
 }
+
+// recentNamesSize bounds the livelock diagnostic ring.
+const recentNamesSize = 8
 
 // New returns a Scheduler whose clock reads zero and whose deterministic
 // random source is seeded with seed.
@@ -83,7 +101,7 @@ func (s *Scheduler) spawn(name string, fn func(), daemon bool) *Proc {
 	if !daemon {
 		s.live++
 	}
-	s.runq = append(s.runq, p)
+	s.pushRunq(p)
 	go p.main(fn)
 	return p
 }
@@ -103,12 +121,12 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunFor(d time.Duration) {
 	deadline := s.now + d
 	s.runWhile(func() bool {
-		if len(s.runq) > 0 {
+		if s.runqLen() > 0 {
 			return true
 		}
 		return len(s.timers) > 0 && s.timers[0].when <= deadline
 	})
-	if s.now < deadline && len(s.runq) == 0 {
+	if s.now < deadline && s.runqLen() == 0 {
 		s.now = deadline
 	}
 }
@@ -120,7 +138,7 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) runWhile(cond func() bool) {
 	s.stopped = false
 	for !s.stopped {
-		if len(s.runq) == 0 {
+		if s.runqLen() == 0 {
 			if len(s.timers) == 0 {
 				if s.live > 0 && s.deadlockFatal {
 					panic("sim: deadlock: " + s.blockedReport())
@@ -136,21 +154,56 @@ func (s *Scheduler) runWhile(cond func() bool) {
 		if !cond() {
 			return
 		}
-		p := s.runq[0]
-		s.runq = s.runq[1:]
+		p := s.popRunq()
 		s.sameInstant++
 		if s.sameInstant > sameInstantLimit {
-			recent := make([]string, 0, len(s.recentNames))
-			recent = append(recent, s.recentNames...)
 			panic(fmt.Sprintf("sim: livelock: %d dispatches at t=%v without the clock advancing; recent procs: %v",
-				s.sameInstant, s.now, recent))
+				s.sameInstant, s.now, s.recentNameList()))
 		}
-		if len(s.recentNames) >= 8 {
-			s.recentNames = s.recentNames[1:]
+		s.recentNames[s.recentHead] = p.name
+		s.recentHead = (s.recentHead + 1) % recentNamesSize
+		if s.recentLen < recentNamesSize {
+			s.recentLen++
 		}
-		s.recentNames = append(s.recentNames, p.name)
 		s.dispatch(p)
 	}
+}
+
+// recentNameList renders the livelock ring oldest-first.
+func (s *Scheduler) recentNameList() []string {
+	out := make([]string, 0, s.recentLen)
+	start := (s.recentHead - s.recentLen + recentNamesSize) % recentNamesSize
+	for i := 0; i < s.recentLen; i++ {
+		out = append(out, s.recentNames[(start+i)%recentNamesSize])
+	}
+	return out
+}
+
+// --- Run queue ------------------------------------------------------------
+
+// runqLen reports the number of runnable procs.
+func (s *Scheduler) runqLen() int { return len(s.runq) - s.runqHead }
+
+func (s *Scheduler) pushRunq(p *Proc) { s.runq = append(s.runq, p) }
+
+func (s *Scheduler) popRunq() *Proc {
+	p := s.runq[s.runqHead]
+	s.runq[s.runqHead] = nil
+	s.runqHead++
+	if s.runqHead == len(s.runq) {
+		s.runq = s.runq[:0]
+		s.runqHead = 0
+	} else if s.runqHead > 1024 && s.runqHead > len(s.runq)/2 {
+		// Slide the live tail down so a never-empty queue cannot grow
+		// without bound.
+		n := copy(s.runq, s.runq[s.runqHead:])
+		for i := n; i < len(s.runq); i++ {
+			s.runq[i] = nil
+		}
+		s.runq = s.runq[:n]
+		s.runqHead = 0
+	}
+	return p
 }
 
 // sameInstantLimit bounds dispatches at one virtual instant; a genuine
@@ -162,14 +215,20 @@ const sameInstantLimit = 2_000_000
 func (s *Scheduler) dispatch(p *Proc) {
 	s.cur = p
 	DebugDispatches.Add(1)
-	DebugLastProc.Store(p.name)
+	if DebugTrace.Load() {
+		DebugLastProc.Store(p.name)
+	}
 	p.resume <- struct{}{}
 	<-s.yielded
 	s.cur = nil
 }
 
-// Debug counters for diagnosing stalls (read racily by probes).
+// Debug counters for diagnosing stalls (read racily by probes). The
+// counters are always maintained; the last-proc/last-park strings
+// allocate on every dispatch, so they are only recorded while DebugTrace
+// is set.
 var (
+	DebugTrace      atomic.Bool
 	DebugDispatches atomic.Int64
 	DebugTimerFires atomic.Int64
 	DebugParks      atomic.Int64
@@ -178,7 +237,8 @@ var (
 )
 
 // fireNextTimers advances the clock to the earliest timer deadline and
-// fires every timer due at that instant, in scheduling order.
+// fires every timer due at that instant, in scheduling order. Cancelled
+// timers are dropped (and recycled) as they surface.
 func (s *Scheduler) fireNextTimers() {
 	t := s.timers[0].when
 	if t < s.now {
@@ -186,21 +246,30 @@ func (s *Scheduler) fireNextTimers() {
 	}
 	if t > s.now {
 		s.sameInstant = 0
-		s.recentNames = s.recentNames[:0]
+		s.recentHead = 0
+		s.recentLen = 0
 	}
 	s.now = t
 	for len(s.timers) > 0 && s.timers[0].when <= s.now {
 		DebugTimerFires.Add(1)
 		tm := heap.Pop(&s.timers).(*timer)
 		if tm.cancelled {
+			s.cancelledTimers--
+			s.putTimer(tm)
 			continue
 		}
-		tm.fired = true
-		if tm.fn != nil {
-			tm.fn()
-			continue
+		// Copy what the fire needs, then recycle: the callback itself may
+		// schedule new timers (and will happily reuse this struct).
+		fn, fnArg, arg, p := tm.fn, tm.fnArg, tm.arg, tm.p
+		s.putTimer(tm)
+		switch {
+		case fn != nil:
+			fn()
+		case fnArg != nil:
+			fnArg(arg)
+		default:
+			s.ready(p)
 		}
-		s.ready(tm.p)
 	}
 }
 
@@ -209,17 +278,48 @@ func (s *Scheduler) ready(p *Proc) {
 	if p.done {
 		panic("sim: waking finished proc " + p.name)
 	}
-	s.runq = append(s.runq, p)
+	s.pushRunq(p)
 }
 
-// after registers a timer at now+d. Exactly one of p or fn is set: p is a
-// parked proc to wake, fn an inline callback.
-func (s *Scheduler) after(d time.Duration, p *Proc, fn func()) *timer {
+// --- Timers ---------------------------------------------------------------
+
+// getTimer takes a timer from the free list or allocates one.
+func (s *Scheduler) getTimer() *timer {
+	if n := len(s.freeTimers); n > 0 {
+		tm := s.freeTimers[n-1]
+		s.freeTimers[n-1] = nil
+		s.freeTimers = s.freeTimers[:n-1]
+		return tm
+	}
+	return &timer{s: s}
+}
+
+// putTimer recycles a timer popped from the heap. Bumping gen makes
+// every outstanding Timer handle to it inert.
+func (s *Scheduler) putTimer(tm *timer) {
+	tm.gen++
+	tm.p = nil
+	tm.fn = nil
+	tm.fnArg = nil
+	tm.arg = nil
+	tm.cancelled = false
+	s.freeTimers = append(s.freeTimers, tm)
+}
+
+// after registers a timer at now+d. Exactly one of p, fn or fnArg is
+// set: p is a parked proc to wake, fn/fnArg an inline callback.
+func (s *Scheduler) after(d time.Duration, p *Proc, fn func(), fnArg func(any), arg any) *timer {
 	if d < 0 {
 		d = 0
 	}
 	s.seq++
-	tm := &timer{when: s.now + d, seq: s.seq, p: p, fn: fn}
+	tm := s.getTimer()
+	tm.when = s.now + d
+	tm.seq = s.seq
+	tm.p = p
+	tm.fn = fn
+	tm.fnArg = fnArg
+	tm.arg = arg
 	heap.Push(&s.timers, tm)
 	return tm
 }
@@ -227,21 +327,31 @@ func (s *Scheduler) after(d time.Duration, p *Proc, fn func()) *timer {
 // AfterFunc schedules fn to run on the scheduler loop at now+d. fn must
 // not block; it typically enqueues data and signals a Cond. It returns a
 // handle whose Cancel method stops an unfired timer.
-func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Timer {
-	return &Timer{tm: s.after(d, nil, fn)}
+func (s *Scheduler) AfterFunc(d time.Duration, fn func()) Timer {
+	tm := s.after(d, nil, fn, nil, nil)
+	return Timer{tm: tm, gen: tm.gen}
+}
+
+// AfterFuncArg is AfterFunc for a shared callback with a per-event
+// argument. Passing a pointer argument through a package-level callback
+// avoids allocating a fresh closure per event — the shape of per-packet
+// work like fabric deliveries.
+func (s *Scheduler) AfterFuncArg(d time.Duration, fn func(any), arg any) Timer {
+	tm := s.after(d, nil, nil, fn, arg)
+	return Timer{tm: tm, gen: tm.gen}
 }
 
 // blockedReport describes the procs that are alive but not runnable, for
 // deadlock diagnostics.
 func (s *Scheduler) blockedReport() string {
-	runnable := make(map[*Proc]bool, len(s.runq))
-	for _, p := range s.runq {
+	runnable := make(map[*Proc]bool, s.runqLen())
+	for _, p := range s.runq[s.runqHead:] {
 		runnable[p] = true
 	}
 	var names []string
 	// Walk timers too: procs with pending timers are not stuck.
 	for _, tm := range s.timers {
-		if tm.p != nil {
+		if tm.p != nil && !tm.cancelled {
 			runnable[tm.p] = true
 		}
 	}
@@ -259,26 +369,75 @@ func (s *Scheduler) blockedReport() string {
 // running proc mutates it).
 var blockedProcs = make(map[*Proc]struct{})
 
-// Timer is a handle to a pending AfterFunc callback.
-type Timer struct{ tm *timer }
+// Timer is a handle to a pending AfterFunc callback. The zero value is
+// inert: Cancel on it reports false. Handles are values; copying one
+// copies the (timer, generation) pair, and a handle outlives its timer
+// harmlessly — once the timer fires or is compacted away, the struct is
+// recycled under a new generation and old handles no longer match.
+type Timer struct {
+	tm  *timer
+	gen uint64
+}
 
 // Cancel stops the timer if it has not fired. It reports whether the
-// cancellation prevented the callback.
-func (t *Timer) Cancel() bool {
-	if t.tm.fired || t.tm.cancelled {
+// cancellation prevented the callback. The timer stays in the heap and
+// is dropped lazily when it surfaces at pop — or in one compaction pass
+// if cancelled entries come to outnumber live ones (a cancel-heavy
+// workload like per-message retransmission timers re-armed on every
+// ACK).
+func (t Timer) Cancel() bool {
+	tm := t.tm
+	if tm == nil || tm.gen != t.gen || tm.cancelled {
 		return false
 	}
-	t.tm.cancelled = true
+	tm.cancelled = true
+	s := tm.s
+	s.cancelledTimers++
+	if s.cancelledTimers > len(s.timers)/2 && len(s.timers) >= compactMinTimers {
+		s.compactTimers()
+	}
 	return true
 }
 
+// compactMinTimers is the heap size below which compaction is not worth
+// the pass; lazy pop-side dropping handles small heaps fine.
+const compactMinTimers = 64
+
+// compactTimers removes every cancelled timer from the heap in one pass
+// and restores the heap invariant. Relative order of live timers is
+// fully determined by (when, seq), so compaction cannot reorder fires.
+func (s *Scheduler) compactTimers() {
+	live := s.timers[:0]
+	for _, tm := range s.timers {
+		if tm.cancelled {
+			s.cancelledTimers--
+			s.putTimer(tm)
+		} else {
+			live = append(live, tm)
+		}
+	}
+	for i := len(live); i < len(s.timers); i++ {
+		s.timers[i] = nil
+	}
+	s.timers = live
+	heap.Init(&s.timers)
+}
+
+// TimerHeapLen reports the number of entries (live plus
+// not-yet-collected cancelled) in the timer heap — a test hook for the
+// cancellation bookkeeping.
+func (s *Scheduler) TimerHeapLen() int { return len(s.timers) }
+
 type timer struct {
+	s         *Scheduler
 	when      time.Duration
 	seq       uint64
-	p         *Proc  // proc to wake, or
-	fn        func() // inline callback
-	fired     bool
+	p         *Proc     // proc to wake, or
+	fn        func()    // inline callback, or
+	fnArg     func(any) // shared callback taking arg
+	arg       any
 	cancelled bool
+	gen       uint64 // bumped on recycle; stale handles check it
 }
 
 type timerHeap []*timer

@@ -324,3 +324,86 @@ func TestNestedSpawn(t *testing.T) {
 		t.Fatalf("total=%d, want 3", total)
 	}
 }
+
+// A cancel-heavy workload — arm a long timer, cancel it, repeat, the
+// shape of a retransmission timer re-armed on every ACK — must not
+// accumulate cancelled entries in the heap: compaction keeps the heap
+// proportional to the number of live timers.
+func TestCancelHeavyHeapBounded(t *testing.T) {
+	s := New(1)
+	s.Go("rearm", func() {
+		for i := 0; i < 100_000; i++ {
+			tm := s.AfterFunc(time.Hour, func() { t.Error("cancelled timer fired") })
+			if !tm.Cancel() {
+				t.Fatal("Cancel reported false for a pending timer")
+			}
+			if hl := s.TimerHeapLen(); hl > 2*compactMinTimers {
+				t.Fatalf("timer heap grew to %d entries with zero live timers", hl)
+			}
+			if i%1024 == 0 {
+				s.Sleep(time.Microsecond) // let the clock move occasionally
+			}
+		}
+	})
+	s.Run()
+}
+
+// A stale handle must stay inert after its timer struct is recycled:
+// Cancel on it reports false and must not cancel the timer that now
+// occupies the recycled struct.
+func TestStaleTimerHandleInert(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Go("p", func() {
+		old := s.AfterFunc(time.Microsecond, func() { fired++ })
+		s.Sleep(time.Millisecond) // old fires and is recycled
+		s.AfterFunc(time.Microsecond, func() { fired++ })
+		if old.Cancel() {
+			t.Error("stale handle cancelled a recycled timer")
+		}
+		var zero Timer
+		if zero.Cancel() {
+			t.Error("zero-value handle reported a cancellation")
+		}
+		s.Sleep(time.Millisecond)
+	})
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired=%d, want 2", fired)
+	}
+}
+
+// Cancelling more than half the heap triggers one-pass compaction; the
+// surviving timers must still fire in (when, seq) order.
+func TestCompactionPreservesOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Go("p", func() {
+		var cancels []Timer
+		for i := 0; i < compactMinTimers; i++ {
+			i := i
+			s.AfterFunc(time.Duration(i+1)*time.Millisecond, func() { order = append(order, i) })
+			cancels = append(cancels,
+				s.AfterFunc(time.Hour, func() { t.Error("cancelled fired") }),
+				s.AfterFunc(time.Hour, func() { t.Error("cancelled fired") }))
+		}
+		for _, tm := range cancels {
+			tm.Cancel()
+		}
+		// Cancelled entries became the strict majority mid-loop, so at
+		// least one compaction ran; only a sub-majority remainder of
+		// lazily-dropped entries may still sit in the heap.
+		if hl := s.TimerHeapLen(); hl >= 2*compactMinTimers {
+			t.Fatalf("heap has %d entries, compaction never ran (%d live)", hl, compactMinTimers)
+		}
+	})
+	s.Run()
+	if len(order) != compactMinTimers {
+		t.Fatalf("fired %d timers, want %d", len(order), compactMinTimers)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("fire order[%d]=%d, want %d", i, v, i)
+		}
+	}
+}
