@@ -6,7 +6,7 @@ GO ?= go
 BENCH_PATTERN = ^(BenchmarkEngineThroughput|BenchmarkEngineThroughput16K|BenchmarkSchedDispatch|BenchmarkTimerFire|BenchmarkTimerCancel|BenchmarkSleep|BenchmarkFabricDelivery|BenchmarkFig4aQP64)$$
 BENCH_PKGS = . ./internal/sim ./internal/fabric ./internal/rnic
 
-.PHONY: all build vet test test-race chaos fuzz check bench bench-smoke
+.PHONY: all build vet test test-race chaos chaos-abort fuzz check bench bench-smoke
 
 all: build
 
@@ -27,6 +27,14 @@ test-race:
 #   go run ./cmd/migrchaos -schedule <name> -seed <n> -v
 chaos:
 	$(GO) run ./cmd/migrchaos -seeds 32
+
+# Fail-and-recover sweep under the race detector: inject a hard fault at
+# every abortable workflow phase × 8 seeds and assert the cluster rolls
+# back cleanly (source resumes, partners un-suspend, no staging left).
+# Replay a failure with
+#   go run ./cmd/migrchaos -abort-at <phase> -seed <n> -v
+chaos-abort:
+	$(GO) run -race ./cmd/migrchaos -abort-at all -seeds 8
 
 # Fuzz smoke over the wire-format decoder and the transport fault-script
 # harness (go test fuzzes one target per invocation).

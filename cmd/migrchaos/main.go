@@ -7,6 +7,8 @@
 //	migrchaos -schedule loss-burst -seed 17 -v   # replay one run
 //	migrchaos -concurrent              # sweep three overlapping migrations
 //	migrchaos -concurrent -cap 1       # same jobs, serialized admission
+//	migrchaos -abort-at all            # fail-and-recover: abort at every phase
+//	migrchaos -abort-at finalize -seed 3 -v      # replay one abort run
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	list := flag.Bool("list", false, "list the available schedules and exit")
 	concurrent := flag.Bool("concurrent", false, "run the concurrent-migration schedules (three overlapping migrations)")
 	cap := flag.Int("cap", 3, "admission cap for -concurrent runs")
+	abortAt := flag.String("abort-at", "", "fail-and-recover sweep: inject a hard fault at the named workflow phase (or \"all\")")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +44,49 @@ func main() {
 				}
 				fmt.Printf("    %-10s node=%-8s %s for %v\n", f.Kind, f.Node, when, f.Duration)
 			}
+		}
+		return
+	}
+
+	if *abortAt != "" {
+		phases := chaos.AbortPhases()
+		if *abortAt != "all" {
+			found := false
+			for _, ph := range phases {
+				if ph == *abortAt {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown abort phase %q (have %v, or \"all\")\n", *abortAt, phases)
+				os.Exit(2)
+			}
+			phases = []string{*abortAt}
+		}
+		lo, hi := int64(1), *seeds
+		if *seed != 0 {
+			lo, hi = *seed, *seed
+		}
+		runs, failures := 0, 0
+		for _, ph := range phases {
+			for s := lo; s <= hi; s++ {
+				rep := chaos.RunAbort(s, ph)
+				runs++
+				if !rep.OK() {
+					failures++
+					fmt.Println(rep.String())
+					for _, v := range rep.Violations {
+						fmt.Printf("    violation: %s\n", v)
+					}
+					fmt.Printf("    replay: migrchaos -abort-at %s -seed %d -v\n", ph, s)
+				} else if *verbose {
+					fmt.Println(rep.String())
+				}
+			}
+		}
+		fmt.Printf("%d runs, %d failures\n", runs, failures)
+		if failures > 0 {
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// AbortPhases lists the workflow phases the fail-and-recover harness
+// injects hard faults at. They bracket the blackout window: before the
+// freeze (suspended QPs must resume), at the freeze boundary, after the
+// final dump, after the transfer (the destination holds a fully staged
+// restore that must be torn down), and at the entry of the partner
+// switch-over — the last instant an abort is still possible.
+func AbortPhases() []string {
+	return []string{"suspend-wbs", "freeze", "final-dump", "finalize", "switch-partners"}
+}
+
+// errInjected is the fault RunAbort plants inside the workflow.
+var errInjected = fmt.Errorf("chaos: injected fault")
+
+// RunAbort executes one fail-and-recover run: the same three-host
+// testbed and order-checked traffic as Run, but the migration is made
+// to fail at the named workflow phase via the Migrator's fault hook.
+// The checks then invert Run's: the migration must have aborted (with
+// the phase named in the error), the client must have resumed on the
+// SOURCE and kept making exactly-once in-order progress, every partner
+// QP must be un-suspended, the destination must hold no staged
+// restore, no daemon may retain per-migration stashes, and all
+// transport-level ledger invariants must still hold.
+//
+// Like Run it is deterministic: same (seed, phase) ⇒ same TraceHash.
+func RunAbort(seed int64, phase string) *Report {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cl := cluster.New(cfg, "src", "dst", "partner")
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+	}
+	srv := perftest.NewServer(sched, "srv", opts)
+	cli := perftest.NewClient(sched, "cli", opts, perftest.Target{Node: "partner", Name: "srv"})
+	srvCont := runc.NewContainer(cl.Host("partner"), "server")
+	srvCont.Start(func(tp *task.Process) { srv.Run(tp, daemons["partner"]) })
+	cliCont := runc.NewContainer(cl.Host("src"), "client")
+	sched.Go("chaos-start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, daemons["src"]) })
+	})
+
+	rep := &Report{Seed: seed, Schedule: "abort@" + phase}
+	var (
+		mrep   *runc.Report
+		migErr error
+		atMig  int64
+		done   bool
+	)
+	sched.Go("chaos-abort-driver", func() {
+		cli.WaitReady()
+		sched.Sleep(Warmup)
+		m := &runc.Migrator{
+			C:    cliCont,
+			Dst:  cl.Host("dst"),
+			Plug: core.NewPlugin(daemons["src"], daemons["dst"]),
+			Opts: runc.DefaultMigrateOptions(),
+		}
+		m.Inject = func(ph string) error {
+			if ph == phase {
+				return errInjected
+			}
+			return nil
+		}
+		m.OnStage = func(stage string) {
+			rec.add(event{kind: "stage", note: stage})
+		}
+		mrep, migErr = m.Migrate()
+		rep.FinalStage = m.Stage
+		atMig = cli.Stats.Completed
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
+		// Recovery window: the rolled-back service must resume traffic
+		// between the original endpoints.
+		sched.Sleep(settle)
+		sched.Sleep(settle)
+		cli.Stop()
+		cli.Wait()
+		sched.Sleep(settle)
+		srv.Stop()
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	rep.Migration = mrep
+	rep.Completed = cli.Stats.Completed
+	rep.ServerRecv = srv.Stats.Completed
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.Duplicated = snap.Sum("fabric", "duplicated_frames")
+	rep.Reordered = snap.Sum("fabric", "reordered_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+
+	// --- Invariants ---------------------------------------------------
+	var v []string
+	if !done {
+		rep.Violations = []string{"run did not complete within the horizon"}
+		return rep
+	}
+	switch {
+	case migErr == nil:
+		v = append(v, fmt.Sprintf("migration succeeded despite fault injected at %s", phase))
+	case !strings.Contains(migErr.Error(), "phase "+phase):
+		v = append(v, fmt.Sprintf("abort error does not name phase %s: %v", phase, migErr))
+	}
+	if rep.FinalStage != "aborted" {
+		v = append(v, fmt.Sprintf("final stage %q, want aborted", rep.FinalStage))
+	}
+	// The service recovered in place: exactly-once in-order delivery,
+	// progress after the abort, client session back on the source.
+	v = append(v, checkPair(cli, srv, atMig, "src", "")...)
+	v = append(v, checkLedger(rec)...)
+	if cliCont.Host != cl.Host("src") {
+		v = append(v, fmt.Sprintf("client container on %s, want src", cliCont.Host.Name))
+	}
+	// No migration residue anywhere in the cluster.
+	if n := daemons["dst"].StagedRestores(); n != 0 {
+		v = append(v, fmt.Sprintf("destination still holds %d staged restores", n))
+	}
+	for _, n := range cl.Names() {
+		d := daemons[n]
+		if sp := d.PendingSpares("m0"); sp != 0 {
+			v = append(v, fmt.Sprintf("%s still holds %d pre-setup spare QPs", n, sp))
+		}
+		if sq := d.SuspendedQPs(); sq != 0 {
+			v = append(v, fmt.Sprintf("%s still has %d suspended QPs", n, sq))
+		}
+		if _, ok := d.PartnerWBSResult("m0"); ok {
+			v = append(v, fmt.Sprintf("%s still holds a partner-WBS result for m0", n))
+		}
+	}
+	if got := snap.Sum("migr", "migrations_aborted"); got != 1 {
+		v = append(v, fmt.Sprintf("migrations_aborted = %d, want 1", got))
+	}
+	rep.Violations = v
+	return rep
+}

@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAbortRecovery injects a hard fault at each abortable workflow
+// phase and asserts the cluster fully recovers: the source service
+// resumes between the original endpoints with exactly-once in-order
+// delivery, partners un-suspend, the destination holds no staging, and
+// every transport-level invariant still holds.
+func TestAbortRecovery(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		for _, phase := range AbortPhases() {
+			phase := phase
+			t.Run(fmt.Sprintf("%s/seed%d", phase, seed), func(t *testing.T) {
+				rep := RunAbort(seed, phase)
+				for _, v := range rep.Violations {
+					t.Errorf("violation: %s", v)
+				}
+				if rep.Completed == 0 {
+					t.Error("no traffic completed")
+				}
+			})
+		}
+	}
+}
+
+// TestAbortDeterminism re-runs one fail-and-recover scenario and
+// requires byte-identical trace hashes: an abort and its rollback are
+// as replayable as a successful migration.
+func TestAbortDeterminism(t *testing.T) {
+	a := RunAbort(3, "finalize")
+	b := RunAbort(3, "finalize")
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hash not deterministic:\n  %s\n  %s", a.TraceHash, b.TraceHash)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Events, b.Events)
+	}
+}

@@ -55,6 +55,11 @@ type Daemon struct {
 	// partner don't clobber each other's result.
 	partnerWBS map[string]WBSResult
 
+	// suspendedFor records, per migration ID, the QP sets this host
+	// suspended on that migration's behalf (hSuspendFor), so an abort can
+	// resume exactly those and a switch-over can drop the record.
+	suspendedFor map[string][]suspendedSet
+
 	// LastPartnerWBS records the most recent partner-side
 	// wait-before-stop result on this host (for the Fig. 4 harness).
 	LastPartnerWBS WBSResult
@@ -81,6 +86,7 @@ func NewDaemon(h *cluster.Host) *Daemon {
 		pendingNSent: make(map[uint32]uint64),
 		wbs:          DefaultWBSConfig(),
 		partnerWBS:   make(map[string]WBSResult),
+		suspendedFor: make(map[string][]suspendedSet),
 	}
 	d.ep = newOOBAdapter(h)
 	d.installHandlers()
@@ -224,6 +230,21 @@ type switchReq struct {
 	DestNode string
 }
 
+// abortReq tells a node that a migration failed: destroy the spare QPs
+// stashed for it, resume the QPs suspended on its behalf, and clear the
+// per-migration stashes (staging slot, partner-WBS result).
+type abortReq struct {
+	MigID   string
+	Proc    string
+	SrcNode string
+}
+
+// suspendedSet is one session's QPs suspended for a migration.
+type suspendedSet struct {
+	s   *Session
+	qps []*QP
+}
+
 func enc(v any) []byte {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -247,6 +268,7 @@ func (d *Daemon) installHandlers() {
 	d.ep.Handle("connect-new", d.hConnectNew)
 	d.ep.Handle("switch-to", d.hSwitch)
 	d.ep.Handle("nsent", d.hNSent)
+	d.ep.Handle("abort", d.hAbort)
 }
 
 func (d *Daemon) hFetchRKey(_ string, body []byte) []byte {
@@ -324,6 +346,7 @@ func (d *Daemon) hSuspendFor(_ string, body []byte) []byte {
 		if len(qps) == 0 {
 			continue
 		}
+		d.suspendedFor[req.MigID] = append(d.suspendedFor[req.MigID], suspendedSet{s: s, qps: qps})
 		res := s.WaitBeforeStop(qps, d.wbs)
 		if res.Elapsed > worst.Elapsed {
 			worst = res
@@ -474,7 +497,94 @@ func (d *Daemon) hSwitch(_ string, body []byte) []byte {
 			}
 		}
 	}
+	// The migration committed; the suspension record is spent.
+	delete(d.suspendedFor, req.MigID)
 	return nil
+}
+
+// hAbort rolls back this node's participation in a failed migration:
+// spare QPs pre-established for it are destroyed, QPs suspended on its
+// behalf resume (replaying intercepted work), and the per-migration
+// stashes — staged restore slot, partner-WBS result, pending-switch
+// markers — are cleared. Every step is keyed by the migration ID, so
+// other in-flight migrations sharing this node are untouched.
+func (d *Daemon) hAbort(_ string, body []byte) []byte {
+	var req abortReq
+	if err := dec(body, &req); err != nil {
+		return []byte(err.Error())
+	}
+	// Drop the pending-switch markers: the spares connect to a
+	// destination that is being torn down.
+	for _, s := range d.sessions {
+		for _, qp := range s.sortedQPs() {
+			if qp.pendingNew == nil || qp.pendingNewMig != req.MigID {
+				continue
+			}
+			spare := qp.pendingNew
+			qp.pendingNew = nil
+			qp.pendingNewMig = ""
+			delete(d.pendingNSent, spare.QPN())
+			spare.Destroy()
+		}
+	}
+	// Un-suspend the QPs this host parked for the migration's
+	// stop-and-copy. Resume replays their intercepted posts and pending
+	// receives on the original (still connected) QPs.
+	for _, set := range d.suspendedFor[req.MigID] {
+		var still []*QP
+		for _, qp := range set.qps {
+			if qp.suspended {
+				still = append(still, qp)
+			}
+		}
+		if len(still) == 0 {
+			continue
+		}
+		if err := set.s.Resume(still); err != nil {
+			return []byte(err.Error())
+		}
+	}
+	delete(d.suspendedFor, req.MigID)
+	delete(d.partnerWBS, req.MigID)
+	// If this node also stages the migration's restore (it may be the
+	// destination of the aborted migration and a partner of the same
+	// process), discard the slot.
+	if st, ok := d.staging[stagingKey(req.MigID, req.Proc)]; ok {
+		st.abort()
+	}
+	return nil
+}
+
+// StagedRestores reports how many restores are currently staged on this
+// host. The chaos harness asserts it returns to zero after an abort.
+func (d *Daemon) StagedRestores() int { return len(d.staging) }
+
+// PendingSpares counts partner-side spare QPs stashed on this host for
+// the given migration ID; an empty ID counts every migration's spares.
+func (d *Daemon) PendingSpares(migID string) int {
+	n := 0
+	for _, s := range d.sessions {
+		for _, qp := range s.qps {
+			if qp.pendingNew != nil && (migID == "" || qp.pendingNewMig == migID) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SuspendedQPs counts QPs currently suspended across this host's
+// sessions. After a completed or aborted migration it must be zero.
+func (d *Daemon) SuspendedQPs() int {
+	n := 0
+	for _, s := range d.sessions {
+		for _, qp := range s.qps {
+			if qp.suspended {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // sortedQPs returns the session's QPs in virtual-QPN order for

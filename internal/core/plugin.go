@@ -25,6 +25,10 @@ type Plugin struct {
 	sess       *Session
 	staged     *Staged
 	partnerWBS WBSResult
+	// adopted records that adopt() moved the session onto the
+	// destination daemon; AbortAdoption uses it to decide whether the
+	// move must be reversed.
+	adopted bool
 }
 
 var _ criu.Plugin = (*Plugin)(nil)
@@ -161,7 +165,104 @@ func (pl *Plugin) adopt(s *Session) error {
 		pl.Dst.mapQPN(qp.v.QPN(), qp.vqpn, s)
 	}
 	delete(pl.Dst.staging, st.key)
+	pl.adopted = true
 	return nil
+}
+
+// AbortSource rolls back SuspendSource after a failed migration: every
+// QP of the migrated session that is still suspended resumes on the
+// source device, replaying intercepted posts and pending receives (the
+// §3.4 resume path, reused for rollback). Safe to call when nothing was
+// suspended.
+func (pl *Plugin) AbortSource() error {
+	if pl.sess == nil {
+		return nil
+	}
+	var qps []*QP
+	for _, qp := range pl.sess.sortedQPs() {
+		if qp.suspended {
+			qps = append(qps, qp)
+		}
+	}
+	if len(qps) == 0 {
+		return nil
+	}
+	return pl.sess.Resume(qps)
+}
+
+// AbortStaging discards the destination-side staged restore: every
+// staged resource is destroyed and the daemon's staging slot cleared.
+// If the session was adopted, AbortAdoption must have run first (it
+// unbinds the session from the staged objects).
+func (pl *Plugin) AbortStaging() {
+	if pl.staged == nil {
+		return
+	}
+	pl.staged.abort()
+	pl.staged = nil
+}
+
+// AbortAdoption reverses adopt after a failed migration: the session is
+// unregistered from the destination daemon, unbound from the staged
+// objects (wrappers and translation tables point back at the source
+// resources), and re-registered with the source daemon. A no-op unless
+// adopt completed.
+func (pl *Plugin) AbortAdoption() {
+	if !pl.adopted {
+		return
+	}
+	pl.adopted = false
+	s, st := pl.sess, pl.staged
+	pl.Dst.unregister(s)
+	for _, qp := range s.sortedQPs() {
+		// qp.v is still the staged destination QP here.
+		pl.Dst.unmapQPN(qp.v.QPN())
+		delete(pl.Src.movedVQPN, qp.vqpn)
+	}
+	st.unbind(s)
+	pl.Src.register(s)
+	for _, qp := range s.sortedQPs() {
+		// After unbind qp.v is the original source QP again; unregister
+		// left the source QPN table intact, mapQPN restores byPhys.
+		pl.Src.mapQPN(qp.v.QPN(), qp.vqpn, s)
+	}
+}
+
+// AbortPartners tells every partner node involved in this migration to
+// roll back: destroy the spare QPs stashed for it, resume the QPs it
+// suspended on the migration's behalf, and clear the per-migration
+// stashes. Best-effort: unreachable partners are reported but do not
+// stop the remaining notifications.
+func (pl *Plugin) AbortPartners() error {
+	s := pl.sess
+	if s == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var firstErr error
+	for _, qp := range s.sortedQPs() {
+		if qp.typ != rnic.RC || qp.v.RemoteNode() == "" {
+			continue
+		}
+		node := qp.v.RemoteNode()
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		resp, ok := pl.Src.call(node, "abort", enc(abortReq{
+			MigID: pl.ID, Proc: s.Proc.Name, SrcNode: pl.Src.Node(),
+		}))
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: partner %s unreachable for abort", node)
+			}
+			continue
+		}
+		if len(resp) > 0 && firstErr == nil {
+			firstErr = fmt.Errorf("core: partner %s abort: %s", node, resp)
+		}
+	}
+	return firstErr
 }
 
 // NotifyPartners implements the §3.2 notification: for every partner

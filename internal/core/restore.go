@@ -47,6 +47,17 @@ type Staged struct {
 	srcCQs  []*verbs.CQ
 	srcSRQs []*verbs.SRQ
 	srcQPs  []*verbs.QP
+
+	// bound marks a completed bind; undo holds, in bind order, the
+	// closures that put each wrapper and translation-table entry back the
+	// way it was. unbind runs them in reverse when a migration aborts
+	// after adoption.
+	bound bool
+	undo  []func()
+
+	// aborted makes abort idempotent (the runc compensation chain and the
+	// daemon's abort handler may both reach the same slot).
+	aborted bool
 }
 
 // RestoreContext is ibv_restore_context (Table 3): it opens the
@@ -303,8 +314,48 @@ func (st *Staged) destroyStaged(id verbs.ObjID) {
 
 // bind swaps a session's wrappers onto the staged destination objects
 // and updates the shared translation tables — "map the new RDMA
-// resources into the restored processes" (Fig. 2b ⑥').
+// resources into the restored processes" (Fig. 2b ⑥'). It validates
+// that every wrapper has a staged counterpart before mutating anything,
+// so a failed bind leaves the session untouched; a successful bind
+// records undo closures so unbind can roll the swap back if the
+// migration aborts later.
 func (st *Staged) bind(s *Session) error {
+	for id := range s.pds {
+		if _, ok := st.pds[id]; !ok {
+			return fmt.Errorf("core: bind: PD %d not staged", id)
+		}
+	}
+	for id := range s.mrs {
+		if _, ok := st.mrs[id]; !ok {
+			return fmt.Errorf("core: bind: MR %d not staged", id)
+		}
+	}
+	for id := range s.mws {
+		if _, ok := st.mws[id]; !ok {
+			return fmt.Errorf("core: bind: MW %d not staged", id)
+		}
+	}
+	for id := range s.dms {
+		if _, ok := st.dms[id]; !ok {
+			return fmt.Errorf("core: bind: DM %d not staged", id)
+		}
+	}
+	for _, cq := range s.cqs {
+		if _, ok := st.cqs[cq.id]; !ok {
+			return fmt.Errorf("core: bind: CQ %d not staged", cq.id)
+		}
+	}
+	for id := range s.srqs {
+		if _, ok := st.srqs[id]; !ok {
+			return fmt.Errorf("core: bind: SRQ %d not staged", id)
+		}
+	}
+	for id := range s.qps {
+		if _, ok := st.qps[id]; !ok {
+			return fmt.Errorf("core: bind: QP %d not staged", id)
+		}
+	}
+
 	// The old context must stop feeding the roadmap: destroying the
 	// source-side resources during reclamation is not an application
 	// action and must not delete the creation records a future
@@ -314,73 +365,149 @@ func (st *Staged) bind(s *Session) error {
 	st.ctx.SetRecorder(s.ind)
 	s.ctx = st.ctx
 	for id, pd := range s.pds {
-		nv, ok := st.pds[id]
-		if !ok {
-			return fmt.Errorf("core: bind: PD %d not staged", id)
-		}
-		st.srcPDs = append(st.srcPDs, pd.v)
-		pd.v = nv
+		pd, old := pd, pd.v
+		st.srcPDs = append(st.srcPDs, old)
+		pd.v = st.pds[id]
+		st.undo = append(st.undo, func() { pd.v = old })
 	}
 	for id, mr := range s.mrs {
-		nv, ok := st.mrs[id]
-		if !ok {
-			return fmt.Errorf("core: bind: MR %d not staged", id)
-		}
-		st.srcMRs = append(st.srcMRs, mr.v)
+		mr, old := mr, mr.v
+		nv := st.mrs[id]
+		st.srcMRs = append(st.srcMRs, old)
 		mr.v = nv
 		s.lkeys.update(mr.vlkey, nv.LKey())
 		s.rkeys.update(mr.vrkey, nv.RKey())
+		st.undo = append(st.undo, func() {
+			mr.v = old
+			s.lkeys.update(mr.vlkey, old.LKey())
+			s.rkeys.update(mr.vrkey, old.RKey())
+		})
 	}
 	for id, mw := range s.mws {
-		nv, ok := st.mws[id]
-		if !ok {
-			return fmt.Errorf("core: bind: MW %d not staged", id)
-		}
+		mw, old := mw, mw.v
+		nv := st.mws[id]
 		mw.v = nv
 		s.rkeys.update(mw.vrkey, nv.RKey())
+		st.undo = append(st.undo, func() {
+			mw.v = old
+			s.rkeys.update(mw.vrkey, old.RKey())
+		})
 	}
 	for id, dm := range s.dms {
-		nv, ok := st.dms[id]
-		if !ok {
-			return fmt.Errorf("core: bind: DM %d not staged", id)
-		}
-		dm.v = nv
+		dm, old := dm, dm.v
+		dm.v = st.dms[id]
+		st.undo = append(st.undo, func() { dm.v = old })
 	}
 	for _, cq := range s.cqs {
-		nv, ok := st.cqs[cq.id]
-		if !ok {
-			return fmt.Errorf("core: bind: CQ %d not staged", cq.id)
-		}
-		st.srcCQs = append(st.srcCQs, cq.v)
-		cq.v = nv
+		cq, old := cq, cq.v
+		st.srcCQs = append(st.srcCQs, old)
+		cq.v = st.cqs[cq.id]
+		st.undo = append(st.undo, func() { cq.v = old })
 	}
 	for id, srq := range s.srqs {
-		nv, ok := st.srqs[id]
-		if !ok {
-			return fmt.Errorf("core: bind: SRQ %d not staged", id)
-		}
-		st.srcSRQs = append(st.srcSRQs, srq.v)
-		srq.v = nv
+		srq, old := srq, srq.v
+		st.srcSRQs = append(st.srcSRQs, old)
+		srq.v = st.srqs[id]
+		st.undo = append(st.undo, func() { srq.v = old })
 	}
 	for id, ch := range s.chans() {
 		if nv, ok := st.chans[id]; ok {
+			ch, old := ch, ch.v
 			ch.v = nv
+			st.undo = append(st.undo, func() { ch.v = old })
 		}
 	}
 	for id, qp := range s.qps {
-		nv, ok := st.qps[id]
-		if !ok {
-			return fmt.Errorf("core: bind: QP %d not staged", id)
-		}
-		oldPhys := qp.v.QPN()
-		st.srcQPs = append(st.srcQPs, qp.v)
-		qp.v = nv
+		qp, old := qp, qp.v
+		oldPhys := old.QPN()
+		st.srcQPs = append(st.srcQPs, old)
+		qp.v = st.qps[id]
 		// Completions already harvested into fake CQs carry the old
 		// physical QPN; the temporary table translates them (§3.4).
 		qp.sendCQ.tempQPN[oldPhys] = qp.vqpn
 		qp.recvCQ.tempQPN[oldPhys] = qp.vqpn
+		st.undo = append(st.undo, func() {
+			qp.v = old
+			// Drop the fake-CQ translation entries: the old QP is live
+			// again and its completions need no remapping.
+			delete(qp.sendCQ.tempQPN, oldPhys)
+			delete(qp.recvCQ.tempQPN, oldPhys)
+		})
 	}
+	st.bound = true
 	return nil
+}
+
+// unbind reverses bind after an aborted migration: the session's
+// wrappers point back at the source-side objects, the translation
+// tables translate to them again, and the source context resumes
+// feeding the roadmap. The staged objects themselves are released
+// separately by abort.
+func (st *Staged) unbind(s *Session) {
+	if !st.bound {
+		return
+	}
+	st.bound = false
+	st.ctx.SetRecorder(nil)
+	st.srcCtx.SetRecorder(s.ind)
+	s.ctx = st.srcCtx
+	for i := len(st.undo) - 1; i >= 0; i-- {
+		st.undo[i]()
+	}
+	st.undo = nil
+	st.srcCtx = nil
+	st.srcPDs, st.srcMRs, st.srcCQs, st.srcSRQs, st.srcQPs = nil, nil, nil, nil, nil
+}
+
+// abort tears down a staged restore after a failed migration: every
+// staged destination resource is destroyed (in reverse dependency
+// order, sorted by object ID for determinism) and the daemon's staging
+// slot is cleared. The staged context's recorder is nil except between
+// bind and unbind, so these destructions never touch the session's
+// roadmap; callers must unbind first when the staging was adopted.
+// abort is idempotent.
+func (st *Staged) abort() {
+	if st.aborted {
+		return
+	}
+	st.aborted = true
+	for _, id := range sortedKeys(st.mws) {
+		st.mws[id].Dealloc()
+	}
+	for _, id := range sortedKeys(st.mrs) {
+		st.mrs[id].Dereg()
+	}
+	for _, id := range sortedKeys(st.qps) {
+		st.qps[id].Destroy()
+	}
+	for _, id := range sortedKeys(st.srqs) {
+		st.srqs[id].Destroy()
+	}
+	for _, id := range sortedKeys(st.cqs) {
+		st.cqs[id].Destroy()
+	}
+	for _, id := range sortedKeys(st.dms) {
+		st.dms[id].Free()
+	}
+	for _, id := range sortedKeys(st.pds) {
+		st.pds[id].Dealloc()
+	}
+	st.pds, st.cqs, st.chans, st.srqs = nil, nil, nil, nil
+	st.mrs, st.mws, st.dms, st.qps = nil, nil, nil, nil
+	st.qpByVQPN, st.qpMeta, st.deferred = nil, nil, nil
+	if st.daemon.staging[st.key] == st {
+		delete(st.daemon.staging, st.key)
+	}
+}
+
+// sortedKeys returns a staged category's object IDs in ascending order.
+func sortedKeys[V any](m map[verbs.ObjID]V) []verbs.ObjID {
+	ids := make([]verbs.ObjID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortObjIDs(ids)
+	return ids
 }
 
 // chans enumerates the session's completion-channel wrappers.

@@ -234,6 +234,7 @@ type Restore struct {
 	cursor mem.Addr
 
 	finalized bool
+	abandoned bool
 }
 
 // BeginRestore opens a restoration for the process. The process keeps
@@ -333,10 +334,29 @@ func (r *Restore) locate(img *Image, a mem.Addr) (mem.Addr, bool) {
 	return 0, false
 }
 
+// Abandon discards a partial restore after a failed migration: the
+// shadow address space and its bookkeeping are dropped, and the restore
+// can never be finalized or installed. The process keeps (or resumes)
+// running on the source with its own memory — nothing restored here was
+// ever visible to it. Abandon is idempotent.
+func (r *Restore) Abandon() {
+	r.abandoned = true
+	r.finalized = false
+	r.AS = nil
+	r.claimed = nil
+	r.tempOf = nil
+}
+
+// Abandoned reports whether the restore was discarded.
+func (r *Restore) Abandoned() bool { return r.abandoned }
+
 // Finalize performs the final restore iteration: apply the last diff,
 // then remap every temporary area to its original virtual address
 // (Fig. 2b ⑥). The process stays frozen until FullRestore.
 func (r *Restore) Finalize(final *Image) error {
+	if r.abandoned {
+		return fmt.Errorf("criu: finalize of abandoned restore for %s", r.Proc.Name)
+	}
 	r.applyPages(final)
 	for orig, tmp := range r.tempOf {
 		if err := r.AS.Remap(tmp, orig); err != nil {
@@ -354,6 +374,9 @@ func (r *Restore) Finalize(final *Image) error {
 // UNIX socket in §4). From this instant the migrated instance runs on
 // the destination.
 func (r *Restore) FullRestore() {
+	if r.abandoned {
+		panic("criu: FullRestore of abandoned restore")
+	}
 	if !r.finalized {
 		panic("criu: FullRestore before Finalize")
 	}

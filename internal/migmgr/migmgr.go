@@ -59,6 +59,12 @@ type Spec struct {
 	// ExtraPlugs is the number of additional RDMA-holding processes in
 	// the container beyond the first (see runc.Migrator.ExtraPlugs).
 	ExtraPlugs int
+	// Retries is the number of times a failed (aborted and rolled back)
+	// migration is requeued before the job is marked Failed.
+	Retries int
+	// Inject is threaded through to runc.Migrator.Inject — the per-phase
+	// fault hook used by tests and the chaos harness.
+	Inject func(phase string) error
 }
 
 // Job tracks one submitted migration through the manager.
@@ -74,6 +80,12 @@ type Job struct {
 	Src string
 
 	Submitted, Started, Finished time.Duration
+
+	// Attempts counts migration attempts, including the one in flight.
+	Attempts int
+	// LastErr is the most recent attempt's error; set even when a retry
+	// later succeeds, so callers can see a job recovered from an abort.
+	LastErr error
 
 	Report *runc.Report
 	Err    error
@@ -219,19 +231,37 @@ func (m *Manager) start(j *Job) {
 			Observe(j.QueueWait().Microseconds())
 	}
 	m.sched.Go("migmgr/"+j.ID, func() {
+		j.Attempts++
 		j.Report, j.Err = m.migrate(j)
 		j.Finished = m.sched.Now()
+		// Release the admission slot and the container unconditionally:
+		// every exit path — success, terminal failure, or requeue —
+		// frees capacity so queued migrations keep draining.
 		m.running--
 		delete(m.busy, j.Spec.C)
-		if j.Err != nil {
-			j.state = Failed
-			if m.mFailed != nil {
-				m.mFailed.Inc()
-			}
-		} else {
+		switch {
+		case j.Err == nil:
 			j.state = Done
 			if m.mCompleted != nil {
 				m.mCompleted.Inc()
+			}
+		case j.Attempts <= j.Spec.Retries:
+			// The migration aborted and rolled back; spend one unit of
+			// the retry budget and requeue behind the current backlog.
+			j.LastErr = j.Err
+			j.Err = nil
+			j.state = Queued
+			m.queue = append(m.queue, j)
+			// Created lazily so migrations that never retry leave the
+			// registry — and the chaos golden hashes — untouched.
+			if reg := m.cl.Metrics; reg != nil {
+				reg.Counter("migmgr", "retried", nil).Inc()
+			}
+		default:
+			j.LastErr = j.Err
+			j.state = Failed
+			if m.mFailed != nil {
+				m.mFailed.Inc()
 			}
 		}
 		if m.mActive != nil {
@@ -253,11 +283,12 @@ func (m *Manager) migrate(j *Job) (*runc.Report, error) {
 		return nil, fmt.Errorf("migmgr: no daemon on destination host %s", j.Spec.Dst)
 	}
 	mig := &runc.Migrator{
-		ID:   j.ID,
-		C:    j.Spec.C,
-		Dst:  m.cl.Host(j.Spec.Dst),
-		Plug: core.NewPlugin(srcD, dstD),
-		Opts: j.Spec.Opts,
+		ID:     j.ID,
+		C:      j.Spec.C,
+		Dst:    m.cl.Host(j.Spec.Dst),
+		Plug:   core.NewPlugin(srcD, dstD),
+		Opts:   j.Spec.Opts,
+		Inject: j.Spec.Inject,
 	}
 	for i := 0; i < j.Spec.ExtraPlugs; i++ {
 		mig.ExtraPlugs = append(mig.ExtraPlugs, core.NewPlugin(srcD, dstD))

@@ -263,3 +263,123 @@ func TestSubmitUnknownDestinationFails(t *testing.T) {
 		t.Errorf("failed counter = %d, want 1", got)
 	}
 }
+
+// TestFailedMigrationFreesSlot is the admission-slot regression test: a
+// migration that aborts mid-workflow must release its slot so queued
+// migrations behind it still run.
+func TestFailedMigrationFreesSlot(t *testing.T) {
+	r := newRig(25, "a", "b", "s")
+	w1 := r.startPair("doomed", "a", "s")
+	w2 := r.startPair("queued", "a", "s")
+	mgr := New(r.cl, r.daemons, 1)
+	var j1, j2 *Job
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		w1.cli.WaitReady()
+		w2.cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		j1 = mgr.Submit(Spec{C: w1.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
+			Inject: func(ph string) error {
+				if ph == "suspend-wbs" {
+					return fmt.Errorf("boom")
+				}
+				return nil
+			}})
+		j2 = mgr.Submit(Spec{C: w2.cont, Dst: "b", Opts: runc.DefaultMigrateOptions()})
+		mgr.WaitAll()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		w1.stop()
+		w2.stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish — a leaked slot wedges the queue")
+	}
+	if j1.State() != Failed {
+		t.Fatalf("doomed job state = %v (err %v), want failed", j1.State(), j1.Err)
+	}
+	if j1.Err == nil || !strings.Contains(j1.Err.Error(), "phase suspend-wbs") {
+		t.Fatalf("doomed job err = %v, want phase suspend-wbs", j1.Err)
+	}
+	if j2.State() != Done {
+		t.Fatalf("queued job state = %v (err %v), want done", j2.State(), j2.Err)
+	}
+	// The aborted workload rolled back to the source and kept going.
+	if n := w1.cli.Sess.Node(); n != "a" {
+		t.Errorf("doomed client ended on %s, want a (rolled back)", n)
+	}
+	if n := w2.cli.Sess.Node(); n != "b" {
+		t.Errorf("queued client ended on %s, want b", n)
+	}
+	snap := r.cl.Metrics.Snapshot()
+	if got := snap.Sum("migmgr", "failed"); got != 1 {
+		t.Errorf("failed counter = %d, want 1", got)
+	}
+	if got := snap.Sum("migmgr", "completed"); got != 1 {
+		t.Errorf("completed counter = %d, want 1", got)
+	}
+	if got := snap.Sum("migr", "migrations_aborted"); got != 1 {
+		t.Errorf("migrations_aborted = %d, want 1", got)
+	}
+}
+
+// TestRetryBudgetRequeues gives a job a retry budget and a fault that
+// fires on the first two attempts: the job must requeue twice, succeed
+// on the third attempt, and record the earlier failure in LastErr.
+func TestRetryBudgetRequeues(t *testing.T) {
+	r := newRig(26, "a", "b", "s")
+	w := r.startPair("flaky", "a", "s")
+	mgr := New(r.cl, r.daemons, 1)
+	var j *Job
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		w.cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		attempt := 0
+		j = mgr.Submit(Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
+			Retries: 2,
+			Inject: func(ph string) error {
+				if ph == "predump" {
+					attempt++
+				}
+				if ph == "suspend-wbs" && attempt <= 2 {
+					return fmt.Errorf("boom on attempt %d", attempt)
+				}
+				return nil
+			}})
+		j.Wait()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		w.stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	if j.State() != Done {
+		t.Fatalf("state = %v (err %v), want done after retries", j.State(), j.Err)
+	}
+	if j.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", j.Attempts)
+	}
+	if j.LastErr == nil || !strings.Contains(j.LastErr.Error(), "phase suspend-wbs") {
+		t.Fatalf("LastErr = %v, want the aborted attempt's error", j.LastErr)
+	}
+	if n := w.cli.Sess.Node(); n != "b" {
+		t.Errorf("client ended on %s, want b", n)
+	}
+	snap := r.cl.Metrics.Snapshot()
+	if got := snap.Sum("migmgr", "retried"); got != 2 {
+		t.Errorf("retried counter = %d, want 2", got)
+	}
+	if got := snap.Sum("migmgr", "completed"); got != 1 {
+		t.Errorf("completed counter = %d, want 1", got)
+	}
+	if got := snap.Sum("migmgr", "failed"); got != 0 {
+		t.Errorf("failed counter = %d, want 0", got)
+	}
+	if got := snap.Sum("migr", "migrations_aborted"); got != 2 {
+		t.Errorf("migrations_aborted = %d, want 2", got)
+	}
+}

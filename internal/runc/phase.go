@@ -1,0 +1,83 @@
+package runc
+
+import (
+	"fmt"
+
+	"migrrdma/internal/metrics"
+	"migrrdma/internal/task"
+	"migrrdma/internal/trace"
+)
+
+// phase is one step of the migration workflow (Fig. 2b): a named run
+// action plus an optional compensation that undoes it when a later
+// phase fails.
+type phase struct {
+	// name keys per-phase error wrapping, fault injection, and the
+	// migrations_aborted metric label.
+	name string
+	// stage, when non-empty, is announced via Migrator.setStage right
+	// before run. Phases without a stage (precopy, final-dump) keep the
+	// externally observable stage sequence identical to the pre-engine
+	// workflow, which the chaos goldens pin.
+	stage string
+	// commit marks the point of no return: once a commit phase ran,
+	// partners talk to the destination and rolling back would strand
+	// them, so later failures are surfaced without unwinding.
+	commit bool
+	run    func() error
+	// compensate undoes the phase's effects. Compensations must be
+	// idempotent and safe after a partial run: the failing phase's own
+	// compensation runs too, before those of the phases preceding it.
+	compensate func()
+}
+
+// runPhases drives the workflow. On a failure before the commit point
+// it unwinds: the compensations of the failing phase and of every
+// completed phase run in reverse order, the abort is recorded in the
+// timeline and the metrics registry, the stage moves to "aborted", and
+// the error comes back wrapped with the failing phase. Past the commit
+// point the error is wrapped and annotated but nothing is unwound.
+func (m *Migrator) runPhases(p *task.Process, tl *trace.Timeline, phases []phase) error {
+	committed := false
+	for i, ph := range phases {
+		if ph.stage != "" {
+			m.setStage(ph.stage)
+		}
+		err := m.inject(ph.name)
+		if err == nil {
+			err = ph.run()
+		}
+		if err == nil {
+			if ph.commit {
+				committed = true
+			}
+			continue
+		}
+		wrapped := fmt.Errorf("migrate %s/proc %s: phase %s: %w", m.ID, p.Name, ph.name, err)
+		if committed {
+			return fmt.Errorf("%w (past commit point, not rolled back)", wrapped)
+		}
+		tl.Mark("abort", "phase "+ph.name)
+		if reg := m.C.Host.Metrics; reg != nil {
+			reg.Counter("migr", "migrations_aborted",
+				metrics.Labels{"proc": p.Name, "mig": m.ID, "phase": ph.name}).Inc()
+		}
+		for j := i; j >= 0; j-- {
+			if phases[j].compensate != nil {
+				phases[j].compensate()
+			}
+		}
+		m.setStage("aborted")
+		return wrapped
+	}
+	return nil
+}
+
+// inject consults the fault hook installed by tests and the chaos
+// harness; a non-nil return aborts the migration at the named phase.
+func (m *Migrator) inject(phaseName string) error {
+	if m.Inject == nil {
+		return nil
+	}
+	return m.Inject(phaseName)
+}

@@ -158,6 +158,12 @@ type Migrator struct {
 	// the new stage name. It runs on the migration driver proc; fault
 	// injectors use it to time faults to specific migration phases.
 	OnStage func(stage string)
+
+	// Inject, when set, is consulted with each phase name right before
+	// the phase's work runs; a non-nil return makes the migration abort
+	// at that phase and roll back. Tests and the chaos fail-and-recover
+	// harness use it to exercise the compensation path.
+	Inject func(phase string) error
 }
 
 // setStage records a stage transition and notifies the observer.
@@ -191,16 +197,23 @@ func (m *Migrator) Migrate() (*Report, error) {
 		return m.migrateProc(m.C.Procs[0], m.Plug, true)
 	}
 	// Multi-process: each process gets its own pipeline; RDMA-holding
-	// processes each need their own plugin instance.
+	// processes each need their own plugin instance. Validate the plugin
+	// supply up front so a mismatch fails before any process migrates.
 	plugs := append([]*core.Plugin{m.Plug}, m.ExtraPlugs...)
+	rdma := 0
+	for _, p := range m.C.Procs {
+		if _, ok := p.Attachment.(*core.Session); ok {
+			rdma++
+		}
+	}
+	if rdma > len(plugs) {
+		return nil, fmt.Errorf("runc: %d RDMA processes but only %d plugins", rdma, len(plugs))
+	}
 	pi := 0
 	var total *Report
 	for _, p := range m.C.Procs {
 		var plug *core.Plugin
 		if _, ok := p.Attachment.(*core.Session); ok {
-			if pi >= len(plugs) {
-				return nil, fmt.Errorf("runc: %d RDMA processes but only %d plugins", pi+1, len(plugs))
-			}
 			plug = plugs[pi]
 			pi++
 		} else {
@@ -253,161 +266,261 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 		}
 	}
 
-	// --- Pre-copy -----------------------------------------------------
-	// ①: pre-dump memory and (with pre-setup) RDMA state.
-	m.setStage("predump")
-	fullImg := srcTool.Dump(p, true)
-	if hasRDMA && m.Opts.PreSetup {
-		var err error
-		tl.Measure("predump-rdma", func() {
-			fullImg.PluginBlob, err = plug.PreDump(p)
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	srcTool.Send(fullImg, dst.Name)
-	rep.PagesTransferred += len(fullImg.Pages)
+	// Workflow state threaded through the phase closures.
+	var (
+		fullImg, finalImg *criu.Image
+		restore           *criu.Restore
+		finalBlob         []byte
+		preSetup          = sim.NewWaitGroup(sched, "pre-setup")
+		preSetupLaunched  bool
+		preSetupErr       error
+		commStart         time.Duration
+		svcStart          time.Duration
+		frozen            bool
+		fullRestoreOpen   bool
+	)
 
-	// ②: partial restore on the destination, with RDMA pre-setup
-	// replaying the roadmap in parallel with memory restoration.
-	m.setStage("partial-restore")
-	restore := dstTool.BeginRestore(p)
-	preSetup := sim.NewWaitGroup(sched, "pre-setup")
-	var preSetupErr error
-	if hasRDMA && m.Opts.PreSetup {
-		// Claim MR-backing memory at its original addresses before the
-		// temporary mappings of partial restore (§3.2); quick.
-		if err := plug.PreRestore(restore, fullImg, fullImg.PluginBlob); err != nil {
-			return nil, err
-		}
-		// The expensive part — replaying the roadmap and partner
-		// pre-setup — overlaps the memory pre-copy iterations.
-		preSetup.Add(1)
-		sched.Go("rdma-presetup", func() {
-			defer preSetup.Done()
-			tl.Begin("restore-rdma")
-			preSetupErr = plug.RunPreSetup()
-			tl.End("restore-rdma")
-		})
-	}
-	if err := restore.PartialRestore(fullImg); err != nil {
-		return nil, err
-	}
-
-	// Iterative pre-copy (Fig. 2b loop on ① / ②).
-	for i := 0; i < m.Opts.MaxPreCopyIters; i++ {
-		if srcTool.DirtyPageCount(p) <= m.Opts.DirtyPageThreshold {
-			break
-		}
-		diff := srcTool.Dump(p, false)
-		srcTool.Send(diff, dst.Name)
-		restore.ApplyDiff(diff)
-		rep.PagesTransferred += len(diff.Pages)
-		rep.PreCopyIterations++
-	}
-	preSetup.Wait()
-	if preSetupErr != nil {
-		return nil, preSetupErr
-	}
-
-	// --- Stop-and-copy --------------------------------------------------
-	// ③: suspension + wait-before-stop on the source and all partners,
-	// in parallel (§3.4).
-	m.setStage("suspend-wbs")
-	commStart := sched.Now()
-	if hasRDMA {
-		wbsWG := sim.NewWaitGroup(sched, "wbs")
-		wbsWG.Add(1)
-		var partnerErr error
-		sched.Go("suspend-partners", func() {
-			defer wbsWG.Done()
-			partnerErr = plug.SuspendPartners()
-		})
-		rep.WBS = plug.SuspendSource()
-		wbsWG.Wait()
-		if partnerErr != nil {
-			return nil, partnerErr
-		}
-		rep.PartnerWBS = plug.WorstPartnerWBS()
-	}
-
-	// ④: freeze the service. The service blackout begins.
-	m.setStage("freeze")
-	svcStart := sched.Now()
-	srcTool.Freeze(p)
-
-	// ⑤ ∥ ⑤': final memory diff and final RDMA diff, dumped in parallel.
-	var finalImg *criu.Image
-	var finalBlob []byte
-	{
-		wg := sim.NewWaitGroup(sched, "final-dump")
-		var dumpErr error
-		if hasRDMA {
-			wg.Add(1)
-			sched.Go("final-dump-rdma", func() {
-				defer wg.Done()
-				tl.Measure("dump-rdma", func() {
-					finalBlob, dumpErr = plug.FinalDump(p)
+	phases := []phase{
+		// ①: pre-dump memory and (with pre-setup) RDMA state. Read-only
+		// on the source — a retried migration re-dumps in full — so there
+		// is nothing to compensate.
+		{name: "predump", stage: "predump", run: func() error {
+			fullImg = srcTool.Dump(p, true)
+			if hasRDMA && m.Opts.PreSetup {
+				var err error
+				tl.Measure("predump-rdma", func() {
+					fullImg.PluginBlob, err = plug.PreDump(p)
 				})
+				if err != nil {
+					return err
+				}
+			}
+			srcTool.Send(fullImg, dst.Name)
+			rep.PagesTransferred += len(fullImg.Pages)
+			return nil
+		}},
+
+		// ②: partial restore on the destination, with RDMA pre-setup
+		// replaying the roadmap in parallel with memory restoration.
+		{
+			name: "partial-restore", stage: "partial-restore",
+			run: func() error {
+				restore = dstTool.BeginRestore(p)
+				if hasRDMA && m.Opts.PreSetup {
+					// Claim MR-backing memory at its original addresses
+					// before the temporary mappings of partial restore
+					// (§3.2); quick.
+					if err := plug.PreRestore(restore, fullImg, fullImg.PluginBlob); err != nil {
+						return err
+					}
+					// The expensive part — replaying the roadmap and
+					// partner pre-setup — overlaps the pre-copy iterations.
+					preSetup.Add(1)
+					preSetupLaunched = true
+					sched.Go("rdma-presetup", func() {
+						defer preSetup.Done()
+						tl.Begin("restore-rdma")
+						preSetupErr = plug.RunPreSetup()
+						tl.End("restore-rdma")
+					})
+				}
+				return restore.PartialRestore(fullImg)
+			},
+			compensate: func() {
+				// Let an in-flight pre-setup finish before tearing down
+				// what it builds.
+				if preSetupLaunched {
+					preSetup.Wait()
+				}
+				if hasRDMA {
+					plug.AbortPartners()
+					plug.AbortStaging()
+				}
+				if restore != nil {
+					restore.Abandon()
+				}
+			},
+		},
+
+		// Iterative pre-copy (Fig. 2b loop on ① / ②), then the pre-setup
+		// barrier. Stage-silent: the pre-engine workflow reported it
+		// under partial-restore, and the chaos goldens pin that sequence.
+		{name: "precopy", run: func() error {
+			for i := 0; i < m.Opts.MaxPreCopyIters; i++ {
+				if srcTool.DirtyPageCount(p) <= m.Opts.DirtyPageThreshold {
+					break
+				}
+				diff := srcTool.Dump(p, false)
+				srcTool.Send(diff, dst.Name)
+				restore.ApplyDiff(diff)
+				rep.PagesTransferred += len(diff.Pages)
+				rep.PreCopyIterations++
+			}
+			preSetup.Wait()
+			return preSetupErr
+		}},
+
+		// ③: suspension + wait-before-stop on the source and all
+		// partners, in parallel (§3.4).
+		{
+			name: "suspend-wbs", stage: "suspend-wbs",
+			run: func() error {
+				commStart = sched.Now()
+				if !hasRDMA {
+					return nil
+				}
+				wbsWG := sim.NewWaitGroup(sched, "wbs")
+				wbsWG.Add(1)
+				var partnerErr error
+				sched.Go("suspend-partners", func() {
+					defer wbsWG.Done()
+					partnerErr = plug.SuspendPartners()
+				})
+				rep.WBS = plug.SuspendSource()
+				wbsWG.Wait()
+				if partnerErr != nil {
+					return partnerErr
+				}
+				rep.PartnerWBS = plug.WorstPartnerWBS()
+				return nil
+			},
+			// Partner-side un-suspension rides the partial-restore
+			// compensation's abort notification; here only the source
+			// resumes.
+			compensate: func() {
+				if hasRDMA {
+					plug.AbortSource()
+				}
+			},
+		},
+
+		// ④: freeze the service. The service blackout begins.
+		{
+			name: "freeze", stage: "freeze",
+			run: func() error {
+				svcStart = sched.Now()
+				srcTool.Freeze(p)
+				frozen = true
+				return nil
+			},
+			compensate: func() {
+				if frozen {
+					srcTool.Thaw(p)
+					frozen = false
+				}
+			},
+		},
+
+		// ⑤ ∥ ⑤': final memory diff and final RDMA diff, dumped in
+		// parallel. Stage-silent (reported under freeze pre-engine).
+		{name: "final-dump", run: func() error {
+			wg := sim.NewWaitGroup(sched, "final-dump")
+			var dumpErr error
+			if hasRDMA {
+				wg.Add(1)
+				sched.Go("final-dump-rdma", func() {
+					defer wg.Done()
+					tl.Measure("dump-rdma", func() {
+						finalBlob, dumpErr = plug.FinalDump(p)
+					})
+				})
+			}
+			tl.Measure("dump-others", func() {
+				finalImg = srcTool.Dump(p, false)
 			})
-		}
-		tl.Measure("dump-others", func() {
-			finalImg = srcTool.Dump(p, false)
-		})
-		wg.Wait()
-		if dumpErr != nil {
-			return nil, dumpErr
-		}
-		finalImg.PluginBlob = finalBlob
-		finalImg.Final = true
-	}
-	rep.PagesTransferred += len(finalImg.Pages)
+			wg.Wait()
+			if dumpErr != nil {
+				return dumpErr
+			}
+			finalImg.PluginBlob = finalBlob
+			finalImg.Final = true
+			rep.PagesTransferred += len(finalImg.Pages)
+			return nil
+		}},
 
-	m.setStage("transfer")
-	tl.Measure("transfer", func() { srcTool.Send(finalImg, dst.Name) })
+		{name: "transfer", stage: "transfer", run: func() error {
+			tl.Measure("transfer", func() { srcTool.Send(finalImg, dst.Name) })
+			return nil
+		}},
 
-	// ⑥: final iteration of memory restoration.
-	m.setStage("finalize")
-	tl.Begin("full-restore")
-	if err := restore.Finalize(finalImg); err != nil {
-		return nil, err
+		// ⑥: final iteration of memory restoration; with pre-setup, ⑥'
+		// (mapping the new RDMA resources into the restored process)
+		// happens here too.
+		{
+			name: "finalize", stage: "finalize",
+			run: func() error {
+				tl.Begin("full-restore")
+				fullRestoreOpen = true
+				if err := restore.Finalize(finalImg); err != nil {
+					return err
+				}
+				if hasRDMA && m.Opts.PreSetup {
+					return plug.PostRestore(restore, p, finalBlob)
+				}
+				return nil
+			},
+			compensate: func() {
+				if hasRDMA {
+					plug.AbortAdoption()
+				}
+				if fullRestoreOpen {
+					tl.End("full-restore")
+					fullRestoreOpen = false
+				}
+			},
+		},
 	}
-	// ⑥': map the new RDMA resources into the restored process. Without
-	// pre-setup this is where the whole RDMA restore happens — inside
-	// the blackout.
+
 	if hasRDMA {
 		if !m.Opts.PreSetup {
-			tl.End("full-restore")
-			m.setStage("post-restore")
-			tl.Measure("restore-rdma", func() {
-				if err := plug.PostRestore(restore, p, finalBlob); err != nil {
-					preSetupErr = err
-				}
+			// ⑥' without pre-setup: the whole RDMA restore happens here —
+			// inside the blackout.
+			phases = append(phases, phase{
+				name: "post-restore", stage: "post-restore",
+				run: func() error {
+					tl.End("full-restore")
+					fullRestoreOpen = false
+					var err error
+					tl.Measure("restore-rdma", func() {
+						err = plug.PostRestore(restore, p, finalBlob)
+					})
+					if err != nil {
+						return err
+					}
+					tl.Begin("full-restore")
+					fullRestoreOpen = true
+					return nil
+				},
+				// Adoption rollback lives in the finalize compensation,
+				// which always runs when this phase unwinds.
 			})
-			if preSetupErr != nil {
-				return nil, preSetupErr
-			}
-			tl.Begin("full-restore")
-			_ = 0
-		} else if err := plug.PostRestore(restore, p, finalBlob); err != nil {
-			return nil, err
 		}
-		// Partner switch-over precedes resumption so rkey fetches from
-		// the resumed service find live peers (right before ⑦).
-		m.setStage("switch-partners")
-		if err := plug.SwitchPartners(); err != nil {
-			return nil, err
-		}
-		// ⑦: post intercepted WRs, replay pending RECVs.
-		m.setStage("resume")
-		if err := plug.ResumeMigrated(); err != nil {
-			return nil, err
-		}
+		phases = append(phases,
+			// Partner switch-over precedes resumption so rkey fetches
+			// from the resumed service find live peers (right before ⑦).
+			// This is the commit point: once partners switched, their old
+			// QPs are destroyed and the migration can no longer roll
+			// back — failures past here are surfaced, not compensated.
+			phase{name: "switch-partners", stage: "switch-partners", commit: true, run: func() error {
+				return plug.SwitchPartners()
+			}},
+			// ⑦: post intercepted WRs, replay pending RECVs.
+			phase{name: "resume", stage: "resume", run: func() error {
+				return plug.ResumeMigrated()
+			}},
+		)
 	}
-	m.setStage("thaw")
-	restore.FullRestore()
-	tl.End("full-restore")
+
+	phases = append(phases, phase{name: "thaw", stage: "thaw", run: func() error {
+		restore.FullRestore()
+		tl.End("full-restore")
+		fullRestoreOpen = false
+		return nil
+	}})
+
+	if err := m.runPhases(p, tl, phases); err != nil {
+		return nil, err
+	}
 	m.setStage("done")
 	rep.ServiceBlackout = sched.Now() - svcStart
 	rep.CommBlackout = sched.Now() - commStart

@@ -73,6 +73,14 @@ func (t *Timeline) Measure(name string, fn func()) {
 	t.End(name)
 }
 
+// Mark records an instantaneous, zero-length phase with an annotation —
+// a point event on the timeline, such as the moment a migration
+// aborted.
+func (t *Timeline) Mark(name, annotation string) {
+	now := t.sched.Now()
+	t.phases = append(t.phases, Phase{Name: name, Start: now, End: now, Annotation: annotation})
+}
+
 // Errs returns the error markers recorded so far (unopened-phase Ends).
 func (t *Timeline) Errs() []string {
 	out := make([]string, len(t.errs))
