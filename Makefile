@@ -6,7 +6,12 @@ GO ?= go
 BENCH_PATTERN = ^(BenchmarkEngineThroughput|BenchmarkEngineThroughput16K|BenchmarkSchedDispatch|BenchmarkTimerFire|BenchmarkTimerCancel|BenchmarkSleep|BenchmarkFabricDelivery|BenchmarkFig4aQP64)$$
 BENCH_PKGS = . ./internal/sim ./internal/fabric ./internal/rnic
 
-.PHONY: all build vet test test-race chaos chaos-abort fuzz check bench bench-smoke
+# Cutover-mode benchmarks: the go-back-N vs plug-and-forward contrast
+# (p99, retransmissions, wire bytes). `make bench-cutover` records them
+# in BENCH_6.json.
+BENCH6_PATTERN = ^(BenchmarkCutoverGoBackN|BenchmarkCutoverPlugForward)$$
+
+.PHONY: all build vet test test-race chaos chaos-abort chaos-plug fuzz check bench bench-smoke bench-cutover
 
 all: build
 
@@ -36,6 +41,16 @@ chaos:
 chaos-abort:
 	$(GO) run -race ./cmd/migrchaos -abort-at all -seeds 8
 
+# Plug-and-forward tier: server migrations under the plug/forward fault
+# schedules (zero-loss cutover invariants), the fail-and-recover sweep
+# over the plug-mode phases, and the plug-vs-go-back-N contrast under
+# the race detector. Replay a failure with
+#   go run ./cmd/migrchaos -cutover plug -schedule <name> -seed <n> -v
+chaos-plug:
+	$(GO) run ./cmd/migrchaos -cutover plug -seeds 32
+	$(GO) run ./cmd/migrchaos -cutover plug -abort-at all -seeds 8
+	$(GO) test -race ./internal/chaos -run TestPlugVsGoBackN
+
 # Fuzz smoke over the wire-format decoder and the transport fault-script
 # harness (go test fuzzes one target per invocation).
 fuzz:
@@ -49,9 +64,16 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_4.json
 
+# Record the cutover-mode contrast in BENCH_6.json (baseline = the
+# go-back-N-only numbers; "current" is rewritten on regeneration).
+bench-cutover:
+	$(GO) test -run '^$$' -bench '$(BENCH6_PATTERN)' . \
+		| $(GO) run ./cmd/benchjson -out BENCH_6.json
+
 # One-iteration smoke over the same benchmarks: catches bench rot
 # (compile errors, setup panics) without timing flakiness. CI runs this.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench '$(BENCH6_PATTERN)' -benchtime 1x .
 
-check: vet test bench-smoke chaos fuzz test-race
+check: vet test bench-smoke chaos chaos-plug fuzz test-race

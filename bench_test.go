@@ -19,6 +19,7 @@ import (
 	"migrrdma/internal/experiments"
 	"migrrdma/internal/hdfs"
 	"migrrdma/internal/migros"
+	"migrrdma/internal/runc"
 )
 
 // --- Figure 3: blackout breakdown ---------------------------------------------
@@ -204,3 +205,27 @@ func BenchmarkAblationRKeyCache(b *testing.B) {
 	}
 	b.ReportMetric(row.CachedOps/row.UncachedOps, "cache-speedup")
 }
+
+// --- Cutover modes: go-back-N vs plug-and-forward -----------------------------
+
+// benchCutover migrates a latency-mode SEND server mid-stream and
+// reports what the cutover cost: the p99 the client observed, the
+// retransmissions the mode needed, and the wire bytes it burned.
+func benchCutover(b *testing.B, mode runc.CutoverMode) {
+	b.Helper()
+	var last experiments.CutoverRow
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunCutover(mode, 8192, 2, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	b.ReportMetric(float64(last.P99)/1e3, "p99-us")
+	b.ReportMetric(float64(last.Blackout)/1e6, "blackout-ms")
+	b.ReportMetric(float64(last.Retransmitted), "retx-pkts")
+	b.ReportMetric(float64(last.WireBytes), "wire-bytes")
+}
+
+func BenchmarkCutoverGoBackN(b *testing.B)     { benchCutover(b, runc.CutoverGoBackN) }
+func BenchmarkCutoverPlugForward(b *testing.B) { benchCutover(b, runc.CutoverPlugForward) }

@@ -8,6 +8,7 @@
 //	migrbench -exp fig4a|fig4b|fig4c|fig5|fig6|table4
 //	migrbench -exp migros|latency|loss
 //	migrbench -exp concurrent -k 4 -conc 2
+//	migrbench -exp cutover
 //	migrbench -exp ablation-keytable|ablation-wbs|ablation-rkey|ablation-partner
 //
 // Output is a textual rendition of each table/figure: the same rows or
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss, cutover")
 	qps := flag.String("qps", "16,64,256,1024", "comma-separated QP counts for fig3/fig4a/migros")
 	sizes := flag.String("sizes", "512,4096,65536,524288", "message sizes for fig4b")
 	partners := flag.String("partners", "1,2,4", "partner counts for fig4c")
@@ -206,6 +207,19 @@ func main() {
 				if err != nil {
 					return err
 				}
+				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+
+	if want("cutover") {
+		run("Cutover modes — go-back-N vs plug-and-forward", func() error {
+			rows, err := experiments.CutoverComparison([]int{2048, 8192, 32768}, []int{1, 2}, 50)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
 				fmt.Println(r)
 			}
 			return nil

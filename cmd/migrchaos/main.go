@@ -9,6 +9,8 @@
 //	migrchaos -concurrent -cap 1       # same jobs, serialized admission
 //	migrchaos -abort-at all            # fail-and-recover: abort at every phase
 //	migrchaos -abort-at finalize -seed 3 -v      # replay one abort run
+//	migrchaos -cutover plug            # plug-forward tier: server migrations, plug schedules
+//	migrchaos -cutover plug -abort-at all        # plug-forward fail-and-recover sweep
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 
 	"migrrdma/internal/chaos"
+	"migrrdma/internal/runc"
 )
 
 func main() {
@@ -28,12 +31,27 @@ func main() {
 	concurrent := flag.Bool("concurrent", false, "run the concurrent-migration schedules (three overlapping migrations)")
 	cap := flag.Int("cap", 3, "admission cap for -concurrent runs")
 	abortAt := flag.String("abort-at", "", "fail-and-recover sweep: inject a hard fault at the named workflow phase (or \"all\")")
+	cutover := flag.String("cutover", "", "cutover mode: go-back-n (default tier) or plug-forward (server-migration plug tier)")
 	flag.Parse()
+
+	mode, err := runc.ParseCutoverMode(*cutover)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plugTier := mode == runc.CutoverPlugForward
+	if plugTier && *concurrent {
+		fmt.Fprintln(os.Stderr, "-cutover plug-forward and -concurrent are separate tiers; pick one")
+		os.Exit(2)
+	}
 
 	if *list {
 		all := chaos.Schedules()
 		if *concurrent {
 			all = chaos.ConcurrentSchedules()
+		}
+		if plugTier {
+			all = chaos.PlugSchedules()
 		}
 		for _, s := range all {
 			fmt.Printf("%-22s %d faults\n", s.Name, len(s.Faults))
@@ -50,6 +68,9 @@ func main() {
 
 	if *abortAt != "" {
 		phases := chaos.AbortPhases()
+		if plugTier {
+			phases = chaos.PlugAbortPhases()
+		}
 		if *abortAt != "all" {
 			found := false
 			for _, ph := range phases {
@@ -71,6 +92,11 @@ func main() {
 		for _, ph := range phases {
 			for s := lo; s <= hi; s++ {
 				rep := chaos.RunAbort(s, ph)
+				replayFlags := ""
+				if plugTier {
+					rep = chaos.RunPlugAbort(s, ph)
+					replayFlags = "-cutover plug "
+				}
 				runs++
 				if !rep.OK() {
 					failures++
@@ -78,7 +104,7 @@ func main() {
 					for _, v := range rep.Violations {
 						fmt.Printf("    violation: %s\n", v)
 					}
-					fmt.Printf("    replay: migrchaos -abort-at %s -seed %d -v\n", ph, s)
+					fmt.Printf("    replay: migrchaos %s-abort-at %s -seed %d -v\n", replayFlags, ph, s)
 				} else if *verbose {
 					fmt.Println(rep.String())
 				}
@@ -96,6 +122,10 @@ func main() {
 	if *concurrent {
 		schedules = chaos.ConcurrentSchedules()
 		byName = chaos.ConcurrentScheduleByName
+	}
+	if plugTier {
+		schedules = chaos.PlugSchedules()
+		byName = chaos.PlugScheduleByName
 	}
 	if *scheduleName != "" {
 		s, ok := byName(*scheduleName)
@@ -117,11 +147,16 @@ func main() {
 			var line string
 			var violations []string
 			var replay string
-			if *concurrent {
+			switch {
+			case *concurrent:
 				rep := chaos.RunConcurrent(s, sched, *cap)
 				ok, line, violations = rep.OK(), rep.String(), rep.Violations
 				replay = fmt.Sprintf("migrchaos -concurrent -cap %d -schedule %s -seed %d -v", *cap, sched.Name, s)
-			} else {
+			case plugTier:
+				rep := chaos.RunPlug(s, sched)
+				ok, line, violations = rep.OK(), rep.String(), rep.Violations
+				replay = fmt.Sprintf("migrchaos -cutover plug -schedule %s -seed %d -v", sched.Name, s)
+			default:
 				rep := chaos.Run(s, sched)
 				ok, line, violations = rep.OK(), rep.String(), rep.Violations
 				replay = fmt.Sprintf("migrchaos -schedule %s -seed %d -v", sched.Name, s)

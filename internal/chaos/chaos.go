@@ -64,6 +64,11 @@ type Fault struct {
 	Delay time.Duration // reorder hold-back
 	Rate  int64         // rate-drop bits per second
 
+	// Port selects the mux port the fault applies to; empty means the
+	// RDMA data port. Plug-forward schedules use it to perturb the
+	// migration tunnel (core.PortMigrFwd) without touching live traffic.
+	Port string
+
 	// At arms the fault at an absolute virtual time (the run starts at
 	// t=0, traffic is warm by Warmup). Ignored when Phase is set.
 	At time.Duration
@@ -83,6 +88,17 @@ type Fault struct {
 type Schedule struct {
 	Name   string
 	Faults []Fault
+
+	// WBSTimeout overrides wait-before-stop's drain timeout on every
+	// daemon; zero keeps the default. Schedules that deliberately strand
+	// in-flight WRs use it to reach the §3.4 timeout path without
+	// stalling the run. Honoured by the plug-forward runs.
+	WBSTimeout time.Duration
+	// UnlimitedRetries lifts the transport retry bound so QPs survive a
+	// loss window longer than MaxRetries×RTO instead of erroring out
+	// (the rnr_retry=7 "retry forever" semantics). Honoured by the
+	// plug-forward runs.
+	UnlimitedRetries bool
 }
 
 // Run timing constants. Warmup is exported so schedules can place
@@ -231,26 +247,36 @@ func (in *injector) clearAll() {
 // apply sets (on) or clears (off) one fault. Clearing is idempotent, so
 // a Duration disarm followed by the final clearAll is harmless.
 func (in *injector) apply(f Fault, on bool) {
-	in.rec.add(event{kind: "fault", node: f.Node, ok: on, note: string(f.Kind)})
+	port := f.Port
+	note := string(f.Kind)
+	if port == "" {
+		port = rnic.PortRDMA
+	} else {
+		// Non-default ports enter the ledger note so a tunnel fault and a
+		// data-port fault can never alias in the trace hash; the default
+		// keeps its historical rendering (goldens predate Fault.Port).
+		note += "@" + port
+	}
+	in.rec.add(event{kind: "fault", node: f.Node, ok: on, note: note})
 	switch f.Kind {
 	case FaultLoss:
 		p := f.Prob
 		if !on {
 			p = 0
 		}
-		in.net.SetPortLoss(f.Node, rnic.PortRDMA, p)
+		in.net.SetPortLoss(f.Node, port, p)
 	case FaultDuplicate:
 		p := f.Prob
 		if !on {
 			p = 0
 		}
-		in.net.SetPortDuplicate(f.Node, rnic.PortRDMA, p)
+		in.net.SetPortDuplicate(f.Node, port, p)
 	case FaultReorder:
 		p := f.Prob
 		if !on {
 			p = 0
 		}
-		in.net.SetPortReorder(f.Node, rnic.PortRDMA, p, f.Delay)
+		in.net.SetPortReorder(f.Node, port, p, f.Delay)
 	case FaultRateDrop:
 		r := f.Rate
 		if !on {
@@ -265,7 +291,7 @@ func (in *injector) apply(f Fault, on bool) {
 		if !on {
 			p = 0
 		}
-		in.net.SetPortLoss(f.Node, rnic.PortRDMA, p)
+		in.net.SetPortLoss(f.Node, port, p)
 	default:
 		panic("chaos: unknown fault kind " + string(f.Kind))
 	}

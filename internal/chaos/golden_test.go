@@ -50,6 +50,27 @@ func collectGoldens() []goldenEntry {
 			})
 		}
 	}
+	// Plug-forward cutover: success schedules plus an abort at every
+	// phase. These pin the plug's buffer/flush event order (the "plug"
+	// ledger events) on top of the usual transport trace.
+	for _, sched := range PlugSchedules() {
+		for _, seed := range goldenSeeds {
+			rep := RunPlug(seed, sched)
+			out = append(out, goldenEntry{
+				Mode: "plug", Schedule: sched.Name, Seed: seed,
+				Trace: rep.TraceHash, Metrics: rep.Metrics.Hash(),
+			})
+		}
+	}
+	for _, phase := range PlugAbortPhases() {
+		for _, seed := range goldenSeeds {
+			rep := RunPlugAbort(seed, phase)
+			out = append(out, goldenEntry{
+				Mode: "plug-abort", Schedule: "plug-abort@" + phase, Seed: seed,
+				Trace: rep.TraceHash, Metrics: rep.Metrics.Hash(),
+			})
+		}
+	}
 	return out
 }
 

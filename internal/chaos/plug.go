@@ -1,0 +1,522 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// This file is the chaos tier for the plug-and-forward cutover. Unlike
+// Run — which migrates the traffic *source* (the client) — these runs
+// migrate the SERVER: the receiving side of an endless SEND stream.
+// That is the shape where cutover mode matters: at switch-partners the
+// resumed client races ahead of the migrated service's own resume, and
+// its frames either bounce off the restored-but-not-yet-resumed QPs
+// and recover by go-back-N (RNR → retransmit), or — in plug-forward
+// mode — wait in the destination plug and are flushed in arrival order
+// once the service is back.
+//
+// Determinism matches Run: same (seed, schedule) ⇒ same TraceHash.
+
+// PlugSchedules returns the fault-schedule library for plug-forward
+// runs. Beyond the clean baseline, the schedules perturb the two new
+// data paths the mode introduces: frames headed for the plug (the dst
+// RDMA port during the plug window) and frames tunneled by the
+// source-side forwarding rule (the core.PortMigrFwd mux port).
+func PlugSchedules() []Schedule {
+	// stragglerLoss + stragglerHold are the forward-path trigger.
+	//
+	// The loss is heavy bidirectional loss on the source's RDMA port
+	// from the first pre-dump onward: the client's send window strands
+	// in flight, wait-before-stop times out (§3.4 "buggy network"), and
+	// the client's pre-switch QPs keep RTO-retransmitting the stranded
+	// window into the blackout. It clears shortly before the final dump
+	// completes — but the hold (a full-probability reorder with a 1 ms
+	// delay, armed once suspension starts) catches every RTO burst sent
+	// after the clear and parks it on the wire, so nothing lands on the
+	// still-live source QPs between the dump and the finalize (that
+	// would diverge the dumped state from the wire state). The parked
+	// bursts are released after the source container is finalized and
+	// the forwarding rule is up, reaching a source NIC that has no QPs
+	// left — only the rule — and are tunneled to the destination. The
+	// stranded WRs themselves are replayed on the fresh QP pairing
+	// after resume, so delivery stays exactly-once: the tunneled copies
+	// die against the restored QPs' PSN window. Schedules built on the
+	// pair add WBSTimeout (reach the timeout path quickly) and
+	// UnlimitedRetries (survive a stall far longer than MaxRetries×RTO).
+	stragglerLoss := Fault{Kind: FaultLoss, Node: "src", Prob: 1.0, Phase: "predump",
+		Duration: 7600 * time.Microsecond}
+	stragglerHold := Fault{Kind: FaultReorder, Node: "src", Prob: 1.0,
+		Delay: time.Millisecond, Phase: "suspend-wbs", Duration: 5 * time.Millisecond}
+	return []Schedule{
+		{Name: "clean-plug"},
+		{Name: "drop-plugged", Faults: []Fault{
+			// Frames racing toward the plug are dropped on the floor just
+			// before it; the sender's retransmission recovers them after
+			// the flush.
+			{Kind: FaultLoss, Node: "dst", Prob: 0.4, Phase: "install-plug", Duration: 2 * time.Millisecond},
+		}},
+		{Name: "dup-plugged", Faults: []Fault{
+			// Frames entering the plug are duplicated, so the flush
+			// replays them twice; the responder PSN window must absorb the
+			// copies without a second delivery.
+			{Kind: FaultDuplicate, Node: "dst", Prob: 0.5, Phase: "install-plug", Duration: 2 * time.Millisecond},
+		}},
+		{Name: "forward-stragglers",
+			Faults:           []Fault{stragglerLoss, stragglerHold},
+			WBSTimeout:       time.Millisecond,
+			UnlimitedRetries: true,
+		},
+		{Name: "drop-forwarded",
+			Faults: []Fault{
+				stragglerLoss, stragglerHold,
+				// Tunneled stragglers are dropped in flight; every one is a
+				// stale retransmit whose data the post-resume replay
+				// recovers, so nothing may be lost end to end.
+				{Kind: FaultLoss, Node: "dst", Port: core.PortMigrFwd, Prob: 1.0,
+					Phase: "install-forward", Duration: 2 * time.Millisecond},
+			},
+			WBSTimeout:       time.Millisecond,
+			UnlimitedRetries: true,
+		},
+		{Name: "delay-forwarded",
+			Faults: []Fault{
+				stragglerLoss, stragglerHold,
+				// Tunneled stragglers are held back past the flush, landing
+				// on the restored QPs through the late-straggler re-offer
+				// path where the responder PSN window must reject them.
+				{Kind: FaultReorder, Node: "dst", Port: core.PortMigrFwd, Prob: 1.0,
+					Delay: 800 * time.Microsecond, Phase: "install-forward", Duration: 2 * time.Millisecond},
+			},
+			WBSTimeout:       time.Millisecond,
+			UnlimitedRetries: true,
+		},
+	}
+}
+
+// PlugScheduleByName returns the named plug schedule, or false.
+func PlugScheduleByName(name string) (Schedule, bool) {
+	for _, s := range PlugSchedules() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// PlugAbortPhases lists the workflow phases RunPlugAbort injects hard
+// faults at: the shared abort points plus the two plug-mode phases,
+// whose compensations (discard plug, remove forward) must leave no
+// residue behind.
+func PlugAbortPhases() []string {
+	return []string{"suspend-wbs", "freeze", "final-dump", "finalize",
+		"install-plug", "install-forward", "switch-partners"}
+}
+
+// plugRun is the shared server-migration driver behind RunPlug and the
+// go-back-N contrast runs. The returned report carries mode-agnostic
+// facts; plug-specific invariants are layered on by the caller.
+func plugRun(seed int64, schedule Schedule, mode runc.CutoverMode) *Report {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	// Split accounting separates genuine go-back-N recovery from
+	// injected duplicates, so the zero-retransmit claim below is about
+	// retransmission and nothing else.
+	cfg.NIC.SplitRetxAccounting = true
+	if schedule.UnlimitedRetries {
+		cfg.NIC.MaxRetries = 1 << 30
+	}
+	cl := cluster.New(cfg, "src", "dst", "partner")
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	if schedule.WBSTimeout > 0 {
+		wbs := core.DefaultWBSConfig()
+		wbs.Timeout = schedule.WBSTimeout
+		for _, d := range daemons {
+			d.SetWBSConfig(wbs)
+		}
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+	// Plug events (buffer/flush/drop-overflow/discard + arrival seq)
+	// enter the ledger: flush order is part of the golden trace.
+	daemons["dst"].SetPlugTap(func(ev string, seq uint64) {
+		rec.add(event{kind: "plug", note: ev, wrid: seq})
+	})
+
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+		// Deep receive ring: partners resume right after ⑦ (before the
+		// thaw completes), so the frozen poll loop must not turn resumed
+		// traffic into RNR flow control — posted receives absorb it.
+		RecvDepth: 64,
+	}
+	// Server (the migrating side) in a container on src; client on the
+	// partner host, streaming into it.
+	srv := perftest.NewServer(sched, "srv", opts)
+	cli := perftest.NewClient(sched, "cli", opts, perftest.Target{Node: "src", Name: "srv"})
+	srvCont := runc.NewContainer(cl.Host("src"), "server")
+	srvCont.Start(func(tp *task.Process) { srv.Run(tp, daemons["src"]) })
+	cliCont := runc.NewContainer(cl.Host("partner"), "client")
+	sched.Go("chaos-start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, daemons["partner"]) })
+	})
+
+	inj := &injector{sched: sched, net: cl.Net, rec: rec}
+	rep := &Report{Seed: seed, Schedule: schedule.Name}
+	var (
+		mrep   *runc.Report
+		migErr error
+		atMig  int64
+		done   bool
+	)
+	sched.Go("chaos-plug-driver", func() {
+		cli.WaitReady()
+		sched.Sleep(Warmup)
+		for _, f := range schedule.Faults {
+			if f.Phase != "" {
+				continue
+			}
+			f := f
+			d := f.At - sched.Now()
+			if d < 0 {
+				d = 0
+			}
+			sched.AfterFunc(d, func() { inj.arm(f) })
+		}
+		mopts := runc.DefaultMigrateOptions()
+		mopts.Cutover = mode
+		m := &runc.Migrator{
+			C:    srvCont,
+			Dst:  cl.Host("dst"),
+			Plug: core.NewPlugin(daemons["src"], daemons["dst"]),
+			Opts: mopts,
+		}
+		m.OnStage = func(stage string) {
+			rec.add(event{kind: "stage", note: stage})
+			for _, f := range schedule.Faults {
+				if f.Phase == stage {
+					inj.arm(f)
+				}
+			}
+		}
+		mrep, migErr = m.Migrate()
+		rep.FinalStage = m.Stage
+		atMig = cli.Stats.Completed
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
+		sched.Sleep(settle)
+		inj.clearAll()
+		sched.Sleep(settle)
+		cli.Stop()
+		cli.Wait()
+		sched.Sleep(settle)
+		srv.Stop()
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	rep.Migration = mrep
+	rep.Completed = cli.Stats.Completed
+	rep.ServerRecv = srv.Stats.Completed
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.Duplicated = snap.Sum("fabric", "duplicated_frames")
+	rep.Reordered = snap.Sum("fabric", "reordered_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
+	for _, e := range rec.events {
+		if e.kind == "fault" && e.ok {
+			rep.FaultsArmed++
+		}
+	}
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+
+	if os.Getenv("CHAOS_DEBUG") != "" {
+		for _, e := range rec.events {
+			if e.kind == "stage" || e.kind == "plug" {
+				fmt.Printf("DBG %12v %-6s %s %d\n", e.t, e.kind, e.note, e.wrid)
+			}
+		}
+	}
+
+	var v []string
+	if !done {
+		rep.Violations = []string{"run did not complete within the horizon"}
+		return rep
+	}
+	if migErr != nil {
+		v = append(v, fmt.Sprintf("migration failed: %v", migErr))
+	}
+	v = append(v, checkServerPair(cli, srv, atMig, "dst")...)
+	v = append(v, checkLedger(rec)...)
+	if mode == runc.CutoverPlugForward {
+		v = append(v, checkPlugLedger(rec)...)
+		if len(schedule.Faults) == 0 {
+			// The headline §1 claim: a fault-free plug-forward cutover is
+			// zero-loss — the transport never has to retransmit, because
+			// the blackout-window frames wait in the plug instead of
+			// bouncing off not-yet-resumed QPs.
+			if retx := snap.Sum("rnic", "retransmitted_packets"); retx != 0 {
+				v = append(v, fmt.Sprintf("fault-free plug cutover retransmitted %d packets, want 0", retx))
+			}
+			// Vacuity guard: the claim above is meaningless if nothing
+			// was ever plugged.
+			if buf := snap.Sum("fabric", "plug_buffered_packets"); buf == 0 {
+				v = append(v, "plug never buffered a frame (cutover window not exercised)")
+			}
+			if mrep == nil || mrep.PlugFlushed == 0 {
+				v = append(v, "migration report shows no flushed frames")
+			}
+		}
+	}
+	rep.Violations = v
+	return rep
+}
+
+// RunPlug executes one plug-forward chaos run: server migration with
+// Cutover = PlugForward under the given fault schedule, plus the
+// plug-specific invariants — flush order equals arrival order, no
+// frame released twice, no abort-path discard in a successful run, and
+// (fault-free) a genuinely exercised plug with zero retransmissions.
+func RunPlug(seed int64, schedule Schedule) *Report {
+	return plugRun(seed, schedule, runc.CutoverPlugForward)
+}
+
+// checkServerPair is checkPair's mirror for server-migration runs: the
+// SERVER session must land on wantNode while the client stays put on
+// the partner host, with the same exactly-once in-order delivery and
+// post-migration progress requirements.
+func checkServerPair(cli *perftest.Client, srv *perftest.Server, atMig int64, wantNode string) []string {
+	var v []string
+	badf := func(format string, args ...interface{}) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+	for _, e := range cli.Stats.Errors {
+		badf("client: %s", e)
+	}
+	for _, e := range srv.Stats.Errors {
+		badf("server: %s", e)
+	}
+	if cli.Stats.Completed != srv.Stats.Completed {
+		badf("completion mismatch: client %d != server %d", cli.Stats.Completed, srv.Stats.Completed)
+	}
+	if cli.Stats.Completed <= atMig {
+		badf("no progress after migration (stuck at %d completions)", atMig)
+	}
+	if srv.Sess != nil && srv.Sess.Node() != wantNode {
+		badf("server session on %q, want %s", srv.Sess.Node(), wantNode)
+	}
+	if cli.Sess != nil && cli.Sess.Node() != "partner" {
+		badf("client session on %q, want partner (client must not move)", cli.Sess.Node())
+	}
+	if cli.Sess != nil && cli.Sess.ActivePollers() != 0 {
+		badf("client still has %d active CQ pollers", cli.Sess.ActivePollers())
+	}
+	return v
+}
+
+// checkPlugLedger validates the plug-buffer event stream: the flush
+// must release exactly the buffered frames, in arrival order, exactly
+// once, and a successful run must never hit the abort-path discard.
+func checkPlugLedger(rec *recorder) []string {
+	var v []string
+	var buffered, flushed []uint64
+	discards := 0
+	for _, e := range rec.events {
+		if e.kind != "plug" {
+			continue
+		}
+		switch e.note {
+		case "buffer":
+			buffered = append(buffered, e.wrid)
+		case "flush":
+			flushed = append(flushed, e.wrid)
+		case "discard":
+			discards++
+		}
+	}
+	if discards != 0 {
+		v = append(v, fmt.Sprintf("%d plugged frames discarded in a successful run", discards))
+	}
+	seen := make(map[uint64]bool, len(flushed))
+	for _, s := range flushed {
+		if seen[s] {
+			v = append(v, fmt.Sprintf("frame seq %d flushed twice", s))
+		}
+		seen[s] = true
+	}
+	if len(flushed) != len(buffered) {
+		v = append(v, fmt.Sprintf("flushed %d frames, buffered %d", len(flushed), len(buffered)))
+	} else {
+		for i := range flushed {
+			if flushed[i] != buffered[i] {
+				v = append(v, fmt.Sprintf("flush order diverges from arrival order at %d: seq %d, arrived %d",
+					i, flushed[i], buffered[i]))
+				break
+			}
+		}
+	}
+	return v
+}
+
+// RunPlugAbort executes one plug-mode fail-and-recover run: server
+// migration with Cutover = PlugForward, forced to fail at the named
+// phase. On top of RunAbort's invariants (service recovered in place,
+// no staged restores, no suspended QPs), the plug and forwarding rule
+// must be fully unwound: no plug on the destination port, no
+// forwarding state on either daemon.
+//
+// Deterministic: same (seed, phase) ⇒ same TraceHash.
+func RunPlugAbort(seed int64, phase string) *Report {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cfg.NIC.SplitRetxAccounting = true
+	cl := cluster.New(cfg, "src", "dst", "partner")
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+	daemons["dst"].SetPlugTap(func(ev string, seq uint64) {
+		rec.add(event{kind: "plug", note: ev, wrid: seq})
+	})
+
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+		RecvDepth: 64, // match RunPlug: see the comment there
+	}
+	srv := perftest.NewServer(sched, "srv", opts)
+	cli := perftest.NewClient(sched, "cli", opts, perftest.Target{Node: "src", Name: "srv"})
+	srvCont := runc.NewContainer(cl.Host("src"), "server")
+	srvCont.Start(func(tp *task.Process) { srv.Run(tp, daemons["src"]) })
+	cliCont := runc.NewContainer(cl.Host("partner"), "client")
+	sched.Go("chaos-start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, daemons["partner"]) })
+	})
+
+	rep := &Report{Seed: seed, Schedule: "plug-abort@" + phase}
+	var (
+		mrep   *runc.Report
+		migErr error
+		atMig  int64
+		done   bool
+	)
+	sched.Go("chaos-plug-abort-driver", func() {
+		cli.WaitReady()
+		sched.Sleep(Warmup)
+		mopts := runc.DefaultMigrateOptions()
+		mopts.Cutover = runc.CutoverPlugForward
+		m := &runc.Migrator{
+			C:    srvCont,
+			Dst:  cl.Host("dst"),
+			Plug: core.NewPlugin(daemons["src"], daemons["dst"]),
+			Opts: mopts,
+		}
+		m.Inject = func(ph string) error {
+			if ph == phase {
+				return errInjected
+			}
+			return nil
+		}
+		m.OnStage = func(stage string) {
+			rec.add(event{kind: "stage", note: stage})
+		}
+		mrep, migErr = m.Migrate()
+		rep.FinalStage = m.Stage
+		atMig = cli.Stats.Completed
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
+		sched.Sleep(settle)
+		sched.Sleep(settle)
+		cli.Stop()
+		cli.Wait()
+		sched.Sleep(settle)
+		srv.Stop()
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	rep.Migration = mrep
+	rep.Completed = cli.Stats.Completed
+	rep.ServerRecv = srv.Stats.Completed
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.Duplicated = snap.Sum("fabric", "duplicated_frames")
+	rep.Reordered = snap.Sum("fabric", "reordered_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+
+	var v []string
+	if !done {
+		rep.Violations = []string{"run did not complete within the horizon"}
+		return rep
+	}
+	switch {
+	case migErr == nil:
+		v = append(v, fmt.Sprintf("migration succeeded despite fault injected at %s", phase))
+	case !strings.Contains(migErr.Error(), "phase "+phase):
+		v = append(v, fmt.Sprintf("abort error does not name phase %s: %v", phase, migErr))
+	}
+	if rep.FinalStage != "aborted" {
+		v = append(v, fmt.Sprintf("final stage %q, want aborted", rep.FinalStage))
+	}
+	// The service recovered in place: server session back on the source,
+	// client untouched, exactly-once in-order progress after the abort.
+	v = append(v, checkServerPair(cli, srv, atMig, "src")...)
+	v = append(v, checkLedger(rec)...)
+	if srvCont.Host != cl.Host("src") {
+		v = append(v, fmt.Sprintf("server container on %s, want src", srvCont.Host.Name))
+	}
+	if n := daemons["dst"].StagedRestores(); n != 0 {
+		v = append(v, fmt.Sprintf("destination still holds %d staged restores", n))
+	}
+	for _, n := range cl.Names() {
+		d := daemons[n]
+		if sp := d.PendingSpares("m0"); sp != 0 {
+			v = append(v, fmt.Sprintf("%s still holds %d pre-setup spare QPs", n, sp))
+		}
+		if sq := d.SuspendedQPs(); sq != 0 {
+			v = append(v, fmt.Sprintf("%s still has %d suspended QPs", n, sq))
+		}
+		if _, ok := d.PartnerWBSResult("m0"); ok {
+			v = append(v, fmt.Sprintf("%s still holds a partner-WBS result for m0", n))
+		}
+		// Plug-mode residue: compensations must have torn down both the
+		// plug buffer and the forwarding rule.
+		if d.PlugActive() {
+			v = append(v, fmt.Sprintf("%s still holds plug-forward destination state", n))
+		}
+		if d.ForwardActive() {
+			v = append(v, fmt.Sprintf("%s still holds a forwarding rule", n))
+		}
+		if depth := cl.Net.PlugDepth(n); depth >= 0 {
+			v = append(v, fmt.Sprintf("%s still has a fabric plug installed (depth %d)", n, depth))
+		}
+	}
+	if got := snap.Sum("migr", "migrations_aborted"); got != 1 {
+		v = append(v, fmt.Sprintf("migrations_aborted = %d, want 1", got))
+	}
+	rep.Violations = v
+	return rep
+}

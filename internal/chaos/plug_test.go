@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"testing"
+
+	"migrrdma/internal/runc"
+)
+
+// plugTestSeeds mirrors goldenSeeds so the invariant sweep and the
+// golden tier pin the same runs.
+var plugTestSeeds = []int64{1, 7, 13}
+
+// TestPlugSchedulesAcrossSeeds sweeps every plug-forward fault schedule
+// across the golden seeds and requires a clean invariant report — and,
+// for the schedules that exist to exercise a specific data path, proof
+// that the path actually carried traffic (a schedule that silently
+// stops firing is a fault in the test tier, not a pass).
+func TestPlugSchedulesAcrossSeeds(t *testing.T) {
+	for _, sc := range PlugSchedules() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			for _, seed := range plugTestSeeds {
+				rep := RunPlug(seed, sc)
+				for _, v := range rep.Violations {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+				if len(sc.Faults) > 0 && rep.FaultsArmed == 0 {
+					t.Errorf("seed %d: schedule armed no faults", seed)
+				}
+				if rep.Metrics.Sum("fabric", "plug_buffered_packets") == 0 {
+					t.Errorf("seed %d: plug buffered nothing", seed)
+				}
+				switch sc.Name {
+				case "forward-stragglers", "drop-forwarded", "delay-forwarded":
+					// The whole point of these schedules is traffic through
+					// the source-side forwarding rule.
+					if fwd := rep.Metrics.Sum("rnic", "forwarded_packets"); fwd == 0 {
+						t.Errorf("seed %d: no packets were forwarded through the tunnel", seed)
+					}
+				case "dup-plugged":
+					if dup := rep.Metrics.Sum("fabric", "duplicated_frames"); dup == 0 {
+						t.Errorf("seed %d: duplication fault never duplicated a frame", seed)
+					}
+				case "drop-plugged":
+					if drop := rep.Metrics.Sum("fabric", "dropped_frames"); drop == 0 {
+						t.Errorf("seed %d: loss fault never dropped a frame", seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlugDeterminism re-runs the same (seed, schedule) and requires a
+// byte-identical trace hash — the property the golden tier depends on.
+func TestPlugDeterminism(t *testing.T) {
+	for _, name := range []string{"clean-plug", "forward-stragglers"} {
+		sc, ok := PlugScheduleByName(name)
+		if !ok {
+			t.Fatalf("schedule %s missing", name)
+		}
+		a := RunPlug(1, sc)
+		b := RunPlug(1, sc)
+		if a.TraceHash != b.TraceHash {
+			t.Errorf("%s: trace hash not deterministic: %s vs %s", name, a.TraceHash, b.TraceHash)
+		}
+	}
+}
+
+// TestPlugVsGoBackN is the §1 zero-loss cutover claim as a direct
+// contrast: the identical fault-free server migration retransmits
+// nothing in plug-forward mode and plenty in go-back-N mode, with both
+// modes delivering exactly-once in order.
+func TestPlugVsGoBackN(t *testing.T) {
+	clean := Schedule{Name: "clean-plug"}
+	plug := plugRun(1, clean, runc.CutoverPlugForward)
+	gbn := plugRun(1, clean, runc.CutoverGoBackN)
+	for _, v := range plug.Violations {
+		t.Errorf("plug: %s", v)
+	}
+	for _, v := range gbn.Violations {
+		t.Errorf("go-back-N: %s", v)
+	}
+	pRetx := plug.Metrics.Sum("rnic", "retransmitted_packets")
+	gRetx := gbn.Metrics.Sum("rnic", "retransmitted_packets")
+	if pRetx != 0 {
+		t.Errorf("plug-forward retransmitted %d packets, want 0", pRetx)
+	}
+	if gRetx == 0 {
+		t.Error("go-back-N cutover retransmitted nothing — the contrast is vacuous")
+	}
+	if plug.Metrics.Sum("fabric", "plug_buffered_packets") == 0 {
+		t.Error("plug-forward mode never buffered a frame")
+	}
+	if gbn.Metrics.Sum("fabric", "plug_buffered_packets") != 0 {
+		t.Error("go-back-N mode buffered frames in a plug that should not exist")
+	}
+}
+
+// TestPlugAbortSweep fails a plug-forward migration at every abort
+// point — including the two plug-specific phases — and requires full
+// recovery in place with no plug, forwarding-rule, or spare-QP residue.
+func TestPlugAbortSweep(t *testing.T) {
+	for _, phase := range PlugAbortPhases() {
+		phase := phase
+		t.Run(phase, func(t *testing.T) {
+			for _, seed := range plugTestSeeds {
+				rep := RunPlugAbort(seed, phase)
+				for _, v := range rep.Violations {
+					t.Errorf("seed %d: %s", seed, v)
+				}
+			}
+		})
+	}
+}
+
+// TestPlugScheduleByName covers the lookup used by cmd/migrchaos.
+func TestPlugScheduleByName(t *testing.T) {
+	if _, ok := PlugScheduleByName("clean-plug"); !ok {
+		t.Error("clean-plug not found")
+	}
+	if _, ok := PlugScheduleByName("no-such-schedule"); ok {
+		t.Error("lookup invented a schedule")
+	}
+}

@@ -63,6 +63,20 @@ type Daemon struct {
 	// LastPartnerWBS records the most recent partner-side
 	// wait-before-stop result on this host (for the Fig. 4 harness).
 	LastPartnerWBS WBSResult
+
+	// plugFwd is the destination-side plug state of an in-progress
+	// plug-and-forward migration (one at a time per host); fwdMig names
+	// the migration this host currently forwards for as the source side.
+	// plugTap observes plug-buffer events for the chaos ledger.
+	plugFwd *plugFwdState
+	fwdMig  string
+	plugTap func(event string, seq uint64)
+
+	// pendingResume stashes, per migration ID, the partner QP sets a
+	// deferred switch-over re-pointed but left suspended (plug-forward
+	// cutover): hResumePartners resumes them once the migrated service
+	// is live, so its un-drained receive queues never trigger RNR.
+	pendingResume map[string][]suspendedSet
 }
 
 // endpointAPI abstracts the oob endpoint (narrowed for tests).
@@ -78,18 +92,25 @@ const EndpointName = "migrrdma"
 // NewDaemon starts the MigrRDMA daemon on a host.
 func NewDaemon(h *cluster.Host) *Daemon {
 	d := &Daemon{
-		host:         h,
-		dev:          h.Dev,
-		byPhys:       make(map[uint32]*Session),
-		staging:      make(map[string]*Staged),
-		movedVQPN:    make(map[uint32]string),
-		pendingNSent: make(map[uint32]uint64),
-		wbs:          DefaultWBSConfig(),
-		partnerWBS:   make(map[string]WBSResult),
-		suspendedFor: make(map[string][]suspendedSet),
+		host:          h,
+		dev:           h.Dev,
+		byPhys:        make(map[uint32]*Session),
+		staging:       make(map[string]*Staged),
+		movedVQPN:     make(map[uint32]string),
+		pendingNSent:  make(map[uint32]uint64),
+		wbs:           DefaultWBSConfig(),
+		partnerWBS:    make(map[string]WBSResult),
+		suspendedFor:  make(map[string][]suspendedSet),
+		pendingResume: make(map[string][]suspendedSet),
 	}
 	d.ep = newOOBAdapter(h)
 	d.installHandlers()
+	if h.Mux != nil {
+		// The tunnel endpoint is permanent (a registration, not a
+		// metric, so snapshot hashes are unaffected); it only acts while
+		// a plug-and-forward migration is in flight.
+		h.Mux.Register(PortMigrFwd, d.onTunnelFrame)
+	}
 	return d
 }
 
@@ -267,6 +288,8 @@ func (d *Daemon) installHandlers() {
 	d.ep.Handle("notify-migr", d.hNotify)
 	d.ep.Handle("connect-new", d.hConnectNew)
 	d.ep.Handle("switch-to", d.hSwitch)
+	d.ep.Handle("switch-defer", d.hSwitchDefer)
+	d.ep.Handle("resume-partners", d.hResumePartners)
 	d.ep.Handle("nsent", d.hNSent)
 	d.ep.Handle("abort", d.hAbort)
 }
@@ -452,6 +475,19 @@ func (d *Daemon) hConnectNew(_ string, body []byte) []byte {
 // another migration's spares here would connect QPs whose destination
 // has not finished restoring.
 func (d *Daemon) hSwitch(_ string, body []byte) []byte {
+	return d.switchTo(body, false)
+}
+
+// hSwitchDefer is hSwitch for the plug-forward cutover: the spare QPs
+// are activated and remote caches invalidated, but the QPs stay
+// suspended (and the old QPs alive) until hResumePartners — the
+// migrated service thaws first, so the resumed partners never race its
+// empty receive queues.
+func (d *Daemon) hSwitchDefer(_ string, body []byte) []byte {
+	return d.switchTo(body, true)
+}
+
+func (d *Daemon) switchTo(body []byte, deferResume bool) []byte {
 	var req switchReq
 	if err := dec(body, &req); err != nil {
 		return []byte(err.Error())
@@ -483,21 +519,53 @@ func (d *Daemon) hSwitch(_ string, body []byte) []byte {
 			continue
 		}
 		s.InvalidateRemoteCaches(req.SrcNode)
+		if deferResume {
+			d.pendingResume[req.MigID] = append(d.pendingResume[req.MigID],
+				suspendedSet{s: s, qps: resumed})
+			continue
+		}
 		if err := s.Resume(resumed); err != nil {
 			return []byte(err.Error())
 		}
 		// Wait-before-stop guaranteed the old QPs are drained; retire
 		// them now (§3.4 "old QPs ... are destroyed").
-		for _, qp := range resumed {
-			if qp.oldV != nil {
-				oldPhys := qp.oldV.QPN()
-				qp.oldV.Destroy()
-				d.unmapQPN(oldPhys)
-				qp.oldV = nil
-			}
+		d.retireOldQPs(resumed)
+	}
+	if !deferResume {
+		// The migration committed; the suspension record is spent.
+		delete(d.suspendedFor, req.MigID)
+	}
+	return nil
+}
+
+// retireOldQPs destroys the pre-switch incarnation of re-pointed QPs.
+func (d *Daemon) retireOldQPs(qps []*QP) {
+	for _, qp := range qps {
+		if qp.oldV != nil {
+			oldPhys := qp.oldV.QPN()
+			qp.oldV.Destroy()
+			d.unmapQPN(oldPhys)
+			qp.oldV = nil
 		}
 	}
-	// The migration committed; the suspension record is spent.
+}
+
+// hResumePartners completes a deferred switch-over: resume the
+// re-pointed QPs (replaying their intercepted work against the now-live
+// migrated service) and retire the old incarnations.
+func (d *Daemon) hResumePartners(_ string, body []byte) []byte {
+	var req switchReq
+	if err := dec(body, &req); err != nil {
+		return []byte(err.Error())
+	}
+	sets := d.pendingResume[req.MigID]
+	delete(d.pendingResume, req.MigID)
+	for _, set := range sets {
+		if err := set.s.Resume(set.qps); err != nil {
+			return []byte(err.Error())
+		}
+		d.retireOldQPs(set.qps)
+	}
 	delete(d.suspendedFor, req.MigID)
 	return nil
 }

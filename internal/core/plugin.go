@@ -350,6 +350,25 @@ func (pl *Plugin) SuspendSource() WBSResult {
 // SwitchPartners activates the partners' spare QPs (step right before
 // ⑦, §3.2). The destination session must already be registered.
 func (pl *Plugin) SwitchPartners() error {
+	return pl.callPartners("switch-to")
+}
+
+// SwitchPartnersDeferred is the plug-forward variant of SwitchPartners:
+// the partners' spare QPs are activated but stay suspended (and their
+// old QPs alive) until ResumePartners, so partner traffic cannot start
+// before the migrated service is live.
+func (pl *Plugin) SwitchPartnersDeferred() error {
+	return pl.callPartners("switch-defer")
+}
+
+// ResumePartners completes a deferred switch-over once the migrated
+// service has thawed: every partner resumes its re-pointed QPs and
+// replays intercepted work.
+func (pl *Plugin) ResumePartners() error {
+	return pl.callPartners("resume-partners")
+}
+
+func (pl *Plugin) callPartners(kind string) error {
 	s := pl.sess
 	seen := map[string]bool{}
 	for _, qp := range s.sortedQPs() {
@@ -358,14 +377,14 @@ func (pl *Plugin) SwitchPartners() error {
 			continue
 		}
 		seen[node] = true
-		resp, ok := pl.Dst.call(node, "switch-to", enc(switchReq{
+		resp, ok := pl.Dst.call(node, kind, enc(switchReq{
 			MigID: pl.ID, Proc: s.Proc.Name, SrcNode: pl.Src.Node(), DestNode: pl.Dst.Node(),
 		}))
 		if !ok {
-			return fmt.Errorf("core: partner %s unreachable for switch", node)
+			return fmt.Errorf("core: partner %s unreachable for %s", node, kind)
 		}
 		if len(resp) > 0 {
-			return fmt.Errorf("core: partner %s switch: %s", node, resp)
+			return fmt.Errorf("core: partner %s %s: %s", node, kind, resp)
 		}
 	}
 	return nil

@@ -32,6 +32,11 @@ type Staged struct {
 
 	// qpByVQPN lets partner connect-new requests find staged QPs.
 	qpByVQPN map[uint32]*verbs.QP
+	// qpnPairs maps each adopted QP's old (source-side) physical QPN to
+	// its restored destination QPN. The plug-and-forward cutover derives
+	// its forwarding rule and tunnel translation table from it; filled
+	// by bind, cleared by unbind.
+	qpnPairs map[uint32]uint32
 	// qpMeta keeps per-QP restore metadata by object ID.
 	qpMeta map[verbs.ObjID]QPMeta
 
@@ -417,11 +422,15 @@ func (st *Staged) bind(s *Session) error {
 			st.undo = append(st.undo, func() { ch.v = old })
 		}
 	}
+	if st.qpnPairs == nil {
+		st.qpnPairs = make(map[uint32]uint32)
+	}
 	for id, qp := range s.qps {
 		qp, old := qp, qp.v
 		oldPhys := old.QPN()
 		st.srcQPs = append(st.srcQPs, old)
 		qp.v = st.qps[id]
+		st.qpnPairs[oldPhys] = st.qps[id].QPN()
 		// Completions already harvested into fake CQs carry the old
 		// physical QPN; the temporary table translates them (§3.4).
 		qp.sendCQ.tempQPN[oldPhys] = qp.vqpn
@@ -457,6 +466,7 @@ func (st *Staged) unbind(s *Session) {
 	st.undo = nil
 	st.srcCtx = nil
 	st.srcPDs, st.srcMRs, st.srcCQs, st.srcSRQs, st.srcQPs = nil, nil, nil, nil, nil
+	st.qpnPairs = nil
 }
 
 // abort tears down a staged restore after a failed migration: every

@@ -115,17 +115,17 @@ type qpnVal struct {
 // control-path recorder.
 func NewSession(p *task.Process, d *Daemon) *Session {
 	s := &Session{
-		Proc:      p,
-		daemon:    d,
-		ctx:       verbs.OpenDevice(d.dev, p.AS),
-		ind:       NewIndirection(),
-		pds:       make(map[verbs.ObjID]*PD),
-		mrs:       make(map[verbs.ObjID]*MR),
-		qps:       make(map[verbs.ObjID]*QP),
-		srqs:      make(map[verbs.ObjID]*SRQ),
-		mws:       make(map[verbs.ObjID]*MW),
-		dms:       make(map[verbs.ObjID]*DM),
-		chanMap:   make(map[verbs.ObjID]*CompChannel),
+		Proc:       p,
+		daemon:     d,
+		ctx:        verbs.OpenDevice(d.dev, p.AS),
+		ind:        NewIndirection(),
+		pds:        make(map[verbs.ObjID]*PD),
+		mrs:        make(map[verbs.ObjID]*MR),
+		qps:        make(map[verbs.ObjID]*QP),
+		srqs:       make(map[verbs.ObjID]*SRQ),
+		mws:        make(map[verbs.ObjID]*MW),
+		dms:        make(map[verbs.ObjID]*DM),
+		chanMap:    make(map[verbs.ObjID]*CompChannel),
 		byVQPN:     make(map[uint32]*QP),
 		rkeyCache:  make(map[rkeyKey]uint32),
 		qpnCache:   make(map[qpnKey]qpnVal),
@@ -447,6 +447,14 @@ type QP struct {
 	// oldV is the partner-side previous QP kept until its completions
 	// drain after a switch-over.
 	oldV *verbs.QP
+	// suspendedOn records which physical QP held the in-flight work when
+	// the suspension began. Resume compares it with v: if they differ
+	// (switch-over or restore re-pointed the wrapper) the shadowed
+	// unfinished sends and pending receives must be replayed onto the
+	// fresh ring; if they are the same device (abort rollback resumes in
+	// place) the device still owns every one of them and a replay would
+	// double-post.
+	suspendedOn *verbs.QP
 }
 
 // VQPN returns the virtual queue pair number.

@@ -59,6 +59,7 @@ type WBSResult struct {
 func (s *Session) Suspend(qps []*QP) {
 	for _, qp := range qps {
 		qp.suspended = true
+		qp.suspendedOn = qp.v
 	}
 }
 
@@ -246,11 +247,22 @@ func (s *Session) Resume(qps []*QP) error {
 	// replayed below — the fake-CQ entry plus the replay's own completion
 	// would double-count the WR.
 	s.sweepCQs()
+	anySwitched := false
 	for _, qp := range qps {
 		qp.suspended = false
 		qp.peerNSentKnown = false
-		// Replay pending receives on the (possibly new) QP.
-		if qp.srq == nil {
+		// An in-place resume (abort rollback): the device QP that held
+		// the work at suspension time is still qp.v, its SQ and RQ still
+		// own every shadowed WR, and replaying them would double-post.
+		// Only the intercepted WRs — which never reached the NIC — are
+		// released below.
+		sameDev := qp.suspendedOn == qp.v && qp.suspendedOn != nil
+		qp.suspendedOn = nil
+		if !sameDev {
+			anySwitched = true
+		}
+		// Replay pending receives on the new QP.
+		if qp.srq == nil && !sameDev {
 			recvs := qp.pendingRecvs
 			qp.pendingRecvs = nil
 			for _, wr := range recvs {
@@ -260,8 +272,11 @@ func (s *Session) Resume(qps []*QP) error {
 			}
 		}
 		// Replay unfinished sends (timeout path), then intercepted WRs.
-		unfinished := qp.unfinished
-		qp.unfinished = nil
+		var unfinished []rnic.SendWR
+		if !sameDev {
+			unfinished = qp.unfinished
+			qp.unfinished = nil
+		}
 		intercepted := qp.intercepted
 		qp.intercepted = nil
 		// Leftover sends survive only a timed-out wait-before-stop. Their
@@ -286,13 +301,17 @@ func (s *Session) Resume(qps []*QP) error {
 			}
 		}
 	}
-	// SRQ pending receives are shared; replay them once.
-	for _, srq := range s.srqs {
-		pend := srq.pending
-		srq.pending = nil
-		for _, wr := range pend {
-			if err := srq.postRecv(wr); err != nil {
-				return err
+	// SRQ pending receives are shared; replay them once — and only when
+	// the resume actually moved to fresh devices (an in-place rollback
+	// leaves them posted).
+	if anySwitched {
+		for _, srq := range s.srqs {
+			pend := srq.pending
+			srq.pending = nil
+			for _, wr := range pend {
+				if err := srq.postRecv(wr); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+)
+
+// This file is the cutover-mode comparison: the same server-side live
+// migration under an identical latency-mode SEND workload, once with
+// the go-back-N cutover (blackout traffic bounces off the restored
+// service and is recovered by retransmission) and once with the
+// plug-and-forward cutover (blackout traffic waits in the destination
+// plug and is flushed in arrival order). The contrast the experiment
+// exists to show: plug-forward removes every cutover retransmission
+// (and the wire bytes they burn) and trims the latency tail that
+// go-back-N's RNR/RTO quantization leaves behind.
+
+// CutoverRow is one (mode, message size, QP count) measurement.
+type CutoverRow struct {
+	Mode    runc.CutoverMode
+	MsgSize int
+	QPs     int
+
+	Samples int
+	P50     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+	// Blackout is the migration's service blackout.
+	Blackout time.Duration
+
+	// Retransmitted counts genuine go-back-N recovery on the data path;
+	// Duplicated counts PSN-window rejects of frames delivered twice.
+	Retransmitted int64
+	Duplicated    int64
+	// WireBytes is the cluster-wide rnic tx_bytes total: payload plus
+	// every retransmission burned on the wire.
+	WireBytes int64
+	// PlugFlushed / Forwarded are plug-mode activity counters (zero in
+	// go-back-N mode).
+	PlugFlushed int64
+	Forwarded   int64
+}
+
+// String renders one row.
+func (r CutoverRow) String() string {
+	return fmt.Sprintf("%-12s msg=%-6d qps=%d  ops=%-5d p50=%-9v p99=%-9v max=%-9v retx=%-4d dup=%-4d wire=%-9d flushed=%-3d fwd=%d",
+		r.Mode, r.MsgSize, r.QPs, r.Samples,
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond),
+		r.Retransmitted, r.Duplicated, r.WireBytes, r.PlugFlushed, r.Forwarded)
+}
+
+// cutoverSeed fixes the comparison's determinism; both modes run the
+// byte-identical workload and migration timeline up to the cutover.
+const cutoverSeed = 61
+
+// RunCutover measures one cutover configuration.
+func RunCutover(mode runc.CutoverMode, msgSize, qps, messages int) (CutoverRow, error) {
+	cfg := cluster.FastCheckpointTestbed(cutoverSeed)
+	// Split accounting keeps the retransmission column free of
+	// PSN-window duplicate rejects, so "retx=0" means what it says.
+	cfg.NIC.SplitRetxAccounting = true
+	// rnr_retry=7 semantics: retry through the blackout instead of
+	// erroring out — go-back-N's whole recovery story depends on it,
+	// and the retries are exactly the cost the comparison measures.
+	cfg.NIC.MaxRetries = 1 << 20
+	r := NewRigCfg(cfg, "src", "dst", "partner")
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: msgSize, NumQPs: qps, Messages: messages,
+		LatencyMode: true, PostGap: 250 * time.Microsecond,
+		// Deep receive ring, as a real latency service would provision:
+		// in plug-forward mode the partners resume before the thaw
+		// completes, and posted receives must absorb that window instead
+		// of converting it into RNR flow control (which would show up as
+		// retransmissions that have nothing to do with the cutover).
+		RecvDepth: 64,
+	}
+	// The SERVER is the migrating side: its container moves src → dst
+	// mid-stream while the client keeps firing from the partner host.
+	pair := r.StartPair("partner", "src", opts)
+	mopts := runc.DefaultMigrateOptions()
+	mopts.Cutover = mode
+	var rep *runc.Report
+	var err error
+	r.CL.Sched.Go("cutover-driver", func() {
+		pair.Client.WaitReady()
+		r.CL.Sched.Sleep(2 * time.Millisecond)
+		rep, err = r.Migrate(pair.ServerCont, "src", "dst", mopts)
+		pair.Client.Wait() // the bounded message count drains
+		pair.Server.Stop()
+	})
+	r.CL.Sched.RunFor(10 * time.Minute)
+	if err != nil {
+		return CutoverRow{}, err
+	}
+	if rep == nil {
+		return CutoverRow{}, fmt.Errorf("cutover: migration did not complete")
+	}
+	if n := len(pair.Client.Stats.Errors); n != 0 {
+		return CutoverRow{}, fmt.Errorf("cutover: %d client errors: %s", n, pair.Client.Stats.Errors[0])
+	}
+	snap := r.CL.Metrics.Snapshot()
+	row := CutoverRow{
+		Mode: mode, MsgSize: msgSize, QPs: qps,
+		Samples:       len(pair.Client.Stats.LatSamples),
+		P50:           pair.Client.Stats.LatPercentile(50),
+		P99:           pair.Client.Stats.LatPercentile(99),
+		Max:           pair.Client.Stats.LatPercentile(100),
+		Blackout:      rep.ServiceBlackout,
+		Retransmitted: snap.Sum("rnic", "retransmitted_packets"),
+		Duplicated:    snap.Sum("rnic", "duplicated_packets"),
+		WireBytes:     snap.Sum("rnic", "tx_bytes"),
+		PlugFlushed:   int64(rep.PlugFlushed),
+		Forwarded:     snap.Sum("rnic", "forwarded_packets"),
+	}
+	return row, nil
+}
+
+// CutoverComparison sweeps both cutover modes over the given message
+// sizes and QP counts. Rows come out grouped by (size, qps) with the
+// go-back-N row directly before its plug-forward counterpart.
+func CutoverComparison(sizes, qpCounts []int, messages int) ([]CutoverRow, error) {
+	var rows []CutoverRow
+	for _, sz := range sizes {
+		for _, qps := range qpCounts {
+			for _, mode := range []runc.CutoverMode{runc.CutoverGoBackN, runc.CutoverPlugForward} {
+				row, err := RunCutover(mode, sz, qps, messages)
+				if err != nil {
+					return nil, fmt.Errorf("%v msg=%d qps=%d: %w", mode, sz, qps, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"migrrdma/internal/runc"
+)
+
+// TestCutoverComparison pins the claim the plug-and-forward cutover
+// exists to make: against the same deterministic workload and migration
+// timeline, at every measured message size it completes the cutover
+// with zero retransmissions, fewer wire bytes, and a lower p99 than
+// go-back-N. The workload is sized so the blackout-straddling operation
+// lands inside the p99 (one stalled op per QP, 50 samples per QP).
+func TestCutoverComparison(t *testing.T) {
+	rows, err := CutoverComparison([]int{2048, 8192}, []int{2}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows)%2 != 0 {
+		t.Fatalf("odd row count %d, want go-back-N/plug-forward pairs", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		gbn, plug := rows[i], rows[i+1]
+		t.Log(gbn)
+		t.Log(plug)
+		if gbn.Mode != runc.CutoverGoBackN || plug.Mode != runc.CutoverPlugForward {
+			t.Fatalf("row order: got %v then %v", gbn.Mode, plug.Mode)
+		}
+		if gbn.MsgSize != plug.MsgSize || gbn.QPs != plug.QPs || gbn.Samples != plug.Samples {
+			t.Fatalf("rows not comparable: %+v vs %+v", gbn, plug)
+		}
+		// Go-back-N pays for the cutover in retransmissions; the plug
+		// absorbs the same frames instead.
+		if gbn.Retransmitted == 0 {
+			t.Errorf("msg=%d: go-back-N cutover produced no retransmissions; the comparison is vacuous", gbn.MsgSize)
+		}
+		if plug.Retransmitted != 0 {
+			t.Errorf("msg=%d: plug-forward retransmitted %d packets, want 0", plug.MsgSize, plug.Retransmitted)
+		}
+		if plug.PlugFlushed == 0 {
+			t.Errorf("msg=%d: plug-forward flushed nothing; the plug never saw the blackout traffic", plug.MsgSize)
+		}
+		// The retransmissions are wire bytes go-back-N burns and
+		// plug-forward does not.
+		if plug.WireBytes >= gbn.WireBytes {
+			t.Errorf("msg=%d: plug-forward wire bytes %d >= go-back-N %d", plug.MsgSize, plug.WireBytes, gbn.WireBytes)
+		}
+		// The latency tail: RNR/RTO quantization delays go-back-N's
+		// blackout-straddling ops past plug-forward's flush.
+		if plug.P99 >= gbn.P99 {
+			t.Errorf("msg=%d: plug-forward p99 %v >= go-back-N p99 %v", plug.MsgSize, plug.P99, gbn.P99)
+		}
+		// Steady-state is untouched: both modes serve the same p50.
+		if plug.P50 != gbn.P50 {
+			t.Errorf("msg=%d: p50 differs across modes: %v vs %v", plug.MsgSize, plug.P50, gbn.P50)
+		}
+	}
+}

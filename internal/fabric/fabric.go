@@ -127,6 +127,9 @@ type port struct {
 	// rate overrides the network link rate for this port (0 = default),
 	// modelling a degraded or renegotiated link.
 	rate int64
+	// plug, when installed, queues matching frames instead of delivering
+	// them (plug-and-forward cutover; see plug.go).
+	plug *plug
 	// delivered and dropped count frames for tests and traces.
 	delivered, dropped int64
 	// duplicated and reordered count injected faults.
@@ -410,15 +413,26 @@ func (dv *delivery) run() {
 	dv.dst = nil
 	dv.f = Frame{}
 	n.freeDeliveries = append(n.freeDeliveries, dv)
-	dst.delivered++
 	dst.rxBytes += int64(f.Size)
-	dst.mDelivered.Inc()
 	dst.mRxBytes.Add(int64(f.Size))
 	dst.mRxFrames.Inc()
-	if dst.handler == nil {
+	// A plugged frame has arrived at the NIC (rx accounting above) but
+	// is not delivered until FlushPlug hands it to the port handler.
+	if pl := dst.plug; pl != nil && pl.match(f) {
+		pl.enqueue(n, dst, f)
+		return
+	}
+	dst.deliver(f)
+}
+
+// deliver counts a frame as delivered and hands it to the port handler.
+func (p *port) deliver(f Frame) {
+	p.delivered++
+	p.mDelivered.Inc()
+	if p.handler == nil {
 		panic(fmt.Sprintf("fabric: node %s has no handler", f.Dst))
 	}
-	dst.handler(f)
+	p.handler(f)
 }
 
 // Bytes reports cumulative bytes received and transmitted by the node,

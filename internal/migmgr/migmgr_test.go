@@ -383,3 +383,68 @@ func TestRetryBudgetRequeues(t *testing.T) {
 		t.Errorf("migrations_aborted = %d, want 2", got)
 	}
 }
+
+// TestPlugForwardThroughManager submits a SERVER migration with the
+// plug-and-forward cutover through the manager: the mode must thread
+// from Spec.Opts down through the migrator's phase engine, buffer the
+// client's blackout traffic in the destination plug, and leave no
+// plug/forward residue on any daemon once the job is done.
+func TestPlugForwardThroughManager(t *testing.T) {
+	r := newRig(33, "src", "dst", "partner")
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+		// Deep ring: the plug cutover resumes partners before the thaw
+		// completes, so posted receives must absorb that window.
+		RecvDepth: 64,
+	}
+	srv := perftest.NewServer(r.cl.Sched, "srv", opts)
+	cli := perftest.NewClient(r.cl.Sched, "cli", opts, perftest.Target{Node: "src", Name: "srv"})
+	srvCont := runc.NewContainer(r.cl.Host("src"), "server")
+	srvCont.Start(func(tp *task.Process) { srv.Run(tp, r.daemons["src"]) })
+	cliCont := runc.NewContainer(r.cl.Host("partner"), "client")
+	r.cl.Sched.Go("start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, r.daemons["partner"]) })
+	})
+
+	mgr := New(r.cl, r.daemons, 1)
+	mopts := runc.DefaultMigrateOptions()
+	mopts.Cutover = runc.CutoverPlugForward
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		j := mgr.Submit(Spec{C: srvCont, Dst: "dst", Opts: mopts})
+		j.Wait()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		cli.Stop()
+		cli.Wait()
+		srv.Stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+
+	jobs := mgr.Jobs()
+	if len(jobs) != 1 || jobs[0].State() != Done {
+		t.Fatalf("job state: %+v", jobs)
+	}
+	if len(cli.Stats.Errors) != 0 || len(srv.Stats.Errors) != 0 {
+		t.Fatalf("workload errors: cli=%v srv=%v", cli.Stats.Errors, srv.Stats.Errors)
+	}
+	snap := r.cl.Metrics.Snapshot()
+	if got := snap.Sum("fabric", "plug_buffered_packets"); got == 0 {
+		t.Error("plug buffered nothing; the cutover never exercised the plug")
+	}
+	for n, d := range r.daemons {
+		if d.PlugActive() {
+			t.Errorf("daemon %s still holds a plug after the migration", n)
+		}
+		if d.ForwardActive() {
+			t.Errorf("daemon %s still forwards after the migration", n)
+		}
+	}
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// records per-op post→completion latency samples (ib_send_lat /
 	// ib_write_lat behaviour).
 	LatencyMode bool
+	// RecvDepth sizes the server's pre-posted receive ring for two-sided
+	// verbs; zero means QueueDepth (the historical behaviour). Real RDMA
+	// services over-provision the RQ so a stall in the polling loop does
+	// not turn into RNR flow control; the migration experiments use a
+	// deep ring so the thaw window is absorbed by posted receives.
+	RecvDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +66,9 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth == 0 {
 		o.QueueDepth = 64
 	}
+	if o.RecvDepth == 0 {
+		o.RecvDepth = o.QueueDepth
+	}
 	if o.NumQPs == 0 {
 		o.NumQPs = 1
 	}
@@ -69,13 +78,22 @@ func (o Options) withDefaults() Options {
 // bufferArena is where perftest maps its data buffer.
 const bufferArena = mem.Addr(0x10_0000_0000)
 
+// ringDepth is the larger of the send and receive rings: the buffer
+// must fit whichever side slots more WRs.
+func (o Options) ringDepth() int {
+	if o.RecvDepth > o.QueueDepth {
+		return o.RecvDepth
+	}
+	return o.QueueDepth
+}
+
 // bufSize returns the shared data buffer size: one slot per outstanding
 // WR per QP in CheckOrder mode, one queue-depth window otherwise.
 func (o Options) bufSize() uint64 {
 	if o.CheckOrder {
-		return uint64(o.NumQPs * o.QueueDepth * o.MsgSize)
+		return uint64(o.NumQPs * o.ringDepth() * o.MsgSize)
 	}
-	n := uint64(o.QueueDepth * o.MsgSize)
+	n := uint64(o.ringDepth() * o.MsgSize)
 	if n > 8<<20 {
 		n = 8 << 20
 	}
@@ -215,7 +233,7 @@ func (s *Server) Run(p *task.Process, d *core.Daemon) {
 	if o.UseEvents {
 		s.ch = sess.CreateCompChannel()
 	}
-	s.cq = sess.CreateCQ(64+o.NumQPs*o.QueueDepth*2, s.ch)
+	s.cq = sess.CreateCQ(64+o.NumQPs*(o.QueueDepth+o.RecvDepth), s.ch)
 	mr, err := sess.RegMR(s.pd, bufferArena, o.bufSize(),
 		rnic.AccessLocalWrite|rnic.AccessRemoteRead|rnic.AccessRemoteWrite|rnic.AccessRemoteAtomic)
 	if err != nil {
@@ -244,7 +262,7 @@ func (s *Server) onConnect(m oob.Msg) []byte {
 	o := s.Opts
 	qp := s.Sess.CreateQP(s.pd, core.QPConfig{
 		Type: rnic.RC, SendCQ: s.cq, RecvCQ: s.cq,
-		Caps: rnic.QPCaps{MaxSend: o.QueueDepth * 2, MaxRecv: o.QueueDepth * 2},
+		Caps: rnic.QPCaps{MaxSend: o.QueueDepth * 2, MaxRecv: o.QueueDepth + o.RecvDepth},
 	})
 	for _, a := range []rnic.ModifyAttr{
 		{State: rnic.StateInit},
@@ -261,7 +279,7 @@ func (s *Server) onConnect(m oob.Msg) []byte {
 	s.seq[qp.VQPN()] = 0
 	// Pre-post receives for two-sided traffic.
 	if req.Verb == rnic.OpSend || req.Verb == rnic.OpSendImm {
-		for i := 0; i < o.QueueDepth; i++ {
+		for i := 0; i < o.RecvDepth; i++ {
 			wr := rnic.RecvWR{WRID: uint64(i), SGEs: []rnic.SGE{{
 				Addr: s.recvSlot(idx, uint64(i)), Len: uint32(req.MsgSize), LKey: s.mr.LKey(),
 			}}}
@@ -274,9 +292,17 @@ func (s *Server) onConnect(m oob.Msg) []byte {
 }
 
 // recvSlot places receive buffers; in CheckOrder mode each QP gets its
-// own slot window so payloads can be verified.
+// own slot window so payloads can be verified. The ring is RecvDepth
+// deep (== QueueDepth unless over-provisioned), and the client's send
+// slotting is untouched — each side addresses its own process memory.
 func (s *Server) recvSlot(qpIdx int, seq uint64) mem.Addr {
-	return s.Opts.slot(qpIdx%s.Opts.NumQPs, seq)
+	o := s.Opts
+	idx := qpIdx % o.NumQPs
+	rd := uint64(o.RecvDepth)
+	if o.CheckOrder {
+		return bufferArena + mem.Addr((uint64(idx)*rd+(seq%rd))*uint64(o.MsgSize))
+	}
+	return bufferArena + mem.Addr((seq%rd)*uint64(o.MsgSize)%(o.bufSize()-uint64(o.MsgSize)+1)&^63)
 }
 
 // serve is the completion loop: consume receive completions, verify
@@ -320,8 +346,8 @@ func (s *Server) consume(e rnic.CQE) {
 	}
 	want := s.seq[e.QPN]
 	if s.Opts.CheckOrder {
-		if e.WRID != want%uint64(s.Opts.QueueDepth) {
-			s.Stats.errf("QP %#x: recv WRID %d, want %d (lost/dup/reorder)", e.QPN, e.WRID, want%uint64(s.Opts.QueueDepth))
+		if e.WRID != want%uint64(s.Opts.RecvDepth) {
+			s.Stats.errf("QP %#x: recv WRID %d, want %d (lost/dup/reorder)", e.QPN, e.WRID, want%uint64(s.Opts.RecvDepth))
 		}
 		var stamp [8]byte
 		if err := s.Sess.Proc.AS.Read(s.recvSlot(idx, want), stamp[:]); err == nil {

@@ -41,6 +41,15 @@ type Config struct {
 	// ethtool-style telemetry the evaluation samples). A nil registry is
 	// replaced by a detached one so increments are always valid.
 	Metrics *metrics.Registry
+
+	// SplitRetxAccounting registers the device-level
+	// retransmitted_packets / duplicated_packets counters that separate
+	// genuine go-back-N retransmissions (TX side) from redundant inbound
+	// frames such as switch duplicates (RX side). Off by default because
+	// registering metrics changes snapshot hashes pinned by the chaos
+	// goldens; the plug-and-forward tier and the cutover experiment turn
+	// it on.
+	SplitRetxAccounting bool
 }
 
 // DefaultConfig returns the testbed-calibrated configuration.
@@ -172,12 +181,24 @@ type Device struct {
 	// checkers (the chaos harness' completion ledger).
 	tap *Tap
 
+	// fwdQPNs/fwdFn implement the source-side forwarding rule of the
+	// plug-and-forward cutover: frames addressed to a listed (suspended)
+	// QPN are handed to fwdFn — the tunnel toward the destination's plug
+	// buffer — instead of the local transport, so the blackout window
+	// produces no NAKs or go-back-N from the half-dead source QPs.
+	fwdQPNs map[uint32]bool
+	fwdFn   func(fabric.Frame)
+	mFwd    *metrics.Counter
+
 	// reg is the metrics registry; mTx/mRx count data-path wire bytes
 	// (the mlx5 ethtool counters used for Fig. 5's throughput sampling).
 	// Consumers read them through the registry, never device fields.
 	reg                  *metrics.Registry
 	mTx, mRx             *metrics.Counter
 	mTxFrames, mRxFrames *metrics.Counter
+	// mRetxDev / mDupDev are the node-level split retransmission
+	// accounting (Config.SplitRetxAccounting); nil when the split is off.
+	mRetxDev, mDupDev *metrics.Counter
 }
 
 // Tap observes device data-path events for external checkers. All
@@ -250,6 +271,10 @@ func NewDevice(net *fabric.Network, mux *fabric.Mux, node string, cfg Config) *D
 	d.mRx = d.reg.Counter("rnic", "rx_bytes", l)
 	d.mTxFrames = d.reg.Counter("rnic", "tx_frames", l)
 	d.mRxFrames = d.reg.Counter("rnic", "rx_frames", l)
+	if d.cfg.SplitRetxAccounting {
+		d.mRetxDev = d.reg.Counter("rnic", "retransmitted_packets", l)
+		d.mDupDev = d.reg.Counter("rnic", "duplicated_packets", l)
+	}
 	d.work = sim.NewCond(d.sched, "rnic-work@"+node)
 	d.bufCap = packetHeaderLen + d.cfg.MTU
 	d.pumpCb = func() {
@@ -371,6 +396,26 @@ func (d *Device) allocID() uint32 {
 	return id
 }
 
+// SetForward installs (or, with nil maps, removes) the source-side
+// forwarding rule: frames addressed to a listed QPN bypass the local
+// transport and are handed to fn, which tunnels them to the
+// destination's plug buffer. fn must copy any bytes it keeps — the
+// frame buffer is recycled when fn returns. The rule also acts as a
+// divergence guard: once the final dump is taken, the dumped QP state
+// can no longer be mutated by late arrivals.
+func (d *Device) SetForward(qpns map[uint32]bool, fn func(fabric.Frame)) {
+	if qpns == nil || fn == nil {
+		d.fwdQPNs, d.fwdFn = nil, nil
+		return
+	}
+	if d.mFwd == nil {
+		// Registered on first use: the metric only exists in
+		// plug-and-forward runs, keeping go-back-N snapshot hashes intact.
+		d.mFwd = d.reg.Counter("rnic", "forwarded_packets", metrics.Labels{"node": d.node})
+	}
+	d.fwdQPNs, d.fwdFn = qpns, fn
+}
+
 // onFrame is the fabric receive handler (inline, non-blocking).
 func (d *Device) onFrame(f fabric.Frame) {
 	if d.closed {
@@ -383,6 +428,13 @@ func (d *Device) onFrame(f fabric.Frame) {
 	}
 	d.mRx.Add(int64(f.Size))
 	d.mRxFrames.Inc()
+	if d.fwdQPNs != nil && d.fwdQPNs[p.DstQPN] {
+		d.mFwd.Inc()
+		d.putPkt(p)
+		d.fwdFn(f)
+		d.putBuf(f.Data)
+		return
+	}
 	d.rxq.push(rxItem{p: p, src: f.Src, buf: f.Data})
 	d.work.Signal()
 }

@@ -142,6 +142,48 @@ func decodePacketInto(p *packet, b []byte) error {
 // wireSize is the on-wire frame size of the packet.
 func (p *packet) wireSize() int { return wireOverhead + packetHeaderLen + len(p.Payload) }
 
+// PeekDstQPN reads the destination QPN out of encoded wire bytes without
+// a full decode. The plug-and-forward tunnel uses it to match and
+// translate frames for migrating QPs.
+func PeekDstQPN(b []byte) (uint32, bool) {
+	if len(b) < packetHeaderLen {
+		return 0, false
+	}
+	return get24(b[1:]), true
+}
+
+// RewriteDstQPN overwrites the destination QPN of encoded wire bytes in
+// place. The destination daemon uses it to retarget a forwarded frame
+// from the old (source-side) physical QPN to the restored one.
+func RewriteDstQPN(b []byte, qpn uint32) bool {
+	if len(b) < packetHeaderLen {
+		return false
+	}
+	put24(b[1:], qpn)
+	return true
+}
+
+// IsRequestFrame reports whether encoded wire bytes carry a
+// requester-to-responder request (data, read request, atomic request).
+// Only request frames are worth re-offering after a plug flush: a
+// response or ack/nak belongs to the torn-down source-side connection,
+// and replaying its stale AckPSN against the restored QPs could
+// acknowledge data the new stream never delivered.
+func IsRequestFrame(b []byte) bool {
+	if len(b) < 1 {
+		return false
+	}
+	switch packetType(b[0]) {
+	case ptData, ptReadReq, ptAtomicReq:
+		return true
+	}
+	return false
+}
+
+// WireSizeOf is the on-wire frame size for encoded packet bytes, used
+// when a forwarded frame is reconstructed from its wire bytes.
+func WireSizeOf(b []byte) int { return wireOverhead + len(b) }
+
 func put24(b []byte, v uint32) {
 	b[0] = byte(v >> 16)
 	b[1] = byte(v >> 8)

@@ -259,6 +259,47 @@ func TestRNRRecovery(t *testing.T) {
 	r.s.Run()
 }
 
+// TestRNRRecoveryMultiFragment is the multi-fragment twin of
+// TestRNRRecovery. The responder reassembles the whole message before
+// discovering no RECV is posted, so the reassembly buffer already holds
+// every fragment when the RNR retry arrives — the retried fragments are
+// all "already held" duplicates, and the responder must still retry
+// delivery from the held buffer instead of swallowing the final
+// fragment (which would pin the message undelivered forever while the
+// requester retries into the void).
+func TestRNRRecoveryMultiFragment(t *testing.T) {
+	const size = 8192 // 2 fragments at the 4 KB default MTU
+	r := newRig(t, Config{}, func(r *rig) {
+		mrA := r.a.regMR(t, 0x100000, size)
+		mrB := r.b.regMR(t, 0x110000, size)
+		src := make([]byte, size)
+		for i := range src {
+			src[i] = byte(i * 13)
+		}
+		r.a.as.Write(0x100000, src)
+		// Send before any RECV is posted: responder RNR-NAKs after the
+		// message is fully reassembled.
+		r.qpA.PostSend(SendWR{WRID: 8, Opcode: OpSend, Signaled: true,
+			SGEs: []SGE{{Addr: 0x100000, Len: size, LKey: mrA.LKey}}})
+		r.s.Sleep(300 * time.Microsecond)
+		r.qpB.PostRecv(RecvWR{WRID: 80, SGEs: []SGE{{Addr: 0x110000, Len: size, LKey: mrB.LKey}}})
+		rc := pollN(r.b.cq, 1)[0]
+		if rc.Status != WCSuccess || int(rc.ByteLen) != size {
+			t.Errorf("recv after RNR: %+v", rc)
+		}
+		sc := pollN(r.a.cq, 1)[0]
+		if sc.Status != WCSuccess {
+			t.Errorf("send after RNR: %+v", sc)
+		}
+		got := make([]byte, size)
+		r.b.as.Read(0x110000, got)
+		if !bytes.Equal(got, src) {
+			t.Error("multi-fragment payload corrupted across RNR retry")
+		}
+	})
+	r.s.Run()
+}
+
 func TestLossRecoveryOrdering(t *testing.T) {
 	// 10% loss in both directions; every message must still complete,
 	// in order, exactly once, with intact content.

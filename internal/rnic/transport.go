@@ -91,6 +91,9 @@ func (qp *QP) nextTxFrame() (*packet, bool, bool) {
 		pkt, last := qp.buildFragment(e)
 		if e.retransmit {
 			qp.mRetx.Inc()
+			if qp.dev.mRetxDev != nil {
+				qp.dev.mRetxDev.Inc()
+			}
 		}
 		if last {
 			e.queued = false
@@ -319,7 +322,13 @@ func (qp *QP) responder(p *packet, src string) {
 	}
 	// Duplicate (already-delivered) message: re-acknowledge; replay READ
 	// and ATOMIC responses so a lost response doesn't wedge the peer.
+	// These are redundant inbound frames (switch duplication or a
+	// retransmission racing the ack), not go-back-N transmissions, so
+	// they land in duplicated_packets when the split accounting is on.
 	if psnLess(p.PSN, qp.expPSN) {
+		if qp.dev.mDupDev != nil {
+			qp.dev.mDupDev.Inc()
+		}
 		if p.Last {
 			qp.replyDuplicate(p, src)
 		}
@@ -344,16 +353,40 @@ func (qp *QP) responder(p *packet, src string) {
 	}
 	// Reassemble the expected message into a per-QP scratch buffer
 	// (reused across messages — execute consumes it before the next
-	// message can start). A zeroth fragment always restarts the
-	// reassembly (retransmission after a partial loss).
+	// message can start). A zeroth fragment restarts the reassembly only
+	// when recovering from a loss (r.bad): a redundant frag-0 copy of a
+	// healthy in-progress message must not discard fragments already
+	// held, or the discarded tail would look like a gap and trigger a
+	// spurious go-back-N round (polluting retransmitted_packets with
+	// what was really a switch duplicate).
 	r := qp.reasm
 	if r == nil {
 		r = &reassembly{}
 		qp.reasm = r
 	}
-	if r.psn != p.PSN || p.Frag == 0 {
+	if r.psn != p.PSN || (p.Frag == 0 && r.bad) {
 		r.psn, r.nextFrag, r.bad = p.PSN, 0, false
 		r.buf = r.buf[:0]
+	}
+	if !r.bad && p.Frag < r.nextFrag {
+		// Redundant copy of a fragment already held: r.buf holds exactly
+		// fragments [0, nextFrag), so ignoring the copy still assembles
+		// the message correctly.
+		if qp.dev.mDupDev != nil {
+			qp.dev.mDupDev.Inc()
+		}
+		// Exception: the last fragment of a fully held message that was
+		// never delivered (expPSN still equals the message PSN — the
+		// earlier delivery attempt hit RNR with no receive posted). The
+		// peer's RNR retry re-sends the whole message and every copy
+		// lands here, so swallowing the final fragment would pin the
+		// message in the reassembly buffer forever. Retry delivery from
+		// the held buffer instead; once it succeeds, expPSN advances and
+		// later copies fall into the duplicate-ack path above.
+		if p.Last && p.Frag+1 == r.nextFrag {
+			qp.execute(p, r.buf, src)
+		}
+		return
 	}
 	if p.Frag != r.nextFrag {
 		r.bad = true // lost fragment inside the message

@@ -65,6 +65,41 @@ func (c *Container) spawn(name string, main func(p *task.Process)) *task.Process
 	return p
 }
 
+// CutoverMode selects how in-flight traffic is handled across the
+// migration pause.
+type CutoverMode int
+
+const (
+	// CutoverGoBackN (the paper's cutover) lets blackout-window traffic
+	// bounce off the suspended QPs and relies on RC go-back-N / RNR
+	// retransmission to recover it after RESUME.
+	CutoverGoBackN CutoverMode = iota
+	// CutoverPlugForward buffers blackout traffic in a destination-side
+	// plug, tunnels source-side stragglers into the same buffer, and
+	// flushes everything in arrival order ahead of live traffic at
+	// RESUME — zero loss, zero retransmission on the fault-free path.
+	CutoverPlugForward
+)
+
+// String renders the mode the way the CLIs spell it.
+func (c CutoverMode) String() string {
+	if c == CutoverPlugForward {
+		return "plug-forward"
+	}
+	return "go-back-n"
+}
+
+// ParseCutoverMode parses the CLI spelling of a cutover mode.
+func ParseCutoverMode(s string) (CutoverMode, error) {
+	switch s {
+	case "", "go-back-n", "gbn":
+		return CutoverGoBackN, nil
+	case "plug-forward", "plug":
+		return CutoverPlugForward, nil
+	}
+	return 0, fmt.Errorf("runc: unknown cutover mode %q (want go-back-n or plug-forward)", s)
+}
+
 // MigrateOptions tunes a live migration.
 type MigrateOptions struct {
 	// PreSetup enables RDMA communication pre-setup during partial
@@ -76,6 +111,12 @@ type MigrateOptions struct {
 	MaxPreCopyIters int
 	// DirtyPageThreshold stops iterating when a diff is this small.
 	DirtyPageThreshold int
+	// Cutover selects the blackout-traffic strategy; the zero value is
+	// the paper's go-back-N cutover.
+	Cutover CutoverMode
+	// PlugLimit bounds the destination plug buffer in frames
+	// (plug-forward only); 0 takes the fabric default.
+	PlugLimit int
 }
 
 // DefaultMigrateOptions mirrors the paper's configuration.
@@ -107,6 +148,10 @@ type Report struct {
 
 	PreCopyIterations int
 	PagesTransferred  int
+
+	// PlugFlushed is the number of frames released from the destination
+	// plug at RESUME (plug-forward cutover only).
+	PlugFlushed int
 
 	// MigrationID is the Migrator.ID this report belongs to.
 	MigrationID string
@@ -495,6 +540,28 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 				// which always runs when this phase unwinds.
 			})
 		}
+		if m.Opts.Cutover == CutoverPlugForward {
+			phases = append(phases,
+				// Plug-and-forward cutover: the destination plugs the
+				// restored QPs before partners switch, so frames the
+				// resumed partners send ahead of the migrated service's
+				// own resume wait in order instead of bouncing off empty
+				// receive queues (RNR → retransmission).
+				phase{
+					name: "install-plug", stage: "install-plug",
+					run:        func() error { return plug.InstallPlug(m.Opts.PlugLimit) },
+					compensate: func() { plug.DiscardPlug() },
+				},
+				// The source tunnels stragglers for the suspended QPs into
+				// the same plug; as a side effect, the dumped transport
+				// state can no longer diverge under late arrivals.
+				phase{
+					name: "install-forward", stage: "install-forward",
+					run:        func() error { return plug.InstallForward() },
+					compensate: func() { plug.RemoveForward() },
+				},
+			)
+		}
 		phases = append(phases,
 			// Partner switch-over precedes resumption so rkey fetches
 			// from the resumed service find live peers (right before ⑦).
@@ -502,6 +569,13 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 			// QPs are destroyed and the migration can no longer roll
 			// back — failures past here are surfaced, not compensated.
 			phase{name: "switch-partners", stage: "switch-partners", commit: true, run: func() error {
+				if m.Opts.Cutover == CutoverPlugForward {
+					// Re-point the partners but keep them suspended: they
+					// resume in the resume-partners phase, after the thaw,
+					// so their replayed traffic meets a live service (any
+					// head start lands in the plug, not in go-back-N).
+					return plug.SwitchPartnersDeferred()
+				}
 				return plug.SwitchPartners()
 			}},
 			// ⑦: post intercepted WRs, replay pending RECVs.
@@ -509,6 +583,34 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 				return plug.ResumeMigrated()
 			}},
 		)
+		if m.Opts.Cutover == CutoverPlugForward {
+			phases = append(phases,
+				// Partners resume only now, after ⑦ has replayed the
+				// migrated side's RECVs: their replayed traffic meets posted
+				// receives instead of bouncing off drained queues
+				// (RNR → retransmit). The application thaw is NOT a
+				// prerequisite — delivery is device-level, completions queue
+				// in the restored CQs until the process polls — so running
+				// this before the thaw keeps the thaw latency off the
+				// cutover path. Any frames that outrun this RPC's return
+				// wait in the plug.
+				phase{name: "resume-partners", stage: "resume-partners", run: func() error {
+					return plug.ResumePartners()
+				}},
+				// Flush in arrival order, ahead of live traffic. Ordering is
+				// safe: until this phase runs, anything a peer sends at the
+				// migrated QPs lands behind the plugged frames. The
+				// source-side forwarding rule stays up until source reclaim
+				// so in-flight retries aimed at the dead source QPs still
+				// reach the restored responder's PSN window instead of
+				// vanishing; teardown happens in ReleasePlug, off the
+				// blackout's critical path.
+				phase{name: "flush-plug", stage: "flush-plug", run: func() error {
+					rep.PlugFlushed = plug.FlushPlug()
+					return nil
+				}},
+			)
+		}
 	}
 
 	phases = append(phases, phase{name: "thaw", stage: "thaw", run: func() error {
@@ -536,7 +638,13 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 	// The source reclaims the migrated service's resources (off the
 	// critical path).
 	if hasRDMA {
-		sched.Go("reclaim-source", func() { plug.ReclaimSource() })
+		sched.Go("reclaim-source", func() {
+			// Plug-mode teardown first: once the forwarding rule is
+			// gone, destroying the source QPs can't strand a frame
+			// mid-tunnel. No-op in go-back-N mode.
+			plug.ReleasePlug()
+			plug.ReclaimSource()
+		})
 	}
 
 	rep.DumpRDMA = tl.Get("dump-rdma")
