@@ -11,7 +11,15 @@ BENCH_PKGS = . ./internal/sim ./internal/fabric ./internal/rnic
 # in BENCH_6.json.
 BENCH6_PATTERN = ^(BenchmarkCutoverGoBackN|BenchmarkCutoverPlugForward)$$
 
-.PHONY: all build vet test test-race chaos chaos-abort chaos-plug fuzz check bench bench-smoke bench-cutover
+# Parallel-engine benchmarks: the shard-ring engine and the Fig. 4(a)
+# sweep fan-out at workers 1 vs 8, plus the cutover pair re-recorded
+# with replica seeds (median across iterations). `make bench-parallel`
+# records them in BENCH_7.json. The Seq/Parallel8 ns/op ratio is the
+# fan-out speedup and scales with available cores.
+BENCH7_PATTERN = ^(BenchmarkShardRingWorkers1|BenchmarkShardRingWorkers8|BenchmarkFig4aSweepSeq|BenchmarkFig4aSweepParallel8|BenchmarkCutoverGoBackN|BenchmarkCutoverPlugForward)$$
+BENCH7_PKGS = . ./internal/sim
+
+.PHONY: all build vet test test-race chaos chaos-abort chaos-plug fuzz check bench bench-smoke bench-cutover bench-parallel
 
 all: build
 
@@ -28,10 +36,13 @@ test-race:
 	$(GO) test -race ./...
 
 # Deterministic chaos sweep: every fault schedule in the library × 32
-# seeds, with invariant checking. Replay a failure with
+# seeds, with invariant checking, plus the workers-matrix golden
+# equivalence gate (all 66 golden scenarios at workers 1/2/4/8 must
+# reproduce the checked-in hashes byte for byte). Replay a failure with
 #   go run ./cmd/migrchaos -schedule <name> -seed <n> -v
 chaos:
-	$(GO) run ./cmd/migrchaos -seeds 32
+	$(GO) run ./cmd/migrchaos -seeds 32 -parallel 4
+	$(GO) test ./internal/chaos -run TestParallelGoldenEquivalence
 
 # Fail-and-recover sweep under the race detector: inject a hard fault at
 # every abortable workflow phase × 8 seeds and assert the cluster rolls
@@ -69,6 +80,13 @@ bench:
 bench-cutover:
 	$(GO) test -run '^$$' -bench '$(BENCH6_PATTERN)' . \
 		| $(GO) run ./cmd/benchjson -out BENCH_6.json
+
+# Record the parallel-engine benchmarks in BENCH_7.json. -benchtime 3x
+# gives the cutover pair three replica seeds per mode (the reported row
+# is the median by p99) and the sweeps three timed repetitions.
+bench-parallel:
+	$(GO) test -run '^$$' -bench '$(BENCH7_PATTERN)' -benchtime 3x $(BENCH7_PKGS) \
+		| $(GO) run ./cmd/benchjson -out BENCH_7.json
 
 # One-iteration smoke over the same benchmarks: catches bench rot
 # (compile errors, setup panics) without timing flakiness. CI runs this.

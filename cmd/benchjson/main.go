@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -41,6 +42,45 @@ type File struct {
 	Schema   string   `json:"schema"`
 	Baseline *Section `json:"baseline,omitempty"`
 	Current  *Section `json:"current,omitempty"`
+	// Deltas maps benchmark → metric → current/baseline ratio, computed
+	// on every write. Pairs with no usable baseline are absent, never
+	// NaN/Inf (see computeDeltas).
+	Deltas map[string]map[string]float64 `json:"deltas,omitempty"`
+}
+
+// computeDeltas returns current/baseline per (benchmark, metric).
+// Benchmarks or metrics missing from the baseline — a new benchmark, a
+// renamed metric, a freshly added b.ReportMetric — and zero baseline
+// values produce no entry at all: dividing by a missing or zero
+// baseline would mint NaN/Inf, which json.Marshal rejects and which
+// would take the whole BENCH file down with it. Non-finite inputs on
+// either side are skipped for the same reason.
+func computeDeltas(baseline, current *Section) map[string]map[string]float64 {
+	if baseline == nil || current == nil {
+		return nil
+	}
+	out := map[string]map[string]float64{}
+	for name, cur := range current.Benchmarks {
+		base, ok := baseline.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		for unit, cv := range cur.Metrics {
+			bv, ok := base.Metrics[unit]
+			if !ok || bv == 0 || math.IsNaN(bv) || math.IsInf(bv, 0) ||
+				math.IsNaN(cv) || math.IsInf(cv, 0) {
+				continue
+			}
+			if out[name] == nil {
+				out[name] = map[string]float64{}
+			}
+			out[name][unit] = cv / bv
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func main() {
@@ -83,6 +123,7 @@ func main() {
 		}
 		f.Baseline = &base
 	}
+	f.Deltas = computeDeltas(f.Baseline, f.Current)
 	buf, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestComputeDeltasMismatchedBaseline is the NaN/Inf regression gate: a
+// current section carrying benchmarks and metrics the baseline never
+// recorded — or recorded as zero — must yield finite ratios only, with
+// the unusable pairs absent rather than poisoned.
+func TestComputeDeltasMismatchedBaseline(t *testing.T) {
+	baseline := &Section{Benchmarks: map[string]Result{
+		"BenchmarkShared": {Iterations: 10, Metrics: map[string]float64{
+			"ns/op":  200,
+			"zeroed": 0,   // present but zero → division would be Inf
+			"p99-us": 100, // metric dropped from current
+		}},
+		"BenchmarkRetired": {Iterations: 1, Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	current := &Section{Benchmarks: map[string]Result{
+		"BenchmarkShared": {Iterations: 10, Metrics: map[string]float64{
+			"ns/op":  100,
+			"zeroed": 7,
+			"fresh":  3, // metric absent from baseline
+		}},
+		"BenchmarkNew": {Iterations: 1, Metrics: map[string]float64{"ns/op": 9}},
+	}}
+
+	deltas := computeDeltas(baseline, current)
+	for name, metrics := range deltas {
+		for unit, v := range metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s %s: non-finite delta %v", name, unit, v)
+			}
+		}
+	}
+	if got := deltas["BenchmarkShared"]["ns/op"]; got != 0.5 {
+		t.Errorf("shared ns/op delta = %v, want 0.5", got)
+	}
+	for _, absent := range []struct{ bench, unit string }{
+		{"BenchmarkShared", "zeroed"},
+		{"BenchmarkShared", "fresh"},
+		{"BenchmarkShared", "p99-us"},
+		{"BenchmarkNew", "ns/op"},
+		{"BenchmarkRetired", "ns/op"},
+	} {
+		if _, ok := deltas[absent.bench][absent.unit]; ok {
+			t.Errorf("%s %s: delta computed from unusable baseline", absent.bench, absent.unit)
+		}
+	}
+
+	// The whole file must survive json.Marshal — NaN/Inf would error out.
+	if _, err := json.Marshal(File{Schema: "migrrdma-bench/v1",
+		Baseline: baseline, Current: current, Deltas: deltas}); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+// TestComputeDeltasNilSections: first runs have no baseline yet.
+func TestComputeDeltasNilSections(t *testing.T) {
+	if d := computeDeltas(nil, &Section{}); d != nil {
+		t.Errorf("nil baseline produced deltas %v", d)
+	}
+	if d := computeDeltas(&Section{}, nil); d != nil {
+		t.Errorf("nil current produced deltas %v", d)
+	}
+}
+
+// TestComputeDeltasNonFiniteInputs: corrupt sections (hand-edited JSON)
+// must not propagate NaN/Inf through the ratio.
+func TestComputeDeltasNonFiniteInputs(t *testing.T) {
+	baseline := &Section{Benchmarks: map[string]Result{
+		"B": {Metrics: map[string]float64{"a": math.NaN(), "b": math.Inf(1), "c": 2}},
+	}}
+	current := &Section{Benchmarks: map[string]Result{
+		"B": {Metrics: map[string]float64{"a": 1, "b": 1, "c": math.Inf(-1)}},
+	}}
+	if d := computeDeltas(baseline, current); d != nil {
+		t.Errorf("non-finite inputs produced deltas %v", d)
+	}
+}
+
+// TestParseBenchLine pins the parser the sections are built from.
+func TestParseBenchLine(t *testing.T) {
+	name, res, ok := parseBenchLine("BenchmarkCutoverPlugForward-8   3   120 ns/op   42.5 p99-us")
+	if !ok || name != "BenchmarkCutoverPlugForward" {
+		t.Fatalf("parse failed: %q %v", name, ok)
+	}
+	if res.Iterations != 3 || res.Metrics["ns/op"] != 120 || res.Metrics["p99-us"] != 42.5 {
+		t.Fatalf("parsed %+v", res)
+	}
+	if _, _, ok := parseBenchLine("ok  	migrrdma	0.010s"); ok {
+		t.Fatal("non-bench line parsed")
+	}
+}

@@ -35,6 +35,8 @@ func main() {
 	partners := flag.String("partners", "1,2,4", "partner counts for fig4c")
 	k := flag.Int("k", 4, "container count for the concurrent experiment")
 	conc := flag.Int("conc", 2, "admission cap for the concurrent experiment")
+	parallel := flag.Int("parallel", 1, "worker pool size for the fig4a/cutover sweeps (each sweep point is an independent simulation)")
+	count := flag.Int("count", 1, "replica seeds per fig4a/cutover point; the median row is reported")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -89,7 +91,7 @@ func main() {
 	}
 	if want("fig4a") {
 		run("Figure 4(a) — wait-before-stop vs #QPs", func() error {
-			rows, err := experiments.Fig4a(ints(*qps))
+			rows, err := experiments.Fig4aParallel(ints(*qps), *count, *parallel)
 			printRows(rows)
 			return err
 		})
@@ -215,7 +217,7 @@ func main() {
 
 	if want("cutover") {
 		run("Cutover modes — go-back-N vs plug-and-forward", func() error {
-			rows, err := experiments.CutoverComparison([]int{2048, 8192, 32768}, []int{1, 2}, 50)
+			rows, err := experiments.CutoverComparisonCount([]int{2048, 8192, 32768}, []int{1, 2}, 50, *count, *parallel)
 			if err != nil {
 				return err
 			}

@@ -20,7 +20,39 @@ import (
 
 	"migrrdma/internal/chaos"
 	"migrrdma/internal/runc"
+	"migrrdma/internal/sim"
 )
+
+// sweepResult is one chaos run's outcome, collected so parallel sweeps
+// print in deterministic job order regardless of completion order.
+type sweepResult struct {
+	ok         bool
+	line       string
+	violations []string
+	replay     string
+}
+
+// runSweep executes the jobs on a worker pool (sequential when
+// parallel<=1 or under -race) and prints results in job order. It
+// returns (runs, failures).
+func runSweep(jobs []func() sweepResult, parallel int, verbose bool) (int, int) {
+	results := make([]sweepResult, len(jobs))
+	sim.RunIndexed(len(jobs), parallel, func(i int) { results[i] = jobs[i]() })
+	failures := 0
+	for _, r := range results {
+		if !r.ok {
+			failures++
+			fmt.Println(r.line)
+			for _, v := range r.violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+			fmt.Printf("    replay: %s\n", r.replay)
+		} else if verbose {
+			fmt.Println(r.line)
+		}
+	}
+	return len(results), failures
+}
 
 func main() {
 	scheduleName := flag.String("schedule", "", "run only the named schedule (default: all)")
@@ -32,6 +64,7 @@ func main() {
 	cap := flag.Int("cap", 3, "admission cap for -concurrent runs")
 	abortAt := flag.String("abort-at", "", "fail-and-recover sweep: inject a hard fault at the named workflow phase (or \"all\")")
 	cutover := flag.String("cutover", "", "cutover mode: go-back-n (default tier) or plug-forward (server-migration plug tier)")
+	parallel := flag.Int("parallel", 1, "worker pool size; every (schedule, seed) run is an independent simulation, output order is unchanged")
 	flag.Parse()
 
 	mode, err := runc.ParseCutoverMode(*cutover)
@@ -88,28 +121,23 @@ func main() {
 		if *seed != 0 {
 			lo, hi = *seed, *seed
 		}
-		runs, failures := 0, 0
+		var jobs []func() sweepResult
 		for _, ph := range phases {
 			for s := lo; s <= hi; s++ {
-				rep := chaos.RunAbort(s, ph)
-				replayFlags := ""
-				if plugTier {
-					rep = chaos.RunPlugAbort(s, ph)
-					replayFlags = "-cutover plug "
-				}
-				runs++
-				if !rep.OK() {
-					failures++
-					fmt.Println(rep.String())
-					for _, v := range rep.Violations {
-						fmt.Printf("    violation: %s\n", v)
+				ph, s := ph, s
+				jobs = append(jobs, func() sweepResult {
+					rep := chaos.RunAbort(s, ph)
+					replayFlags := ""
+					if plugTier {
+						rep = chaos.RunPlugAbort(s, ph)
+						replayFlags = "-cutover plug "
 					}
-					fmt.Printf("    replay: migrchaos %s-abort-at %s -seed %d -v\n", replayFlags, ph, s)
-				} else if *verbose {
-					fmt.Println(rep.String())
-				}
+					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
+						replay: fmt.Sprintf("migrchaos %s-abort-at %s -seed %d -v", replayFlags, ph, s)}
+				})
 			}
 		}
+		runs, failures := runSweep(jobs, *parallel, *verbose)
 		fmt.Printf("%d runs, %d failures\n", runs, failures)
 		if failures > 0 {
 			os.Exit(1)
@@ -140,40 +168,29 @@ func main() {
 		lo, hi = *seed, *seed
 	}
 
-	runs, failures := 0, 0
+	var jobs []func() sweepResult
 	for _, sched := range schedules {
 		for s := lo; s <= hi; s++ {
-			var ok bool
-			var line string
-			var violations []string
-			var replay string
-			switch {
-			case *concurrent:
-				rep := chaos.RunConcurrent(s, sched, *cap)
-				ok, line, violations = rep.OK(), rep.String(), rep.Violations
-				replay = fmt.Sprintf("migrchaos -concurrent -cap %d -schedule %s -seed %d -v", *cap, sched.Name, s)
-			case plugTier:
-				rep := chaos.RunPlug(s, sched)
-				ok, line, violations = rep.OK(), rep.String(), rep.Violations
-				replay = fmt.Sprintf("migrchaos -cutover plug -schedule %s -seed %d -v", sched.Name, s)
-			default:
-				rep := chaos.Run(s, sched)
-				ok, line, violations = rep.OK(), rep.String(), rep.Violations
-				replay = fmt.Sprintf("migrchaos -schedule %s -seed %d -v", sched.Name, s)
-			}
-			runs++
-			if !ok {
-				failures++
-				fmt.Println(line)
-				for _, v := range violations {
-					fmt.Printf("    violation: %s\n", v)
+			sched, s := sched, s
+			jobs = append(jobs, func() sweepResult {
+				switch {
+				case *concurrent:
+					rep := chaos.RunConcurrent(s, sched, *cap)
+					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
+						replay: fmt.Sprintf("migrchaos -concurrent -cap %d -schedule %s -seed %d -v", *cap, sched.Name, s)}
+				case plugTier:
+					rep := chaos.RunPlug(s, sched)
+					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
+						replay: fmt.Sprintf("migrchaos -cutover plug -schedule %s -seed %d -v", sched.Name, s)}
+				default:
+					rep := chaos.Run(s, sched)
+					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
+						replay: fmt.Sprintf("migrchaos -schedule %s -seed %d -v", sched.Name, s)}
 				}
-				fmt.Printf("    replay: %s\n", replay)
-			} else if *verbose {
-				fmt.Println(line)
-			}
+			})
 		}
 	}
+	runs, failures := runSweep(jobs, *parallel, *verbose)
 	fmt.Printf("%d runs, %d failures\n", runs, failures)
 	if failures > 0 {
 		os.Exit(1)

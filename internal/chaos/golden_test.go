@@ -8,70 +8,20 @@ import (
 	"testing"
 )
 
-// goldenSeeds are the fixed seeds the determinism goldens are captured
-// at. Three seeds per schedule catches reorderings that a single seed's
-// event pattern happens to mask.
-var goldenSeeds = []int64{1, 7, 13}
-
 // goldenEntry pins the trace hash and final metrics snapshot hash of
-// one (mode, schedule, seed) run.
-type goldenEntry struct {
-	Mode     string `json:"mode"` // "single" or "concurrent"
-	Schedule string `json:"schedule"`
-	Seed     int64  `json:"seed"`
-	Trace    string `json:"trace"`
-	Metrics  string `json:"metrics"`
-}
+// one (mode, schedule, seed) run. It is the on-disk shape of a
+// GoldenResult.
+type goldenEntry = GoldenResult
 
 const goldenPath = "testdata/golden_hashes.json"
 
-// concurrentGoldenCap is the admission cap golden concurrent runs use.
-const concurrentGoldenCap = 2
-
-// collectGoldens runs every schedule at every golden seed and returns
-// the resulting hash entries in a stable order.
+// collectGoldens runs every golden scenario sequentially and returns
+// the resulting hash entries in the stable recording order. The
+// scenario list itself lives in GoldenJobs (parallel.go) so the
+// sequential gate and the workers-matrix equivalence test cover exactly
+// the same set.
 func collectGoldens() []goldenEntry {
-	var out []goldenEntry
-	for _, sched := range Schedules() {
-		for _, seed := range goldenSeeds {
-			rep := Run(seed, sched)
-			out = append(out, goldenEntry{
-				Mode: "single", Schedule: sched.Name, Seed: seed,
-				Trace: rep.TraceHash, Metrics: rep.Metrics.Hash(),
-			})
-		}
-	}
-	for _, sched := range ConcurrentSchedules() {
-		for _, seed := range goldenSeeds {
-			rep := RunConcurrent(seed, sched, concurrentGoldenCap)
-			out = append(out, goldenEntry{
-				Mode: "concurrent", Schedule: sched.Name, Seed: seed,
-				Trace: rep.TraceHash, Metrics: rep.Metrics.Hash(),
-			})
-		}
-	}
-	// Plug-forward cutover: success schedules plus an abort at every
-	// phase. These pin the plug's buffer/flush event order (the "plug"
-	// ledger events) on top of the usual transport trace.
-	for _, sched := range PlugSchedules() {
-		for _, seed := range goldenSeeds {
-			rep := RunPlug(seed, sched)
-			out = append(out, goldenEntry{
-				Mode: "plug", Schedule: sched.Name, Seed: seed,
-				Trace: rep.TraceHash, Metrics: rep.Metrics.Hash(),
-			})
-		}
-	}
-	for _, phase := range PlugAbortPhases() {
-		for _, seed := range goldenSeeds {
-			rep := RunPlugAbort(seed, phase)
-			out = append(out, goldenEntry{
-				Mode: "plug-abort", Schedule: "plug-abort@" + phase, Seed: seed,
-				Trace: rep.TraceHash, Metrics: rep.Metrics.Hash(),
-			})
-		}
-	}
-	return out
+	return RunGoldenJobs(GoldenJobs(), 1)
 }
 
 // TestGoldenHashes is the cross-seed determinism regression gate: the

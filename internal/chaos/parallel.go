@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"strconv"
+
+	"migrrdma/internal/sim"
+)
+
+// This file enumerates every golden chaos scenario as an independent
+// job and runs job sets across worker pools. Each job is one
+// self-contained simulation (its own Scheduler, Network, hosts), so
+// jobs share no mutable state and any worker count must reproduce the
+// sequential hashes byte for byte — the workers-matrix equivalence
+// test in parallel_test.go pins that against testdata/golden_hashes.json.
+
+// GoldenSeeds are the fixed seeds the determinism goldens are captured
+// at. Three seeds per schedule catches reorderings that a single seed's
+// event pattern happens to mask.
+var GoldenSeeds = []int64{1, 7, 13}
+
+// ConcurrentGoldenCap is the admission cap golden concurrent runs use.
+const ConcurrentGoldenCap = 2
+
+// GoldenResult is the pinned outcome of one golden scenario.
+type GoldenResult struct {
+	Mode     string `json:"mode"`
+	Schedule string `json:"schedule"`
+	Seed     int64  `json:"seed"`
+	Trace    string `json:"trace"`
+	Metrics  string `json:"metrics"`
+}
+
+// Key identifies the scenario in diagnostics and golden lookups.
+func (r GoldenResult) Key() string {
+	return r.Mode + "/" + r.Schedule + "/" + strconv.FormatInt(r.Seed, 10)
+}
+
+// GoldenJob is one runnable golden scenario.
+type GoldenJob struct {
+	Mode     string
+	Schedule string
+	Seed     int64
+	// Run executes the scenario and returns its (trace, metrics) hashes.
+	Run func() (trace, metrics string)
+}
+
+// GoldenJobs enumerates every golden scenario — single, concurrent,
+// plug and plug-abort across all golden seeds — in the stable order the
+// golden file is recorded in.
+func GoldenJobs() []GoldenJob {
+	var jobs []GoldenJob
+	for _, sched := range Schedules() {
+		for _, seed := range GoldenSeeds {
+			sched, seed := sched, seed
+			jobs = append(jobs, GoldenJob{Mode: "single", Schedule: sched.Name, Seed: seed,
+				Run: func() (string, string) {
+					rep := Run(seed, sched)
+					return rep.TraceHash, rep.Metrics.Hash()
+				}})
+		}
+	}
+	for _, sched := range ConcurrentSchedules() {
+		for _, seed := range GoldenSeeds {
+			sched, seed := sched, seed
+			jobs = append(jobs, GoldenJob{Mode: "concurrent", Schedule: sched.Name, Seed: seed,
+				Run: func() (string, string) {
+					rep := RunConcurrent(seed, sched, ConcurrentGoldenCap)
+					return rep.TraceHash, rep.Metrics.Hash()
+				}})
+		}
+	}
+	for _, sched := range PlugSchedules() {
+		for _, seed := range GoldenSeeds {
+			sched, seed := sched, seed
+			jobs = append(jobs, GoldenJob{Mode: "plug", Schedule: sched.Name, Seed: seed,
+				Run: func() (string, string) {
+					rep := RunPlug(seed, sched)
+					return rep.TraceHash, rep.Metrics.Hash()
+				}})
+		}
+	}
+	for _, phase := range PlugAbortPhases() {
+		for _, seed := range GoldenSeeds {
+			phase, seed := phase, seed
+			jobs = append(jobs, GoldenJob{Mode: "plug-abort", Schedule: "plug-abort@" + phase, Seed: seed,
+				Run: func() (string, string) {
+					rep := RunPlugAbort(seed, phase)
+					return rep.TraceHash, rep.Metrics.Hash()
+				}})
+		}
+	}
+	return jobs
+}
+
+// RunGoldenJobs executes the jobs on a pool of workers and returns
+// results in input order regardless of completion order. Under the race
+// detector the pool degrades to one worker (sim.RaceEnabled), matching
+// the shard engine's sequential fallback.
+func RunGoldenJobs(jobs []GoldenJob, workers int) []GoldenResult {
+	out := make([]GoldenResult, len(jobs))
+	sim.RunIndexed(len(jobs), workers, func(i int) {
+		j := jobs[i]
+		tr, me := j.Run()
+		out[i] = GoldenResult{Mode: j.Mode, Schedule: j.Schedule, Seed: j.Seed,
+			Trace: tr, Metrics: me}
+	})
+	return out
+}

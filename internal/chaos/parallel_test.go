@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"migrrdma/internal/sim"
+)
+
+// TestParallelGoldenEquivalence is the parallel engine's acceptance
+// gate: every golden chaos schedule, run across worker pools at
+// workers ∈ {1, 2, 4, 8}, must reproduce the checked-in golden hashes
+// byte for byte. A divergence at any worker count means shared mutable
+// state leaked between simulations (a package-level variable, a shared
+// RNG, a shared registry) — exactly the class of bug the shard engine
+// must exclude. Under -race the pool degrades to one worker
+// (sim.RaceEnabled) and the test still verifies the full golden set.
+func TestParallelGoldenEquivalence(t *testing.T) {
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens: %v", err)
+	}
+	var want []GoldenResult
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantBy := make(map[string]GoldenResult, len(want))
+	for _, e := range want {
+		wantBy[e.Key()] = e
+	}
+
+	jobs := GoldenJobs()
+	if len(jobs) != len(want) {
+		t.Fatalf("enumerated %d golden jobs, golden file has %d", len(jobs), len(want))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		if sim.RaceEnabled && workers > 1 {
+			t.Logf("race detector: workers=%d degrades to sequential", workers)
+		}
+		got := RunGoldenJobs(jobs, workers)
+		for _, g := range got {
+			w, ok := wantBy[g.Key()]
+			if !ok {
+				t.Errorf("workers=%d %s: no golden recorded", workers, g.Key())
+				continue
+			}
+			if g.Trace != w.Trace || g.Metrics != w.Metrics {
+				t.Errorf("workers=%d %s: hashes drifted\n  want trace=%s metrics=%s\n  got  trace=%s metrics=%s",
+					workers, g.Key(), w.Trace, w.Metrics, g.Trace, g.Metrics)
+			}
+		}
+	}
+}
+
+// TestRunGoldenJobsOrderStable: results come back in input order no
+// matter the completion order of the pool.
+func TestRunGoldenJobsOrderStable(t *testing.T) {
+	jobs := GoldenJobs()[:6]
+	seq := RunGoldenJobs(jobs, 1)
+	par := RunGoldenJobs(jobs, 4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("slot %d: sequential %+v != parallel %+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -19,7 +19,9 @@ import (
 
 // Host is one server.
 type Host struct {
-	Name    string
+	Name string
+	// Shard is the host's shard index under NewSharded (0 otherwise).
+	Shard   int
 	Sched   *sim.Scheduler
 	Net     *fabric.Network
 	Mux     *fabric.Mux
@@ -42,6 +44,13 @@ type Cluster struct {
 	// (fabric ports, RNICs, migration daemons) registers into it so one
 	// snapshot captures the whole testbed.
 	Metrics *metrics.Registry
+
+	// Group and IC are set by NewSharded only: the shard group driving
+	// per-host schedulers and the mailbox interconnect between their
+	// Networks. Sched/Net/Metrics are nil in that mode — state is
+	// per-host (see Host.Sched/Net/Metrics).
+	Group *sim.ShardGroup
+	IC    *fabric.Interconnect
 }
 
 // Config selects component parameters for every host.

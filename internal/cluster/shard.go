@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"migrrdma/internal/criu"
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/oob"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/sim"
+)
+
+// NewSharded builds the testbed with one shard per host: every host
+// owns a full Scheduler (via its shard), a fabric Network attached to
+// the group interconnect, and a private metrics registry, so shard
+// workers can advance hosts concurrently with no shared mutable state.
+// Cross-host frames — RDMA traffic, OOB control, CRIU image transfer —
+// travel through the interconnect's bounded mailboxes, drained at
+// window barriers.
+//
+// The returned Cluster has Group and IC set and Sched/Net/Metrics nil:
+// sharded consumers must talk to a specific host's Sched/Net/Metrics,
+// which is exactly the discipline that keeps windows data-race-free.
+func NewSharded(cfg Config, names ...string) *Cluster {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	fabCfg := cfg.Fabric
+	if fabCfg.PropDelay == 0 {
+		fabCfg.PropDelay = fabric.DefaultConfig().PropDelay
+	}
+	// Conservative lookahead = the minimum cross-host latency, which in
+	// this single-switch fabric is the per-hop propagation delay.
+	g := sim.NewShardGroup(seed, len(names), fabCfg.PropDelay)
+	ic := fabric.NewInterconnect(g, fabCfg)
+	c := &Cluster{Group: g, IC: ic, Hosts: make(map[string]*Host)}
+	for i, name := range names {
+		s := g.Shard(i)
+		net := ic.Net(i)
+		nicCfg := cfg.NIC
+		nicCfg.Metrics = ic.Registry(i)
+		mux := fabric.NewMux(net, name)
+		h := &Host{
+			Name:     name,
+			Shard:    i,
+			Sched:    s,
+			Net:      net,
+			Mux:      mux,
+			Dev:      rnic.NewDevice(net, mux, name, nicCfg),
+			Hub:      oob.NewHub(net, mux, name),
+			Metrics:  ic.Registry(i),
+			xferWait: make(map[uint64]*sim.Cond),
+			rxCount:  make(map[uint64]struct{}),
+		}
+		h.CRIU = criu.New(h, cfg.CRIU)
+		mux.Register(portXfer, h.onXfer)
+		mux.Register(portXferAck, h.onXferAck)
+		c.Hosts[name] = h
+	}
+	return c
+}

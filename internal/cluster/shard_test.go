@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// shardedXfer drives a three-host sharded cluster: each host streams a
+// CRIU-style bulk transfer to its successor with RNG-jittered start
+// times, and the digest folds per-host completion times and fabric
+// counters.
+func shardedXfer(t *testing.T, workers int, seed int64) uint64 {
+	t.Helper()
+	names := []string{"s1", "s2", "s3"}
+	c := NewSharded(Config{Seed: seed}, names...)
+	c.Group.SetWorkers(workers)
+	done := make([]time.Duration, len(names))
+	for i, name := range names {
+		i, name := i, name
+		h := c.Host(name)
+		peer := names[(i+1)%len(names)]
+		h.Sched.Go("xfer-"+name, func() {
+			h.Sched.Sleep(time.Duration(h.Sched.Rand().Intn(50)) * time.Microsecond)
+			h.TransferTo(peer, 1<<20)
+			done[i] = h.Sched.Now()
+		})
+	}
+	c.Group.Run()
+
+	hash := fnv.New64a()
+	for i, name := range names {
+		rx, tx := c.Host(name).Net.Bytes(name)
+		fmt.Fprintf(hash, "%s done=%d rx=%d tx=%d\n", name, done[i], rx, tx)
+	}
+	return hash.Sum64()
+}
+
+// TestShardedClusterDeterministicAcrossWorkers: the full host stack —
+// mux dispatch, bulk transfer self-clocking, ack round trips — crossing
+// shard boundaries is bit-identical at every worker count.
+func TestShardedClusterDeterministicAcrossWorkers(t *testing.T) {
+	base := shardedXfer(t, 1, 5)
+	for _, w := range []int{2, 3} {
+		if d := shardedXfer(t, w, 5); d != base {
+			t.Errorf("workers=%d digest %x != sequential %x", w, d, base)
+		}
+	}
+	if shardedXfer(t, 1, 6) == base {
+		t.Error("digest insensitive to seed")
+	}
+}
+
+// TestShardedClusterHostOwnership: every host must sit on its own shard
+// with a private scheduler and registry.
+func TestShardedClusterHostOwnership(t *testing.T) {
+	c := NewSharded(Config{Seed: 1}, "a", "b")
+	if c.Group.Shards() != 2 {
+		t.Fatalf("shards = %d, want 2", c.Group.Shards())
+	}
+	ha, hb := c.Host("a"), c.Host("b")
+	if ha.Sched == hb.Sched || ha.Net == hb.Net || ha.Metrics == hb.Metrics {
+		t.Fatal("sharded hosts share state")
+	}
+	if ha.Sched != c.Group.Shard(ha.Shard) {
+		t.Fatal("host scheduler is not its shard's scheduler")
+	}
+	if own, ok := c.IC.Owner("b"); !ok || own != hb.Shard {
+		t.Fatalf("interconnect owner(b) = %d,%v", own, ok)
+	}
+}

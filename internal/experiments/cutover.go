@@ -58,9 +58,15 @@ func (r CutoverRow) String() string {
 // byte-identical workload and migration timeline up to the cutover.
 const cutoverSeed = 61
 
-// RunCutover measures one cutover configuration.
+// RunCutover measures one cutover configuration at the canonical seed.
 func RunCutover(mode runc.CutoverMode, msgSize, qps, messages int) (CutoverRow, error) {
-	cfg := cluster.FastCheckpointTestbed(cutoverSeed)
+	return RunCutoverSeeded(mode, msgSize, qps, messages, cutoverSeed)
+}
+
+// RunCutoverSeeded is RunCutover at an explicit seed, for replicated
+// runs (CutoverComparisonCount, the -count benchmarks).
+func RunCutoverSeeded(mode runc.CutoverMode, msgSize, qps, messages int, seed int64) (CutoverRow, error) {
+	cfg := cluster.FastCheckpointTestbed(seed)
 	// Split accounting keeps the retransmission column free of
 	// PSN-window duplicate rejects, so "retx=0" means what it says.
 	cfg.NIC.SplitRetxAccounting = true
@@ -124,17 +130,5 @@ func RunCutover(mode runc.CutoverMode, msgSize, qps, messages int) (CutoverRow, 
 // sizes and QP counts. Rows come out grouped by (size, qps) with the
 // go-back-N row directly before its plug-forward counterpart.
 func CutoverComparison(sizes, qpCounts []int, messages int) ([]CutoverRow, error) {
-	var rows []CutoverRow
-	for _, sz := range sizes {
-		for _, qps := range qpCounts {
-			for _, mode := range []runc.CutoverMode{runc.CutoverGoBackN, runc.CutoverPlugForward} {
-				row, err := RunCutover(mode, sz, qps, messages)
-				if err != nil {
-					return nil, fmt.Errorf("%v msg=%d qps=%d: %w", mode, sz, qps, err)
-				}
-				rows = append(rows, row)
-			}
-		}
-	}
-	return rows, nil
+	return CutoverComparisonCount(sizes, qpCounts, messages, 1, 1)
 }

@@ -41,11 +41,20 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// fig4BaseSeed is the seed the canonical Fig. 4 rows are captured at;
+// replicated sweeps derive per-replica seeds from it (Fig4SeedFor).
+const fig4BaseSeed = 13
+
 // Fig4 measures wait-before-stop with n QPs of msgSize messages spread
-// over the given partner nodes (queue depth 64, §5.4). The migrated
-// container is the sender, so the full send window is in flight at
-// suspension time.
+// over the given partner nodes (queue depth 64, §5.4) at the canonical
+// seed.
 func Fig4(n, msgSize, partners int) (Fig4Row, error) {
+	return Fig4Seeded(n, msgSize, partners, fig4BaseSeed)
+}
+
+// Fig4Seeded is Fig4 at an explicit seed. The migrated container is the
+// sender, so the full send window is in flight at suspension time.
+func Fig4Seeded(n, msgSize, partners int, seed int64) (Fig4Row, error) {
 	nodes := []string{"src", "dst"}
 	var targets []perftest.Target
 	var servers []*perftest.Server
@@ -55,7 +64,7 @@ func Fig4(n, msgSize, partners int) (Fig4Row, error) {
 	// Wait-before-stop is independent of checkpoint costs; the light
 	// CRIU configuration keeps the line-rate traffic window (and thus
 	// the simulated message count) small.
-	cfg := cluster.FastCheckpointTestbed(13)
+	cfg := cluster.FastCheckpointTestbed(seed)
 	r := NewRigCfg(cfg, nodes...)
 	opts := perftest.Options{Verb: rnic.OpSend, MsgSize: msgSize, QueueDepth: 64, NumQPs: n, Messages: 0}
 	// One perftest server per partner (the paper's one-to-many mode).

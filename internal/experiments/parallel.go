@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"migrrdma/internal/runc"
+	"migrrdma/internal/sim"
+)
+
+// This file parallelizes the embarrassingly-parallel sweeps: every
+// (sweep point, replica seed) pair is one self-contained simulation —
+// its own scheduler, fabric, hosts — so a worker pool can run them
+// concurrently and must reproduce the sequential rows exactly (the
+// pool only changes wall-clock, never which jobs run or at what seed).
+// Replicas exist because a single seed's p99/WBS is one sample of a
+// discrete event pattern; the median across derived seeds is the
+// stable statistic the benchmarks report.
+
+// Fig4SeedFor returns replica rep's seed for the Fig. 4 sweeps: replica
+// 0 is the canonical seed (so reps=1 reproduces the recorded rows) and
+// later replicas are splitmix64 derivations of it.
+func Fig4SeedFor(rep int) int64 {
+	if rep == 0 {
+		return fig4BaseSeed
+	}
+	return sim.DeriveSeed(fig4BaseSeed, rep)
+}
+
+// CutoverSeedFor returns replica rep's seed for the cutover comparison,
+// anchored at the canonical cutoverSeed the same way.
+func CutoverSeedFor(rep int) int64 {
+	if rep == 0 {
+		return cutoverSeed
+	}
+	return sim.DeriveSeed(cutoverSeed, rep)
+}
+
+// Fig4aParallel is the Fig. 4(a) sweep fanned out over a worker pool:
+// every (QP count, replica) pair runs as an independent job, and each
+// QP point reports its median-by-WBS replica row. reps=1, workers=1
+// reproduces Fig4a exactly.
+func Fig4aParallel(qps []int, reps, workers int) ([]Fig4Row, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	type job struct{ point, rep int }
+	var jobs []job
+	for p := range qps {
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, job{point: p, rep: r})
+		}
+	}
+	rows := make([]Fig4Row, len(jobs))
+	errs := make([]error, len(jobs))
+	sim.RunIndexed(len(jobs), workers, func(i int) {
+		j := jobs[i]
+		rows[i], errs[i] = Fig4Seeded(qps[j.point], 4096, 1, Fig4SeedFor(j.rep))
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fig4a n=%d rep=%d: %w", qps[jobs[i].point], jobs[i].rep, err)
+		}
+	}
+	out := make([]Fig4Row, 0, len(qps))
+	for p := range qps {
+		reprows := make([]Fig4Row, 0, reps)
+		for i, j := range jobs {
+			if j.point == p {
+				reprows = append(reprows, rows[i])
+			}
+		}
+		sort.Slice(reprows, func(a, b int) bool { return reprows[a].WBS < reprows[b].WBS })
+		out = append(out, reprows[(len(reprows)-1)/2])
+	}
+	return out, nil
+}
+
+// CutoverComparisonCount is CutoverComparison with count replicas per
+// (mode, size, qps) cell run across a worker pool; each cell reports
+// its median-by-p99 replica row. count=1 reproduces the sequential
+// comparison's rows.
+func CutoverComparisonCount(sizes, qpCounts []int, messages, count, workers int) ([]CutoverRow, error) {
+	if count < 1 {
+		count = 1
+	}
+	modes := []runc.CutoverMode{runc.CutoverGoBackN, runc.CutoverPlugForward}
+	type job struct {
+		cell int // index into the grouped output order
+		mode runc.CutoverMode
+		sz   int
+		qps  int
+		rep  int
+	}
+	var jobs []job
+	cells := 0
+	for _, sz := range sizes {
+		for _, qps := range qpCounts {
+			for _, mode := range modes {
+				for r := 0; r < count; r++ {
+					jobs = append(jobs, job{cell: cells, mode: mode, sz: sz, qps: qps, rep: r})
+				}
+				cells++
+			}
+		}
+	}
+	rows := make([]CutoverRow, len(jobs))
+	errs := make([]error, len(jobs))
+	sim.RunIndexed(len(jobs), workers, func(i int) {
+		j := jobs[i]
+		rows[i], errs[i] = RunCutoverSeeded(j.mode, j.sz, j.qps, messages, CutoverSeedFor(j.rep))
+	})
+	for i, err := range errs {
+		if err != nil {
+			j := jobs[i]
+			return nil, fmt.Errorf("%v msg=%d qps=%d rep=%d: %w", j.mode, j.sz, j.qps, j.rep, err)
+		}
+	}
+	out := make([]CutoverRow, 0, cells)
+	for c := 0; c < cells; c++ {
+		cellRows := make([]CutoverRow, 0, count)
+		for i, j := range jobs {
+			if j.cell == c {
+				cellRows = append(cellRows, rows[i])
+			}
+		}
+		sort.Slice(cellRows, func(a, b int) bool { return cellRows[a].P99 < cellRows[b].P99 })
+		out = append(out, cellRows[(len(cellRows)-1)/2])
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFig4aParallelMatchesSequential: the worker pool must only change
+// wall-clock time, never the rows — same jobs, same seeds, same medians
+// at every worker count.
+func TestFig4aParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full migration sweeps in -short mode")
+	}
+	qps := []int{8}
+	seq, err := Fig4aParallel(qps, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig4aParallel(qps, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("row %d: sequential %v != parallel %v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestFig4aParallelSingleRepCanonical: reps=1 must reproduce the
+// canonical-seed row Fig4a reports, so the parallel path is a strict
+// superset of the sequential sweep.
+func TestFig4aParallelSingleRepCanonical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full migration sweeps in -short mode")
+	}
+	canon, err := Fig4(8, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig4aParallel([]int{8}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != 1 || par[0] != canon {
+		t.Fatalf("parallel reps=1 row %v != canonical %v", par, canon)
+	}
+}
+
+// TestSeedDerivationsDistinct: replica seeds must not collide with the
+// canonical seed or each other.
+func TestSeedDerivationsDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for rep := 0; rep < 8; rep++ {
+		for _, s := range []int64{Fig4SeedFor(rep), CutoverSeedFor(rep)} {
+			seen[s]++
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("seed collisions: %d distinct of 16", len(seen))
+	}
+}

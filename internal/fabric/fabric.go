@@ -49,12 +49,21 @@ func DefaultConfig() Config {
 	return Config{Rate: 100e9, PropDelay: 1 * time.Microsecond}
 }
 
-// Network is a single-switch fabric connecting named nodes.
+// Network is a single-switch fabric connecting named nodes. In the
+// sharded configuration (see Interconnect) each shard owns one Network
+// carrying that shard's nodes; frames addressed to nodes on other
+// shards leave through the interconnect's mailboxes instead of being
+// scheduled locally.
 type Network struct {
 	sched *sim.Scheduler
 	cfg   Config
 	reg   *metrics.Registry
 	ports map[string]*port
+
+	// ic/shard bind this Network into a sharded group; nil/0 for the
+	// classic single-scheduler fabric.
+	ic    *Interconnect
+	shard int
 
 	// freeDeliveries recycles the per-frame delivery events scheduled by
 	// deliverAt, so the steady-state data path allocates no event state
@@ -174,6 +183,9 @@ func (n *Network) Rate() int64 { return n.cfg.Rate }
 func (n *Network) Attach(name string, h Handler) {
 	if _, dup := n.ports[name]; dup {
 		panic("fabric: duplicate node " + name)
+	}
+	if n.ic != nil {
+		n.ic.registerNode(name, n.shard)
 	}
 	l := metrics.Labels{"node": name}
 	n.ports[name] = &port{
@@ -304,7 +316,16 @@ func (n *Network) serializationAt(p *port, size int) time.Duration {
 // or not it is subsequently dropped.
 func (n *Network) Send(f Frame) {
 	src := n.mustPort(f.Src)
-	dst := n.mustPort(f.Dst)
+	dst, local := n.ports[f.Dst]
+	if !local {
+		// A node this Network has never heard of: either it lives on
+		// another shard of an interconnected group, or it is a typo.
+		if n.ic != nil {
+			n.ic.sendRemote(n, src, f)
+			return
+		}
+		panic("fabric: unknown node " + f.Dst)
+	}
 	now := n.sched.Now()
 	if src.partitioned || dst.partitioned {
 		dst.drop()
@@ -315,16 +336,31 @@ func (n *Network) Send(f Frame) {
 		dst.drop()
 		return
 	}
-	// Uplink: source NIC → switch.
-	start := now
+	arriveSwitch := n.serializeUplink(src, f.Size) + n.cfg.PropDelay
+	n.deliverDownlink(dst, f, arriveSwitch, now)
+}
+
+// serializeUplink books the frame onto the source uplink (source NIC →
+// switch) and returns the time the last bit leaves the NIC.
+func (n *Network) serializeUplink(src *port, size int) time.Duration {
+	start := n.sched.Now()
 	if src.upBusy > start {
 		start = src.upBusy
 	}
-	src.upBusy = start + n.serializationAt(src, f.Size)
-	src.txBytes += int64(f.Size)
-	src.mTxBytes.Add(int64(f.Size))
+	src.upBusy = start + n.serializationAt(src, size)
+	src.txBytes += int64(size)
+	src.mTxBytes.Add(int64(size))
 	src.mTxFrames.Inc()
-	arriveSwitch := src.upBusy + n.cfg.PropDelay
+	return src.upBusy
+}
+
+// deliverDownlink carries a frame that reaches the switch at
+// arriveSwitch onto the destination downlink: the switch-side
+// duplication draw, per-copy store-and-forward serialization, and the
+// per-copy loss/reorder draws. It is the destination half of Send,
+// shared with the shard interconnect (where it runs on the destination
+// shard, against the destination scheduler's clock and RNG).
+func (n *Network) deliverDownlink(dst *port, f Frame, arriveSwitch, now time.Duration) {
 	// Switch-side duplication: the copy re-serializes on the downlink
 	// behind the original, so it always trails it.
 	copies := 1

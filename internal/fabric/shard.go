@@ -1,0 +1,164 @@
+package fabric
+
+import (
+	"time"
+
+	"migrrdma/internal/metrics"
+	"migrrdma/internal/sim"
+)
+
+// This file is the sharded fabric: one Network (and one metrics
+// registry) per shard of a sim.ShardGroup, stitched together by
+// per-shard-pair bounded mailboxes. A frame between nodes on the same
+// shard takes exactly the classic path in fabric.go. A frame that
+// crosses shards is split at the switch:
+//
+//   - The SOURCE shard books the uplink (source serialization slot,
+//     tx accounting, source-side loss draw from the source shard's
+//     RNG) and posts (frame, switch-arrival time) into the mailbox.
+//   - The DESTINATION shard, when the group drains the mailbox at a
+//     window barrier, books the downlink (duplication, store-and-
+//     forward serialization, destination loss/reorder draws from the
+//     destination shard's RNG) and schedules the delivery on its own
+//     scheduler — including the plug-and-forward path, which is
+//     destination-side state and needs no changes.
+//
+// The split keeps every piece of mutable port state single-owner: the
+// uplink half (upBusy, tx counters) is touched only by the source
+// shard, the downlink half (downBusy, rx/delivery counters, fault
+// state, the plug) only by the destination shard. The propagation
+// delay between NIC and switch is the group's lookahead: a frame sent
+// at time u becomes visible to the destination no earlier than
+// u + PropDelay, which is exactly the bound the conservative window
+// protocol needs.
+
+// remoteFrame is a mailbox payload: the frame plus its switch-arrival
+// time, or a source-side drop that must still be accounted at the
+// destination port (Stats semantics: dropped counts frames lost on
+// the way to the node, wherever the loss happened).
+type remoteFrame struct {
+	f            Frame
+	arriveSwitch time.Duration
+	drop         bool
+}
+
+// Interconnect owns the shard Networks of one ShardGroup.
+type Interconnect struct {
+	group *sim.ShardGroup
+	cfg   Config
+	nets  []*Network
+	regs  []*metrics.Registry
+	owner map[string]int
+	// mbox[src][dst] is created lazily on the first cross-shard frame
+	// of that pair — at topology setup time, before the group runs.
+	mbox [][]*sim.Mailbox
+}
+
+// NewInterconnect builds one Network per shard of the group. Per-shard
+// metrics registries are created internally (cfg.Metrics must be nil:
+// a registry shared across shards would race); read them back with
+// Registry. PropDelay must be at least the group's lookahead, or the
+// window protocol could deliver a frame into a window that has already
+// run.
+func NewInterconnect(g *sim.ShardGroup, cfg Config) *Interconnect {
+	if cfg.Metrics != nil {
+		panic("fabric: sharded interconnect builds per-shard registries; cfg.Metrics must be nil")
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = DefaultConfig().Rate
+	}
+	if cfg.PropDelay == 0 {
+		cfg.PropDelay = DefaultConfig().PropDelay
+	}
+	if cfg.PropDelay < g.Lookahead() {
+		panic("fabric: link PropDelay below the shard group's lookahead breaks conservative delivery")
+	}
+	ic := &Interconnect{
+		group: g,
+		cfg:   cfg,
+		owner: make(map[string]int),
+		mbox:  make([][]*sim.Mailbox, g.Shards()),
+	}
+	for i := 0; i < g.Shards(); i++ {
+		ic.mbox[i] = make([]*sim.Mailbox, g.Shards())
+		shardCfg := cfg
+		reg := metrics.New(g.Shard(i).Now)
+		shardCfg.Metrics = reg
+		n := New(g.Shard(i), shardCfg)
+		n.ic = ic
+		n.shard = i
+		ic.nets = append(ic.nets, n)
+		ic.regs = append(ic.regs, reg)
+	}
+	return ic
+}
+
+// Net returns shard i's Network.
+func (ic *Interconnect) Net(i int) *Network { return ic.nets[i] }
+
+// Registry returns shard i's metrics registry.
+func (ic *Interconnect) Registry(i int) *metrics.Registry { return ic.regs[i] }
+
+// Owner reports the shard a node is attached to.
+func (ic *Interconnect) Owner(node string) (int, bool) {
+	s, ok := ic.owner[node]
+	return s, ok
+}
+
+// registerNode records node→shard ownership at Attach time, rejecting
+// the same name on two shards.
+func (ic *Interconnect) registerNode(name string, shard int) {
+	if prev, dup := ic.owner[name]; dup && prev != shard {
+		panic("fabric: node " + name + " attached on two shards")
+	}
+	ic.owner[name] = shard
+}
+
+// link returns (creating if needed) the src→dst shard mailbox with its
+// destination-side drain callback installed. Lazy creation happens
+// during topology setup — the first Send between a shard pair — which
+// precedes the group's first window.
+func (ic *Interconnect) link(src, dst int) *sim.Mailbox {
+	if m := ic.mbox[src][dst]; m != nil {
+		return m
+	}
+	m := ic.group.NewMailbox(src, dst, 0)
+	dstNet := ic.nets[dst]
+	m.SetDeliver(func(e sim.MailboxEntry) { dstNet.arriveRemote(e.Data.(*remoteFrame)) })
+	ic.mbox[src][dst] = m
+	return m
+}
+
+// sendRemote is the source half of a cross-shard Send. It runs on the
+// source shard.
+func (ic *Interconnect) sendRemote(n *Network, src *port, f Frame) {
+	dstShard, ok := ic.owner[f.Dst]
+	if !ok {
+		panic("fabric: unknown node " + f.Dst)
+	}
+	m := ic.link(n.shard, dstShard)
+	now := n.sched.Now()
+	if src.partitioned {
+		m.Put(now+ic.cfg.PropDelay, &remoteFrame{f: f, drop: true})
+		return
+	}
+	if src.lossProb > 0 && (src.lossPort == "" || src.lossPort == f.Port) &&
+		n.sched.Rand().Float64() < src.lossProb {
+		m.Put(now+ic.cfg.PropDelay, &remoteFrame{f: f, drop: true})
+		return
+	}
+	arriveSwitch := n.serializeUplink(src, f.Size) + ic.cfg.PropDelay
+	m.Put(arriveSwitch, &remoteFrame{f: f, arriveSwitch: arriveSwitch})
+}
+
+// arriveRemote is the destination half: it runs at a window barrier on
+// the destination shard's Network, with the destination scheduler
+// idle, and books the downlink exactly as a local Send would.
+func (n *Network) arriveRemote(rf *remoteFrame) {
+	dst := n.mustPort(rf.f.Dst)
+	if rf.drop || dst.partitioned {
+		dst.drop()
+		return
+	}
+	n.deliverDownlink(dst, rf.f, rf.arriveSwitch, n.sched.Now())
+}

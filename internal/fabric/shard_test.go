@@ -1,0 +1,151 @@
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+	"time"
+
+	"migrrdma/internal/metrics"
+	"migrrdma/internal/sim"
+)
+
+// shardedTraffic drives a two-shard interconnect: hosts a0/a1 on shard
+// 0, hosts b0/b1 on shard 1, each sending a jittered mix of local and
+// cross-shard frames while the destination ports carry loss, duplicate
+// and reorder faults. Every delivery is logged with its (time, src,
+// dst, payload) and the per-shard logs fold into a digest; drop/fault
+// counters are folded in too, so source-side loss accounting is also
+// pinned.
+func shardedTraffic(t *testing.T, workers int, seed int64) uint64 {
+	t.Helper()
+	g := sim.NewShardGroup(seed, 2, time.Microsecond)
+	g.SetWorkers(workers)
+	ic := NewInterconnect(g, Config{})
+
+	hosts := [][]string{{"a0", "a1"}, {"b0", "b1"}}
+	logs := make([][]string, 2)
+	for shard, names := range hosts {
+		shard := shard
+		n := ic.Net(shard)
+		for _, name := range names {
+			name := name
+			n.Attach(name, func(f Frame) {
+				logs[shard] = append(logs[shard],
+					fmt.Sprintf("%d %s->%s %s", n.Scheduler().Now(), f.Src, f.Dst, f.Data))
+			})
+		}
+	}
+	// Faults on both sides of the cross-shard link: source-side loss is
+	// drawn on the sending shard, duplicate/reorder/destination loss on
+	// the receiving shard.
+	ic.Net(0).SetLoss("a0", 0.2)
+	ic.Net(1).SetDuplicate("b0", 0.3)
+	ic.Net(1).SetReorder("b1", 0.3, 4*time.Microsecond)
+	ic.Net(1).SetLoss("b1", 0.1)
+
+	targets := [][]string{{"a1", "b0", "b1"}, {"b1", "a0", "a1"}}
+	for shard, names := range hosts {
+		s := g.Shard(shard)
+		n := ic.Net(shard)
+		src := names[0]
+		dsts := targets[shard]
+		s.Go("traffic-"+src, func() {
+			for k := 0; k < 150; k++ {
+				s.Sleep(time.Duration(1+s.Rand().Intn(4)) * time.Microsecond)
+				dst := dsts[k%len(dsts)]
+				n.Send(Frame{Src: src, Dst: dst, Size: 256,
+					Data: []byte(fmt.Sprintf("%s#%d", src, k))})
+			}
+		})
+	}
+	g.Run()
+
+	h := fnv.New64a()
+	for shard, names := range hosts {
+		for _, l := range logs[shard] {
+			h.Write([]byte(l))
+			h.Write([]byte{'\n'})
+		}
+		for _, name := range names {
+			del, drop := ic.Net(shard).Stats(name)
+			dup, reord := ic.Net(shard).FaultStats(name)
+			fmt.Fprintf(h, "stats %s %d %d %d %d\n", name, del, drop, dup, reord)
+		}
+	}
+	return h.Sum64()
+}
+
+// TestInterconnectDeterministicAcrossWorkers pins the sharded fabric's
+// core contract: cross-shard delivery — including faults booked on both
+// the source and destination shards — is bit-identical at every worker
+// count.
+func TestInterconnectDeterministicAcrossWorkers(t *testing.T) {
+	base := shardedTraffic(t, 1, 7)
+	for _, workers := range []int{2} {
+		if d := shardedTraffic(t, workers, 7); d != base {
+			t.Errorf("workers=%d digest %x != sequential %x", workers, d, base)
+		}
+	}
+	if shardedTraffic(t, 1, 8) == base {
+		t.Error("digest insensitive to seed; workload too weak to pin determinism")
+	}
+}
+
+// TestInterconnectSourceDropAccounting: a frame lost on the source
+// shard's uplink must still appear in the destination port's dropped
+// counter (Stats semantics are destination-owned).
+func TestInterconnectSourceDropAccounting(t *testing.T) {
+	g := sim.NewShardGroup(3, 2, time.Microsecond)
+	ic := NewInterconnect(g, Config{})
+	ic.Net(0).Attach("src", nil)
+	ic.Net(1).Attach("dst", func(Frame) {})
+	ic.Net(0).SetPartitioned("src", true)
+	s := g.Shard(0)
+	s.Go("send", func() {
+		ic.Net(0).Send(Frame{Src: "src", Dst: "dst", Size: 64})
+	})
+	g.Run()
+	if del, drop := ic.Net(1).Stats("dst"); del != 0 || drop != 1 {
+		t.Fatalf("dst stats delivered=%d dropped=%d, want 0/1", del, drop)
+	}
+}
+
+// TestInterconnectRejectsSharedRegistry: one registry across shards
+// would race, so the constructor must refuse it.
+func TestInterconnectRejectsSharedRegistry(t *testing.T) {
+	g := sim.NewShardGroup(1, 2, time.Microsecond)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "cfg.Metrics must be nil") {
+			t.Fatalf("expected shared-registry panic, got %v", r)
+		}
+	}()
+	NewInterconnect(g, Config{Metrics: metrics.New(func() time.Duration { return 0 })})
+}
+
+// TestInterconnectRejectsShortPropDelay: a link faster than the group
+// lookahead breaks conservative delivery and must be refused.
+func TestInterconnectRejectsShortPropDelay(t *testing.T) {
+	g := sim.NewShardGroup(1, 2, time.Microsecond)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "PropDelay") {
+			t.Fatalf("expected PropDelay panic, got %v", r)
+		}
+	}()
+	NewInterconnect(g, Config{PropDelay: 100 * time.Nanosecond})
+}
+
+// TestInterconnectDuplicateNodeName: the same node name attached on two
+// shards is a topology bug worth an immediate panic.
+func TestInterconnectDuplicateNodeName(t *testing.T) {
+	g := sim.NewShardGroup(1, 2, time.Microsecond)
+	ic := NewInterconnect(g, Config{})
+	ic.Net(0).Attach("n", nil)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "attached on two shards") {
+			t.Fatalf("expected duplicate-node panic, got %v", r)
+		}
+	}()
+	ic.Net(1).Attach("n", nil)
+}

@@ -36,14 +36,14 @@ func (p *Proc) main(fn func()) {
 // eventually mark the proc runnable.
 func (p *Proc) park(reason string) {
 	p.blockedOn = reason
-	blockedProcs[p] = struct{}{}
+	p.s.blocked[p] = struct{}{}
 	DebugParks.Add(1)
 	if DebugTrace.Load() {
 		DebugLastPark.Store(p.name + ":" + reason)
 	}
 	p.s.yielded <- struct{}{}
 	<-p.resume
-	delete(blockedProcs, p)
+	delete(p.s.blocked, p)
 	p.blockedOn = ""
 }
 

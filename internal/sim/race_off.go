@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// RaceEnabled reports whether the binary was built with the race
+// detector; see race_on.go for why the shard engine serializes when it
+// is set.
+const RaceEnabled = false

@@ -49,6 +49,12 @@ type Scheduler struct {
 	recentHead  int // next slot to write
 	recentLen   int
 	seed        int64
+
+	// blocked tracks this scheduler's parked procs for deadlock
+	// reporting. It is per-scheduler (not package-global) so that
+	// independent schedulers — shard-group workers, parallel chaos
+	// sweeps — can run on separate goroutines without sharing state.
+	blocked map[*Proc]struct{}
 }
 
 // recentNamesSize bounds the livelock diagnostic ring.
@@ -61,6 +67,7 @@ func New(seed int64) *Scheduler {
 		yielded: make(chan struct{}),
 		rng:     rand.New(rand.NewSource(seed)),
 		seed:    seed,
+		blocked: make(map[*Proc]struct{}),
 	}
 }
 
@@ -129,6 +136,55 @@ func (s *Scheduler) RunFor(d time.Duration) {
 	if s.now < deadline && s.runqLen() == 0 {
 		s.now = deadline
 	}
+}
+
+// RunUntil executes managed procs strictly below the given horizon:
+// every runnable proc and every timer with deadline < horizon is
+// processed, and the clock is left at the last processed instant (it
+// is NOT advanced to the horizon — pending work beyond it stays
+// pending). Blocked procs are tolerated: a shard whose procs wait on
+// cross-shard traffic is not a deadlock, the next window's mailbox
+// drain may wake them. This is the per-window primitive of the
+// conservative parallel engine (see ShardGroup).
+func (s *Scheduler) RunUntil(horizon time.Duration) {
+	s.runWhile(func() bool {
+		if s.runqLen() > 0 {
+			return true
+		}
+		return len(s.timers) > 0 && s.timers[0].when < horizon
+	})
+}
+
+// NextEventTime reports the virtual time of the earliest pending work:
+// now when a proc is runnable, else the earliest timer deadline. ok is
+// false when nothing is pending. A cancelled timer at the top of the
+// heap is reported as-is — an earlier-than-real bound only shrinks the
+// caller's window, which is always safe.
+func (s *Scheduler) NextEventTime() (time.Duration, bool) {
+	if s.runqLen() > 0 {
+		return s.now, true
+	}
+	if len(s.timers) > 0 {
+		return s.timers[0].when, true
+	}
+	return 0, false
+}
+
+// LiveBlocked reports the number of non-daemon procs that are alive but
+// not runnable and have no pending wake-up — the procs a deadlock
+// report would name.
+func (s *Scheduler) LiveBlocked() int {
+	if s.live == 0 {
+		return 0
+	}
+	n := 0
+	wakeable := s.wakeableSet()
+	for p := range s.blocked {
+		if !p.done && !p.daemon && !wakeable[p] {
+			n++
+		}
+	}
+	return n
 }
 
 // Stop makes the current Run call return after the running proc next
@@ -341,33 +397,38 @@ func (s *Scheduler) AfterFuncArg(d time.Duration, fn func(any), arg any) Timer {
 	return Timer{tm: tm, gen: tm.gen}
 }
 
-// blockedReport describes the procs that are alive but not runnable, for
-// deadlock diagnostics.
-func (s *Scheduler) blockedReport() string {
-	runnable := make(map[*Proc]bool, s.runqLen())
+// wakeableSet collects the procs that have a pending wake-up: they are
+// runnable, or a live timer will ready them.
+func (s *Scheduler) wakeableSet() map[*Proc]bool {
+	wakeable := make(map[*Proc]bool, s.runqLen())
 	for _, p := range s.runq[s.runqHead:] {
-		runnable[p] = true
+		wakeable[p] = true
 	}
-	var names []string
-	// Walk timers too: procs with pending timers are not stuck.
 	for _, tm := range s.timers {
 		if tm.p != nil && !tm.cancelled {
-			runnable[tm.p] = true
+			wakeable[tm.p] = true
 		}
 	}
-	for p := range blockedProcs {
-		if p.s == s && !p.done && !p.daemon && !runnable[p] {
-			names = append(names, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+	return wakeable
+}
+
+// blockedReport describes the procs that are alive but not runnable, for
+// deadlock diagnostics: each stuck proc's name with the site it parked
+// at ("wait cq@dst", "recv work", "sleep", …), plus the ring of most
+// recently dispatched procs — the same diagnostic the livelock path
+// reports — so the report shows both who is stuck and who ran last.
+func (s *Scheduler) blockedReport() string {
+	wakeable := s.wakeableSet()
+	var names []string
+	for p := range s.blocked {
+		if !p.done && !p.daemon && !wakeable[p] {
+			names = append(names, fmt.Sprintf("%s (blocked at: %s)", p.name, p.blockedOn))
 		}
 	}
 	sort.Strings(names)
-	return fmt.Sprintf("%d proc(s) blocked forever at t=%v: %v", len(names), s.now, names)
+	return fmt.Sprintf("%d proc(s) blocked forever at t=%v: %v; recently dispatched: %v",
+		len(names), s.now, names, s.recentNameList())
 }
-
-// blockedProcs tracks parked procs across all schedulers purely for
-// deadlock reporting. Access is single-threaded by construction (only the
-// running proc mutates it).
-var blockedProcs = make(map[*Proc]struct{})
 
 // Timer is a handle to a pending AfterFunc callback. The zero value is
 // inert: Cancel on it reports false. Handles are values; copying one

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -110,6 +112,38 @@ func TestDeadlockPanics(t *testing.T) {
 	s := New(1)
 	c := NewCond(s, "never")
 	s.Go("stuck", func() { c.Wait() })
+	s.Run()
+}
+
+// TestDeadlockReportNamesAndSites pins the diagnostic content: the
+// panic must name every stuck proc with the site it parked at, so a
+// hung simulation reads as "who is waiting on what" instead of a bare
+// "deadlock".
+func TestDeadlockReportNamesAndSites(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg := fmt.Sprint(r)
+		for _, want := range []string{
+			"2 proc(s) blocked forever",
+			"cq-poller (blocked at: wait cq@dst)",
+			"rx-loop (blocked at: recv work)",
+			"recently dispatched",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("deadlock report missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	s := New(1)
+	cq := NewCond(s, "cq@dst")
+	work := NewChan[int](s, "work", 0)
+	s.Go("cq-poller", func() { cq.Wait() })
+	s.Go("rx-loop", func() { work.Recv() })
+	// A proc that finishes cleanly must not appear in the report.
+	s.Go("done-fine", func() { s.Sleep(time.Microsecond) })
 	s.Run()
 }
 

@@ -2,6 +2,7 @@ package verbs
 
 import (
 	"encoding/binary"
+	"sync/atomic"
 
 	"migrrdma/internal/mem"
 )
@@ -35,14 +36,18 @@ const (
 	dmArenaHint = mem.Addr(0x7e00_0000_0000)
 )
 
-// nextCtxInstance numbers contexts for ring arena placement. The
-// simulation is cooperatively scheduled, so a plain counter suffices.
-var nextCtxInstance mem.Addr
+// nextCtxInstance numbers contexts for ring arena placement. It is a
+// process-wide atomic, not per-simulation: independent simulations may
+// now run on concurrent goroutines (shard workers, parallel chaos
+// sweeps), and the arena hint must stay tear-free. The hint's value
+// never feeds observable behavior — MapAnywhere treats it as a
+// placement preference inside a per-process address space — so
+// cross-run counter drift cannot perturb trace hashes.
+var nextCtxInstance atomic.Uint64
 
 // ringArena returns the base hint for a fresh context's rings.
 func ringArena() mem.Addr {
-	nextCtxInstance++
-	return ringHintBase + nextCtxInstance*ringHintSpacing
+	return ringHintBase + mem.Addr(nextCtxInstance.Add(1))*ringHintSpacing
 }
 
 // mapRing maps a library ring of n slots and returns its base address.
