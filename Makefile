@@ -19,7 +19,13 @@ BENCH6_PATTERN = ^(BenchmarkCutoverGoBackN|BenchmarkCutoverPlugForward)$$
 BENCH7_PATTERN = ^(BenchmarkShardRingWorkers1|BenchmarkShardRingWorkers8|BenchmarkFig4aSweepSeq|BenchmarkFig4aSweepParallel8|BenchmarkCutoverGoBackN|BenchmarkCutoverPlugForward)$$
 BENCH7_PKGS = . ./internal/sim
 
-.PHONY: all build vet test test-race chaos chaos-abort chaos-plug fuzz check bench bench-smoke bench-cutover bench-parallel
+# Tenancy benchmarks: migrate a container carrying hundreds to
+# thousands of multiplexed tenant sessions through both cutover modes
+# (blackout, RDMA replay, image pages, acked ops). `make bench-tenancy`
+# records the scaling sweep in BENCH_8.json.
+BENCH8_PATTERN = ^(BenchmarkTenancySessions250|BenchmarkTenancySessions1000|BenchmarkTenancySessions2000|BenchmarkTenancyPlugForward2000)$$
+
+.PHONY: all build vet test test-race chaos chaos-abort chaos-plug chaos-tenant fuzz check bench bench-smoke bench-cutover bench-parallel bench-tenancy
 
 all: build
 
@@ -37,7 +43,7 @@ test-race:
 
 # Deterministic chaos sweep: every fault schedule in the library × 32
 # seeds, with invariant checking, plus the workers-matrix golden
-# equivalence gate (all 66 golden scenarios at workers 1/2/4/8 must
+# equivalence gate (all 75 golden scenarios at workers 1/2/4/8 must
 # reproduce the checked-in hashes byte for byte). Replay a failure with
 #   go run ./cmd/migrchaos -schedule <name> -seed <n> -v
 chaos:
@@ -61,6 +67,15 @@ chaos-plug:
 	$(GO) run ./cmd/migrchaos -cutover plug -seeds 32
 	$(GO) run ./cmd/migrchaos -cutover plug -abort-at all -seeds 8
 	$(GO) test -race ./internal/chaos -run TestPlugVsGoBackN
+
+# Tenancy tier: the multi-tenant mux's chaos schedules (session churn
+# pinned to migration phases, per-tenant exactly-once/isolation
+# invariants) across the golden seeds, plus the workers-matrix
+# determinism replay of the tenant golden jobs. Replay a failure with
+#   go test ./internal/chaos -run TestTenantSchedules -v
+chaos-tenant:
+	$(GO) test ./internal/chaos -run 'TestTenant'
+	$(GO) test ./internal/tenant
 
 # Fuzz smoke over the wire-format decoder and the transport fault-script
 # harness (go test fuzzes one target per invocation).
@@ -88,10 +103,18 @@ bench-parallel:
 	$(GO) test -run '^$$' -bench '$(BENCH7_PATTERN)' -benchtime 3x $(BENCH7_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_7.json
 
+# Record the tenancy scaling sweep in BENCH_8.json. -benchtime 3x gives
+# each (mode, sessions) point three replica seeds; the reported row is
+# the median by blackout.
+bench-tenancy:
+	$(GO) test -run '^$$' -bench '$(BENCH8_PATTERN)' -benchtime 3x -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -out BENCH_8.json
+
 # One-iteration smoke over the same benchmarks: catches bench rot
 # (compile errors, setup panics) without timing flakiness. CI runs this.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench '$(BENCH6_PATTERN)' -benchtime 1x .
+	$(GO) test -run '^$$' -bench '^BenchmarkTenancySessions250$$' -benchtime 1x .
 
-check: vet test bench-smoke chaos chaos-plug fuzz test-race
+check: vet test bench-smoke chaos chaos-plug chaos-tenant fuzz test-race

@@ -237,6 +237,41 @@ func benchCutover(b *testing.B, mode runc.CutoverMode) {
 func BenchmarkCutoverGoBackN(b *testing.B)     { benchCutover(b, runc.CutoverGoBackN) }
 func BenchmarkCutoverPlugForward(b *testing.B) { benchCutover(b, runc.CutoverPlugForward) }
 
+// --- Tenancy: thousands of sessions per migrated container --------------------
+
+// benchTenancy live-migrates a tenant service carrying n multiplexed
+// sessions and reports the headline consolidation numbers: the
+// blackout, the RDMA replay time (which must stay flat as n grows —
+// sessions are process state, not verbs resources), the image pages
+// and the end-to-end acked operations. Iterations run distinct derived
+// seeds and the reported row is the median by blackout, matching the
+// cutover benchmark's replica discipline.
+func benchTenancy(b *testing.B, mode runc.CutoverMode, sessions int) {
+	b.Helper()
+	rows := make([]experiments.TenancyRow, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunTenancySeeded(mode, sessions, experiments.TenancySeedFor(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Blackout < rows[j].Blackout })
+	med := rows[(len(rows)-1)/2]
+	b.ReportMetric(float64(med.Blackout)/1e6, "blackout-ms")
+	b.ReportMetric(float64(med.ReplayRDMA)/1e3, "replay-us")
+	b.ReportMetric(float64(med.Pages), "pages")
+	b.ReportMetric(float64(med.Acked), "acked-ops")
+	b.ReportMetric(float64(med.DrainAfter)/1e3, "drain-us")
+}
+
+func BenchmarkTenancySessions250(b *testing.B)  { benchTenancy(b, runc.CutoverGoBackN, 250) }
+func BenchmarkTenancySessions1000(b *testing.B) { benchTenancy(b, runc.CutoverGoBackN, 1000) }
+func BenchmarkTenancySessions2000(b *testing.B) { benchTenancy(b, runc.CutoverGoBackN, 2000) }
+func BenchmarkTenancyPlugForward2000(b *testing.B) {
+	benchTenancy(b, runc.CutoverPlugForward, 2000)
+}
+
 // --- Parallel engine: sweep fan-out -------------------------------------------
 
 // benchFig4aSweep times the Fig. 4(a) sweep (two QP points × two

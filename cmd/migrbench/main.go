@@ -9,6 +9,7 @@
 //	migrbench -exp migros|latency|loss
 //	migrbench -exp concurrent -k 4 -conc 2
 //	migrbench -exp cutover
+//	migrbench -exp tenancy -sessions 250,500,1000,2000
 //	migrbench -exp ablation-keytable|ablation-wbs|ablation-rkey|ablation-partner
 //
 // Output is a textual rendition of each table/figure: the same rows or
@@ -29,7 +30,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss, cutover")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss, cutover, tenancy")
+	sessions := flag.String("sessions", "250,500,1000,2000", "comma-separated tenant session counts for the tenancy sweep")
 	qps := flag.String("qps", "16,64,256,1024", "comma-separated QP counts for fig3/fig4a/migros")
 	sizes := flag.String("sizes", "512,4096,65536,524288", "message sizes for fig4b")
 	partners := flag.String("partners", "1,2,4", "partner counts for fig4c")
@@ -218,6 +220,18 @@ func main() {
 	if want("cutover") {
 		run("Cutover modes — go-back-N vs plug-and-forward", func() error {
 			rows, err := experiments.CutoverComparisonCount([]int{2048, 8192, 32768}, []int{1, 2}, 50, *count, *parallel)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+	if want("tenancy") {
+		run("Tenancy — migrating thousands of tenant sessions (both cutover modes)", func() error {
+			rows, err := experiments.TenancySweep(ints(*sessions))
 			if err != nil {
 				return err
 			}

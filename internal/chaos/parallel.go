@@ -79,6 +79,16 @@ func GoldenJobs() []GoldenJob {
 				}})
 		}
 	}
+	for _, sched := range TenantSchedules() {
+		for _, seed := range GoldenSeeds {
+			sched, seed := sched, seed
+			jobs = append(jobs, GoldenJob{Mode: "tenant", Schedule: sched.Name, Seed: seed,
+				Run: func() (string, string) {
+					rep := RunTenant(seed, sched)
+					return rep.TraceHash, rep.Metrics.Hash()
+				}})
+		}
+	}
 	for _, phase := range PlugAbortPhases() {
 		for _, seed := range GoldenSeeds {
 			phase, seed := phase, seed

@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+	"migrrdma/internal/tenant"
+)
+
+// This file is the multi-tenant chaos tier: a service container
+// carrying many tenant sessions is live-migrated while fault schedules
+// perturb the fabric AND the tenancy control plane itself churns —
+// sessions open mid-checkpoint, cross-tenant probes land during
+// resume, sessions close right after cutover. The invariants are the
+// per-tenant guarantees: every data operation acknowledged exactly
+// once and in order across the migration boundary, every cross-tenant
+// namespace claim NAKed, queued (credit-stalled) work drained rather
+// than dropped, and the two sides' ledgers in exact agreement.
+
+// tenantOpts is the fixed deployment shape of a tenant chaos run.
+// Small enough to keep a run light, wide enough that every lane
+// carries several tenants (Sessions > Lanes) and credit admission
+// actually bites (Credits < ops per burst).
+func tenantOpts() tenant.Options {
+	return tenant.Options{
+		Sessions: 12, Lanes: 3, LaneDepth: 8,
+		Credits: 8, RefillAmount: 4, RefillEvery: 50 * time.Microsecond,
+		PerTenantMetrics: true,
+	}
+}
+
+// Tenant churn parameters: sessions opened during the checkpoint
+// window, probes issued during resume, sessions closed after cutover.
+const (
+	tenantChurnOpens  = 3
+	tenantChurnProbes = 4
+	tenantChurnCloses = 2
+	tenantBurst       = 24 // data ops per session per burst (3× Credits)
+)
+
+// TenantSchedules returns the fault library of the tenant tier. The
+// gateway host is "gw" (there is no separate perftest partner); fault
+// windows stay inside the 7 × 500 µs retry budget, as in Schedules.
+func TenantSchedules() []Schedule {
+	return []Schedule{
+		{Name: "tenant-clean"},
+		{Name: "tenant-loss", Faults: []Fault{
+			{Kind: FaultLoss, Node: "gw", Prob: 0.25, At: Warmup, Duration: 2 * time.Millisecond},
+			{Kind: FaultLoss, Node: "src", Prob: 0.25, At: Warmup + time.Millisecond, Duration: 2 * time.Millisecond},
+			{Kind: FaultLoss, Node: "gw", Prob: 0.25, Phase: "resume", Duration: time.Millisecond},
+		}},
+		{Name: "tenant-freeze-partition", Faults: []Fault{
+			// A data-path partition across the checkpoint window while the
+			// control plane churns sessions through the same window.
+			{Kind: FaultBlackhole, Node: "gw", Phase: "predump", Duration: 2 * time.Millisecond},
+			{Kind: FaultBlackhole, Node: "src", Phase: "suspend-wbs", Duration: time.Millisecond},
+			{Kind: FaultBlackhole, Node: "gw", Phase: "resume", Duration: time.Millisecond},
+		}},
+	}
+}
+
+// TenantScheduleByName returns the named tenant schedule, or false.
+func TenantScheduleByName(name string) (Schedule, bool) {
+	for _, s := range TenantSchedules() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// RunTenant executes one tenant chaos run: migrate the service
+// container src → dst under the schedule's faults with deterministic
+// session churn pinned to migration phases. Deterministic: the same
+// (seed, schedule) always yields a byte-identical TraceHash. In the
+// Report, Completed counts gateway-acknowledged data operations and
+// ServerRecv the service-side acks (the two must agree).
+func RunTenant(seed int64, schedule Schedule) *Report {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cl := cluster.New(cfg, "src", "dst", "gw")
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+
+	opts := tenantOpts()
+	svc := tenant.NewService(sched, "svc", opts)
+	gw := tenant.NewGateway(sched, "gw", opts, tenant.Target{Node: "src", Name: "svc"})
+	svcCont := runc.NewContainer(cl.Host("src"), "svc-cont")
+	svcCont.Start(func(tp *task.Process) { svc.Run(tp, daemons["src"]) })
+	gwCont := runc.NewContainer(cl.Host("gw"), "gw-cont")
+	sched.Go("tenant-start-gw", func() {
+		svc.WaitReady()
+		gwCont.Start(func(tp *task.Process) { gw.Run(tp, daemons["gw"]) })
+	})
+
+	inj := &injector{sched: sched, net: cl.Net, rec: rec}
+	rep := &Report{Seed: seed, Schedule: schedule.Name}
+	var (
+		mrep     *runc.Report
+		migErr   error
+		churnErr []string
+		done     bool
+	)
+	sched.Go("tenant-driver", func() {
+		gw.WaitReady()
+		gw.SubmitAll(tenantBurst)
+		sched.Sleep(Warmup)
+		for _, f := range schedule.Faults {
+			if f.Phase != "" {
+				continue
+			}
+			f := f
+			d := f.At - sched.Now()
+			if d < 0 {
+				d = 0
+			}
+			sched.AfterFunc(d, func() { inj.arm(f) })
+		}
+		m := &runc.Migrator{
+			C:    svcCont,
+			Dst:  cl.Host("dst"),
+			Plug: core.NewPlugin(daemons["src"], daemons["dst"]),
+			Opts: runc.DefaultMigrateOptions(),
+		}
+		m.OnStage = func(stage string) {
+			rec.add(event{kind: "stage", note: stage})
+			for _, f := range schedule.Faults {
+				if f.Phase == stage {
+					inj.arm(f)
+				}
+			}
+			// Tenant-phase churn: the control plane keeps admitting and
+			// probing while the data plane checkpoints. The handshakes
+			// block on OOB round trips, so they run on their own procs.
+			switch stage {
+			case "predump":
+				sched.Go("tenant-churn-open", func() {
+					first, err := gw.OpenMore(tenantChurnOpens)
+					if err != nil {
+						churnErr = append(churnErr, "mid-migration open: "+err.Error())
+						return
+					}
+					rec.add(event{kind: "tenant-open", wrid: uint64(first), note: stage})
+					for i := 0; i < tenantChurnOpens; i++ {
+						gw.Submit(first+i, tenantBurst/2)
+					}
+				})
+			case "resume":
+				sched.Go("tenant-churn-probe", func() {
+					rec.add(event{kind: "tenant-probe", note: stage})
+					for i := 0; i < tenantChurnProbes; i++ {
+						gw.Probe(i, (i+1)%opts.Sessions)
+					}
+				})
+			}
+		}
+		mrep, migErr = m.Migrate()
+		rep.FinalStage = m.Stage
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
+		sched.Sleep(settle)
+		inj.clearAll()
+		sched.Sleep(settle)
+		gw.Drain()
+		// Post-cutover churn: close drained sessions on the migrated
+		// service; their table entries moved with the container.
+		for i := 0; i < tenantChurnCloses; i++ {
+			if err := gw.CloseSession(i); err != nil {
+				churnErr = append(churnErr, fmt.Sprintf("post-cutover close %d: %v", i, err))
+			}
+		}
+		rec.add(event{kind: "tenant-close", wrid: tenantChurnCloses})
+		gw.Stop()
+		gw.Wait()
+		svc.Stop()
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	rep.Migration = mrep
+	rep.Completed = gw.Stats.AckedOK
+	rep.ServerRecv = svc.Stats.Acked
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.Duplicated = snap.Sum("fabric", "duplicated_frames")
+	rep.Reordered = snap.Sum("fabric", "reordered_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
+	for _, e := range rec.events {
+		if e.kind == "fault" && e.ok {
+			rep.FaultsArmed++
+		}
+	}
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+	rep.Violations = checkTenant(gw, svc, done, migErr, churnErr)
+	return rep
+}
+
+// checkTenant validates the per-tenant invariants once the run
+// settled.
+func checkTenant(gw *tenant.Gateway, svc *tenant.Service, done bool, migErr error, churnErr []string) []string {
+	var v []string
+	add := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+	if migErr != nil {
+		add("migration failed: %v", migErr)
+	}
+	if !done {
+		add("run did not finish inside the horizon")
+	}
+	v = append(v, churnErr...)
+	// The gateway ledger: exactly-once, in-order, isolation, no drops.
+	v = append(v, gw.CheckInvariants()...)
+	// Cross-side agreement: the service admitted exactly what the
+	// gateway saw acknowledged, and rejected exactly the probes.
+	if svc.Stats.Acked != gw.Stats.AckedOK {
+		add("service acked %d ops, gateway saw %d", svc.Stats.Acked, gw.Stats.AckedOK)
+	}
+	if svc.Stats.CrossTenant != gw.Stats.Probes {
+		add("%d cross-tenant probes sent, service rejected %d", gw.Stats.Probes, svc.Stats.CrossTenant)
+	}
+	if svc.Stats.Bounds != 0 {
+		add("%d in-slice writes rejected for bounds", svc.Stats.Bounds)
+	}
+	if gw.Stats.CreditStalls == 0 {
+		// The burst is 3× the bucket: admission must have stalled at
+		// least one session or QoS was never exercised.
+		add("burst of %d ops per session never stalled on %d credits", tenantBurst, tenantOpts().Credits)
+	}
+	for _, e := range svc.Stats.Errors {
+		add("service error: %s", e)
+	}
+	return v
+}

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"testing"
+
+	"migrrdma/internal/sim"
+)
+
+// TestTenantSchedules runs every tenant schedule at every golden seed
+// and requires the per-tenant invariants to hold: exactly-once
+// in-order acknowledgement across the migration, every cross-tenant
+// probe NAKed, credit-stalled work drained, both sides' ledgers equal.
+func TestTenantSchedules(t *testing.T) {
+	for _, sched := range TenantSchedules() {
+		for _, seed := range GoldenSeeds {
+			rep := RunTenant(seed, sched)
+			if !rep.OK() {
+				t.Errorf("%s seed %d: %d violations:", sched.Name, seed, len(rep.Violations))
+				for _, v := range rep.Violations {
+					t.Errorf("  %s", v)
+				}
+			}
+			if rep.Completed == 0 {
+				t.Errorf("%s seed %d: no tenant operations completed", sched.Name, seed)
+			}
+			if rep.Migration == nil {
+				t.Errorf("%s seed %d: migration never completed", sched.Name, seed)
+			}
+			if sched.Name != "tenant-clean" && rep.FaultsArmed == 0 {
+				t.Errorf("%s seed %d: schedule armed no faults", sched.Name, seed)
+			}
+		}
+	}
+}
+
+// TestTenantDeterminism re-runs one tenant scenario and requires a
+// byte-identical trace hash, then replays the tenant golden jobs
+// across the worker matrix: the mux's session churn, credit clock and
+// lane fan-in must be a pure function of (seed, schedule) at any
+// parallelism.
+func TestTenantDeterminism(t *testing.T) {
+	sched, _ := TenantScheduleByName("tenant-freeze-partition")
+	a, b := RunTenant(7, sched), RunTenant(7, sched)
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("re-run diverged:\n  %s\n  %s", a.TraceHash, b.TraceHash)
+	}
+	if a.Metrics.Hash() != b.Metrics.Hash() {
+		t.Fatalf("metrics diverged across re-runs")
+	}
+
+	var jobs []GoldenJob
+	for _, j := range GoldenJobs() {
+		if j.Mode == "tenant" {
+			jobs = append(jobs, j)
+		}
+	}
+	if len(jobs) != len(TenantSchedules())*len(GoldenSeeds) {
+		t.Fatalf("enumerated %d tenant golden jobs", len(jobs))
+	}
+	want := RunGoldenJobs(jobs, 1)
+	for _, workers := range []int{2, 4, 8} {
+		if sim.RaceEnabled && workers > 1 {
+			t.Logf("race detector: workers=%d degrades to sequential", workers)
+		}
+		got := RunGoldenJobs(jobs, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d %s: diverged from sequential\n  want %+v\n  got  %+v",
+					workers, want[i].Key(), want[i], got[i])
+			}
+		}
+	}
+}

@@ -152,6 +152,30 @@ func (d *Daemon) unregister(s *Session) {
 			delete(d.byPhys, phys)
 		}
 	}
+	// Per-migration stashes may still reference the session (it closed
+	// between suspend and switch, or between a deferred switch and
+	// resume-partners). A later hAbort/hResumePartners must not replay
+	// intercepted work onto its destroyed QPs.
+	dropSession(d.suspendedFor, s)
+	dropSession(d.pendingResume, s)
+}
+
+// dropSession filters one session's QP sets out of a per-migration
+// stash, deleting migration entries that become empty.
+func dropSession(stash map[string][]suspendedSet, s *Session) {
+	for mig, sets := range stash {
+		kept := sets[:0]
+		for _, set := range sets {
+			if set.s != s {
+				kept = append(kept, set)
+			}
+		}
+		if len(kept) == 0 {
+			delete(stash, mig)
+		} else {
+			stash[mig] = kept
+		}
+	}
 }
 
 // mapQPN installs a physical→virtual QPN mapping for a session's QP,
@@ -614,6 +638,9 @@ func (d *Daemon) hAbort(_ string, body []byte) []byte {
 	}
 	delete(d.suspendedFor, req.MigID)
 	delete(d.partnerWBS, req.MigID)
+	// A deferred switch-over that never reached resume-partners leaves
+	// its re-pointed-but-suspended sets stashed; the abort owns them now.
+	delete(d.pendingResume, req.MigID)
 	// If this node also stages the migration's restore (it may be the
 	// destination of the aborted migration and a partner of the same
 	// process), discard the slot.

@@ -898,6 +898,23 @@ func (s *Session) Sched() *sim.Scheduler { return s.ctx.Scheduler() }
 func (s *Session) Close() {
 	s.Proc.Gate()
 	for _, qp := range s.sortedQPs() {
+		// A teardown can land mid-migration: the wrapper may still hold
+		// the pre-switch incarnation (kept until its completions drain)
+		// or a stashed partner spare. Both are live physical QPs with
+		// daemon-table entries; destroying only the active incarnation
+		// leaks them on the device — the many-session teardown leak.
+		if qp.oldV != nil {
+			oldPhys := qp.oldV.QPN()
+			qp.oldV.Destroy()
+			s.daemon.unmapQPN(oldPhys)
+			qp.oldV = nil
+		}
+		if spare := qp.pendingNew; spare != nil {
+			qp.pendingNew = nil
+			qp.pendingNewMig = ""
+			delete(s.daemon.pendingNSent, spare.QPN())
+			spare.Destroy()
+		}
 		phys := qp.v.QPN()
 		qp.v.Destroy()
 		s.daemon.unmapQPN(phys)

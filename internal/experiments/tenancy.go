@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/sim"
+	"migrrdma/internal/task"
+	"migrrdma/internal/tenant"
+)
+
+// This file is the tenancy experiment: live-migrate a service
+// container carrying thousands of multiplexed tenant sessions
+// (internal/tenant) through both cutover modes, and sweep the session
+// count to measure how consolidation scales — the blackout, the RDMA
+// state replay time and the transferred image pages as functions of
+// how many tenants ride in one container. The point the sweep exists
+// to make: tenant sessions are service-process state, not verbs
+// resources, so migration cost grows with the shared lane/ring
+// footprint (constant) and the process image (linear but tiny), not
+// with the tenant count × per-QP restore cost a naive
+// one-QP-per-tenant deployment would pay.
+
+// TenancyRow is one (sessions, cutover mode) measurement.
+type TenancyRow struct {
+	Sessions int
+	Mode     runc.CutoverMode
+
+	// Blackout is the migration's service blackout; ReplayRDMA the
+	// RDMA-state restore (replay) time; Total the whole migration.
+	Blackout   time.Duration
+	ReplayRDMA time.Duration
+	Total      time.Duration
+	// Pages is the container image size transferred (memory footprint
+	// proxy); WireBytes the cluster-wide rnic tx total.
+	Pages     int
+	WireBytes int64
+
+	// Acked counts tenant data operations acknowledged end-to-end;
+	// DrainAfter is how long the post-cutover burst took to drain.
+	Acked      int64
+	DrainAfter time.Duration
+}
+
+// String renders one row.
+func (r TenancyRow) String() string {
+	return fmt.Sprintf("%-12s sessions=%-5d blackout=%-9v replay=%-9v total=%-9v pages=%-6d acked=%-6d drain=%-9v",
+		r.Mode, r.Sessions, r.Blackout.Round(time.Microsecond), r.ReplayRDMA.Round(time.Microsecond),
+		r.Total.Round(time.Microsecond), r.Pages, r.Acked, r.DrainAfter.Round(time.Microsecond))
+}
+
+// tenancySeed anchors the sweep's determinism.
+const tenancySeed = 71
+
+// TenancySeedFor returns replica rep's seed, anchored at the canonical
+// tenancySeed the same way as the other replicated experiments.
+func TenancySeedFor(rep int) int64 {
+	if rep == 0 {
+		return tenancySeed
+	}
+	return sim.DeriveSeed(tenancySeed, rep)
+}
+
+// tenancyBurst is the data operations per session per burst; one burst
+// is in flight when the migration starts, a second drains after it.
+const tenancyBurst = 2
+
+// RunTenancy measures one tenancy configuration at the canonical seed.
+func RunTenancy(mode runc.CutoverMode, sessions int) (TenancyRow, error) {
+	return RunTenancySeeded(mode, sessions, tenancySeed)
+}
+
+// RunTenancySeeded live-migrates a service container carrying the
+// given number of live tenant sessions, with a burst in flight at
+// cutover, and audits the per-tenant exactly-once ledger afterwards.
+func RunTenancySeeded(mode runc.CutoverMode, sessions int, seed int64) (TenancyRow, error) {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	// rnr_retry=7 semantics, as in the cutover comparison: requests in
+	// flight at freeze must retry through the blackout, not error out.
+	cfg.NIC.MaxRetries = 1 << 20
+	r := NewRigCfg(cfg, "src", "dst", "gw")
+	opts := tenant.Options{
+		Sessions: sessions, Lanes: 8, LaneDepth: 64,
+		Credits: 16, RefillAmount: 16, RefillEvery: 20 * time.Microsecond,
+	}
+	svc := tenant.NewService(r.CL.Sched, "svc", opts)
+	gw := tenant.NewGateway(r.CL.Sched, "gw", opts, tenant.Target{Node: "src", Name: "svc"})
+	svcCont := runc.NewContainer(r.CL.Host("src"), "svc-cont")
+	svcCont.Start(func(tp *task.Process) { svc.Run(tp, r.Daemons["src"]) })
+	gwCont := runc.NewContainer(r.CL.Host("gw"), "gw-cont")
+	r.CL.Sched.Go("tenancy-start-gw", func() {
+		svc.WaitReady()
+		gwCont.Start(func(tp *task.Process) { gw.Run(tp, r.Daemons["gw"]) })
+	})
+
+	mopts := runc.DefaultMigrateOptions()
+	mopts.Cutover = mode
+	sched := r.CL.Sched
+	var (
+		rep        *runc.Report
+		err        error
+		drainAfter time.Duration
+	)
+	sched.Go("tenancy-driver", func() {
+		gw.WaitReady()
+		// One burst in flight when the checkpoint hits.
+		gw.SubmitAll(tenancyBurst)
+		sched.Sleep(settle)
+		rep, err = r.Migrate(svcCont, "src", "dst", mopts)
+		// A second burst proves every session resumed on the destination.
+		start := sched.Now()
+		gw.SubmitAll(tenancyBurst)
+		gw.Drain()
+		drainAfter = sched.Now() - start
+		gw.Stop()
+		gw.Wait()
+		svc.Stop()
+	})
+	sched.RunFor(10 * time.Minute)
+	if err != nil {
+		return TenancyRow{}, err
+	}
+	if rep == nil {
+		return TenancyRow{}, fmt.Errorf("tenancy: migration did not complete")
+	}
+	if v := gw.CheckInvariants(); len(v) != 0 {
+		return TenancyRow{}, fmt.Errorf("tenancy: %d invariant violations: %s", len(v), v[0])
+	}
+	if want := int64(sessions * 2 * tenancyBurst); gw.Stats.AckedOK != want {
+		return TenancyRow{}, fmt.Errorf("tenancy: %d ops acked, want %d", gw.Stats.AckedOK, want)
+	}
+	snap := r.CL.Metrics.Snapshot()
+	return TenancyRow{
+		Sessions: sessions, Mode: mode,
+		Blackout:   rep.ServiceBlackout,
+		ReplayRDMA: rep.RestoreRDMA,
+		Total:      rep.Total,
+		Pages:      rep.PagesTransferred,
+		WireBytes:  snap.Sum("rnic", "tx_bytes"),
+		Acked:      gw.Stats.AckedOK,
+		DrainAfter: drainAfter,
+	}, nil
+}
+
+// TenancySweep runs the scaling sweep: every session count × both
+// cutover modes, grouped by count with go-back-N first.
+func TenancySweep(sessionCounts []int) ([]TenancyRow, error) {
+	var rows []TenancyRow
+	for _, n := range sessionCounts {
+		for _, mode := range []runc.CutoverMode{runc.CutoverGoBackN, runc.CutoverPlugForward} {
+			row, err := RunTenancy(mode, n)
+			if err != nil {
+				return nil, fmt.Errorf("sessions=%d mode=%s: %w", n, mode, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

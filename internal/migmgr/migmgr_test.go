@@ -448,3 +448,83 @@ func TestPlugForwardThroughManager(t *testing.T) {
 		}
 	}
 }
+
+// TestSlotBalanceAcrossAbortRetry pins the admission-slot accounting
+// under abort+retry contention: every attempt acquires the slot exactly
+// once and releases it exactly once, so the observed running count never
+// exceeds the cap and never goes negative (a double release on the
+// abort+requeue path would free a phantom slot and over-admit the
+// backlog). Three flaky jobs share a cap of 1, each aborting its first
+// attempt, so requeues interleave with fresh admissions.
+func TestSlotBalanceAcrossAbortRetry(t *testing.T) {
+	r := newRig(28, "a", "b", "s")
+	var ws []*workload
+	for i := 0; i < 3; i++ {
+		ws = append(ws, r.startPair(fmt.Sprintf("f%d", i), "a", "s"))
+	}
+	mgr := New(r.cl, r.daemons, 1)
+	minRunning, maxRunning := 0, 0
+	mgr.OnStage = func(j *Job, stage string) {
+		if mgr.running < minRunning {
+			minRunning = mgr.running
+		}
+		if mgr.running > maxRunning {
+			maxRunning = mgr.running
+		}
+	}
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		for _, w := range ws {
+			w.cli.WaitReady()
+		}
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		for i, w := range ws {
+			attempt := 0
+			mgr.Submit(Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
+				Retries: 1,
+				Inject: func(ph string) error {
+					if ph == "predump" {
+						attempt++
+					}
+					if ph == "suspend-wbs" && attempt == 1 {
+						return fmt.Errorf("first-attempt abort (job %d)", i)
+					}
+					return nil
+				}})
+		}
+		mgr.WaitAll()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		for _, w := range ws {
+			w.stop()
+		}
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	for _, j := range mgr.Jobs() {
+		if j.State() != Done {
+			t.Errorf("%s state = %v (err %v), want done", j.ID, j.State(), j.Err)
+		}
+		if j.Attempts != 2 {
+			t.Errorf("%s attempts = %d, want 2 (one abort, one retry)", j.ID, j.Attempts)
+		}
+	}
+	if minRunning < 0 {
+		t.Errorf("running count went negative (%d): a slot was released twice", minRunning)
+	}
+	if maxRunning > 1 {
+		t.Errorf("running count hit %d under cap 1: a release was double-counted as capacity", maxRunning)
+	}
+	if mgr.running != 0 || len(mgr.busy) != 0 {
+		t.Errorf("after drain: running=%d busy=%d, want 0/0", mgr.running, len(mgr.busy))
+	}
+	snap := r.cl.Metrics.Snapshot()
+	if got := snap.Sum("migmgr", "retried"); got != 3 {
+		t.Errorf("retried counter = %d, want 3", got)
+	}
+	if got := snap.Sum("migmgr", "completed"); got != 3 {
+		t.Errorf("completed counter = %d, want 3", got)
+	}
+}

@@ -1,0 +1,163 @@
+package rnic
+
+import (
+	"testing"
+
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/mem"
+	"migrrdma/internal/sim"
+)
+
+// These tests pin the invalidation contract of the direct-mapped
+// QPN/lkey/rkey lookup caches: once a resource is destroyed, no later
+// lookup may be served from its cached entry — even when the physical
+// identifier is reused by a later registration (the window a stale
+// cache hit would silently cross protection domains through).
+
+// newCacheHost builds a single device for control-verb cache tests.
+func newCacheHost(t *testing.T) (*sim.Scheduler, *host) {
+	t.Helper()
+	s := sim.New(7)
+	net := fabric.New(s, fabric.Config{})
+	mux := fabric.NewMux(net, "h")
+	h := &host{dev: NewDevice(net, mux, "h", Config{}), as: mem.NewAddressSpace()}
+	if _, err := h.as.Map(0x100000, 4<<20, "arena"); err != nil {
+		t.Fatal(err)
+	}
+	return s, h
+}
+
+// TestQPNCacheDestroyThenReuse destroys a QP, forces the allocator to
+// hand the same QPN to a fresh QP, and checks lookupQP resolves the new
+// object. A cache that misses the DestroyQP invalidation fails here by
+// returning the dead QP.
+func TestQPNCacheDestroyThenReuse(t *testing.T) {
+	s, h := newCacheHost(t)
+	s.Go("test", func() {
+		h.pd = h.dev.AllocPD()
+		h.cq = h.dev.CreateCQ(64, nil)
+		caps := QPCaps{MaxSend: 16, MaxRecv: 16}
+		qpnBefore := h.dev.nextQPN
+		old := h.dev.CreateQP(h.pd, RC, h.cq, h.cq, nil, caps)
+
+		// Populate the cache slot with the victim, as data-path traffic
+		// on the flow would.
+		if got, ok := h.dev.lookupQP(old.QPN); !ok || got != old {
+			t.Fatalf("warm lookup = %v,%v; want the created QP", got, ok)
+		}
+		h.dev.DestroyQP(old)
+		if _, ok := h.dev.lookupQP(old.QPN); ok {
+			t.Fatalf("lookup of destroyed QPN %#x still resolves", old.QPN)
+		}
+
+		// Rewind the sparse allocator so the next CreateQP genuinely
+		// reuses the QPN, the way a long-lived device eventually would.
+		h.dev.nextQPN = qpnBefore
+		fresh := h.dev.CreateQP(h.pd, RC, h.cq, h.cq, nil, caps)
+		if fresh.QPN != old.QPN {
+			t.Fatalf("allocator did not reuse the QPN: old %#x fresh %#x", old.QPN, fresh.QPN)
+		}
+		got, ok := h.dev.lookupQP(fresh.QPN)
+		if !ok || got != fresh {
+			t.Fatalf("stale cache hit: lookupQP(%#x) = %p, want the fresh QP %p", fresh.QPN, got, fresh)
+		}
+		if got == old {
+			t.Fatalf("lookupQP returned the destroyed QP for reused QPN %#x", fresh.QPN)
+		}
+	})
+	s.Run()
+}
+
+// TestKeyCacheDestroyThenReuse is the same contract for the lkey and
+// rkey caches: after DeregMR and key reuse by a later registration over
+// a different range, lookups must see the new region's bounds, not the
+// dead one's.
+func TestKeyCacheDestroyThenReuse(t *testing.T) {
+	s, h := newCacheHost(t)
+	s.Go("test", func() {
+		h.pd = h.dev.AllocPD()
+		keyBefore := h.dev.nextKey
+		old := h.regMR(t, 0x100000, 0x1000)
+
+		// Warm both key caches through the data-path lookup helpers.
+		if mr, ok := h.dev.mrByLKey(old.LKey); !ok || mr != old {
+			t.Fatalf("warm lkey lookup = %v,%v", mr, ok)
+		}
+		if _, ok := h.dev.lookupRemoteKey(old.RKey, 0x100000, 0x10, AccessRemoteWrite); !ok {
+			t.Fatalf("warm rkey lookup rejected a live key")
+		}
+		h.dev.DeregMR(old)
+		if _, ok := h.dev.mrByLKey(old.LKey); ok {
+			t.Fatalf("deregistered lkey %#x still resolves", old.LKey)
+		}
+		if _, ok := h.dev.lookupRemoteKey(old.RKey, 0x100000, 0x10, AccessRemoteWrite); ok {
+			t.Fatalf("deregistered rkey %#x still admitted", old.RKey)
+		}
+
+		// Reuse the exact keys for a region over a DIFFERENT range: a
+		// stale cached MR is then observable through its bounds.
+		h.dev.nextKey = keyBefore
+		fresh := h.regMR(t, 0x200000, 0x1000)
+		if fresh.LKey != old.LKey || fresh.RKey != old.RKey {
+			t.Fatalf("allocator did not reuse keys: old (%#x,%#x) fresh (%#x,%#x)",
+				old.LKey, old.RKey, fresh.LKey, fresh.RKey)
+		}
+		if mr, ok := h.dev.mrByLKey(fresh.LKey); !ok || mr != fresh {
+			t.Fatalf("stale lkey cache hit: got %p want fresh MR %p", mr, fresh)
+		}
+		// In-bounds for the fresh region, out of bounds for the dead one.
+		if _, ok := h.dev.lookupRemoteKey(fresh.RKey, 0x200000, 0x10, AccessRemoteWrite); !ok {
+			t.Fatalf("fresh region rejected at its own address — stale bounds from the dead MR")
+		}
+		// In-bounds only for the DEAD region: admission means the cache
+		// served the deregistered MR.
+		if _, ok := h.dev.lookupRemoteKey(fresh.RKey, 0x100000, 0x10, AccessRemoteWrite); ok {
+			t.Fatalf("reused rkey admitted the dead region's range — stale cache hit")
+		}
+	})
+	s.Run()
+}
+
+// TestLookupCacheCollisions drives more objects than the cache has
+// slots, with lookups alternating across slot-colliding identifiers,
+// and checks destroy only ever invalidates the victim. The direct map
+// must behave as a pure accelerator: never a wrong object, never a
+// dropped live one.
+func TestLookupCacheCollisions(t *testing.T) {
+	s, h := newCacheHost(t)
+	s.Go("test", func() {
+		h.pd = h.dev.AllocPD()
+		h.cq = h.dev.CreateCQ(256, nil)
+		caps := QPCaps{MaxSend: 16, MaxRecv: 16}
+		qps := make([]*QP, 3*lookupCacheSlots)
+		for i := range qps {
+			qps[i] = h.dev.CreateQP(h.pd, RC, h.cq, h.cq, nil, caps)
+		}
+		// Interleave lookups so slots keep being evicted and repopulated.
+		for round := 0; round < 4; round++ {
+			for i, qp := range qps {
+				if got, ok := h.dev.lookupQP(qp.QPN); !ok || got != qp {
+					t.Fatalf("round %d qp %d: lookup = %v,%v", round, i, got, ok)
+				}
+			}
+		}
+		// Destroy every other QP; survivors must still resolve, victims
+		// must not — regardless of which of them a slot last held.
+		for i := 0; i < len(qps); i += 2 {
+			h.dev.DestroyQP(qps[i])
+		}
+		for i, qp := range qps {
+			got, ok := h.dev.lookupQP(qp.QPN)
+			if i%2 == 0 {
+				if ok {
+					t.Fatalf("destroyed qp %d (%#x) still resolves", i, qp.QPN)
+				}
+				continue
+			}
+			if !ok || got != qp {
+				t.Fatalf("live qp %d (%#x) lost: %v,%v", i, qp.QPN, got, ok)
+			}
+		}
+	})
+	s.Run()
+}

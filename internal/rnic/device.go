@@ -169,13 +169,18 @@ type Device struct {
 	// encodeInto, so the scratch is reusable for the next fragment.
 	gatherBuf []byte
 
-	// Single-entry lookup caches for the per-packet map lookups
-	// (QPN→QP, lkey→MR, rkey→MR). A pointer compare plus a key compare
-	// replaces a map hash on the common same-flow-as-last-packet case;
-	// destroy/dereg invalidates them directly.
-	qpCache   *QP
-	lkeyCache *MR
-	rkeyCache *MR
+	// Bounded direct-mapped lookup caches for the per-packet map lookups
+	// (QPN→QP, lkey→MR, rkey→MR). A slot index plus a key compare
+	// replaces a map hash on the common repeated-flow case, and — unlike
+	// the single-entry predecessors — the caches survive many flows
+	// interleaving on one device (the shared-QP tenancy fan-out).
+	// Identifiers come from sparse odd-stride allocators, so the low
+	// bits distribute well across slots. Destroy/dereg invalidates the
+	// victim's slot directly; a slot is only cleared when it still holds
+	// the destroyed object, so an unrelated resident is never evicted.
+	qpCache   [lookupCacheSlots]*QP
+	lkeyCache [lookupCacheSlots]*MR
+	rkeyCache [lookupCacheSlots]*MR
 
 	// tap, when installed, observes data-path events for external
 	// checkers (the chaos harness' completion ledger).
@@ -328,28 +333,38 @@ func (d *Device) putBuf(b []byte) {
 	}
 }
 
-// lookupQP resolves a QPN, serving repeated lookups of the same flow
-// from a single-entry cache.
+// lookupCacheSlots sizes the direct-mapped lookup caches. Eight slots
+// keep a handful of concurrently hot flows resident (the multi-tenant
+// shared-QP case) while the whole cache is still two cache lines.
+const lookupCacheSlots = 8
+
+// cacheSlot maps an identifier onto its direct-mapped slot.
+func cacheSlot(id uint32) uint32 { return id & (lookupCacheSlots - 1) }
+
+// lookupQP resolves a QPN, serving repeated lookups of hot flows from
+// the direct-mapped cache.
 func (d *Device) lookupQP(qpn uint32) (*QP, bool) {
-	if qp := d.qpCache; qp != nil && qp.QPN == qpn {
+	slot := &d.qpCache[cacheSlot(qpn)]
+	if qp := *slot; qp != nil && qp.QPN == qpn {
 		return qp, true
 	}
 	qp, ok := d.qps[qpn]
 	if ok {
-		d.qpCache = qp
+		*slot = qp
 	}
 	return qp, ok
 }
 
-// mrByLKey resolves an lkey, serving repeated lookups from a
-// single-entry cache.
+// mrByLKey resolves an lkey, serving repeated lookups of hot regions
+// from the direct-mapped cache.
 func (d *Device) mrByLKey(lkey uint32) (*MR, bool) {
-	if mr := d.lkeyCache; mr != nil && mr.LKey == lkey {
+	slot := &d.lkeyCache[cacheSlot(lkey)]
+	if mr := *slot; mr != nil && mr.LKey == lkey {
 		return mr, true
 	}
 	mr, ok := d.mrs[lkey]
 	if ok {
-		d.lkeyCache = mr
+		*slot = mr
 	}
 	return mr, ok
 }
@@ -395,6 +410,14 @@ func (d *Device) allocID() uint32 {
 	d.nextID++
 	return id
 }
+
+// QPCount reports the number of live QPs on the device. Teardown leak
+// checks (session close mid-migration, chaos invariants) assert it
+// returns to the expected floor.
+func (d *Device) QPCount() int { return len(d.qps) }
+
+// MRCount reports the number of registered MRs on the device.
+func (d *Device) MRCount() int { return len(d.mrs) }
 
 // SetForward installs (or, with nil maps, removes) the source-side
 // forwarding rule: frames addressed to a listed QPN bypass the local
@@ -545,11 +568,11 @@ func (d *Device) DeregMR(mr *MR) {
 	d.sched.Sleep(d.cfg.DestroyLat)
 	delete(d.mrs, mr.LKey)
 	delete(d.rmrs, mr.RKey)
-	if d.lkeyCache == mr {
-		d.lkeyCache = nil
+	if slot := &d.lkeyCache[cacheSlot(mr.LKey)]; *slot == mr {
+		*slot = nil
 	}
-	if d.rkeyCache == mr {
-		d.rkeyCache = nil
+	if slot := &d.rkeyCache[cacheSlot(mr.RKey)]; *slot == mr {
+		*slot = nil
 	}
 	if d.tap != nil && d.tap.Dereg != nil {
 		d.tap.Dereg(d.node, mr.RKey)
@@ -585,13 +608,14 @@ func (d *Device) lookupRemote(rkey uint32, addr mem.Addr, length uint32, need Ac
 }
 
 func (d *Device) lookupRemoteKey(rkey uint32, addr mem.Addr, length uint32, need Access) (*mem.AddressSpace, bool) {
-	mr, ok := d.rkeyCache, false
+	slot := &d.rkeyCache[cacheSlot(rkey)]
+	mr, ok := *slot, false
 	if mr != nil && mr.RKey == rkey {
 		ok = true
 	} else {
 		mr, ok = d.rmrs[rkey]
 		if ok {
-			d.rkeyCache = mr
+			*slot = mr
 		}
 	}
 	if ok {

@@ -178,8 +178,8 @@ func (d *Device) DestroyQP(qp *QP) {
 	qp.rtoTimer.Cancel()
 	qp.rtoTimer = sim.Timer{}
 	delete(d.qps, qp.QPN)
-	if d.qpCache == qp {
-		d.qpCache = nil
+	if slot := &d.qpCache[cacheSlot(qp.QPN)]; *slot == qp {
+		*slot = nil
 	}
 }
 

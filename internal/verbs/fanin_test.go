@@ -1,0 +1,166 @@
+package verbs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/mem"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/sim"
+)
+
+// TestSharedCQInterleavedCompletions is the shared-QP fan-in audit for
+// the library rings: many QPs (one per tenant) feed one send CQ on one
+// side and one recv CQ on the other, with posts interleaved round-robin
+// across the QPs. The test pins three properties a multi-tenant mux
+// depends on:
+//
+//  1. every completion surfaces exactly once, carrying the QPN of the
+//     QP that posted its WR (WRIDs encode the posting tenant);
+//  2. the CQ shadow ring records the CQEs in arrival (poll) order, one
+//     slot per completion — interleaving must not skip or double-stamp
+//     slots;
+//  3. each QP's library SQ ring holds that QP's WRIDs at seq%depth —
+//     head accounting is per-QP even when completions interleave.
+func TestSharedCQInterleavedCompletions(t *testing.T) {
+	const (
+		tenants = 6
+		perQP   = 5
+		depth   = 16
+	)
+	wrid := func(tenant, seq int) uint64 { return uint64(tenant)<<32 | uint64(seq) }
+
+	s := sim.New(3)
+	net := fabric.New(s, fabric.Config{})
+	mk := func(name string) (*Context, *mem.AddressSpace) {
+		mux := fabric.NewMux(net, name)
+		dev := rnic.NewDevice(net, mux, name, rnic.Config{})
+		as := mem.NewAddressSpace()
+		as.Map(0x100000, 1<<20, "arena")
+		return OpenDevice(dev, as), as
+	}
+	ctxA, asA := mk("hostA")
+	ctxB, _ := mk("hostB")
+
+	s.Go("test", func() {
+		pdA, pdB := ctxA.AllocPD(), ctxB.AllocPD()
+		sendCQ := ctxA.CreateCQ(64, nil)
+		recvCQ := ctxB.CreateCQ(64, nil)
+		mrA, err := ctxA.RegMR(pdA, 0x100000, 1<<20, rnic.AccessLocalWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrB, err := ctxB.RegMR(pdB, 0x100000, 1<<20, rnic.AccessLocalWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := rnic.QPCaps{MaxSend: depth, MaxRecv: depth}
+		var qpsA, qpsB []*QP
+		for i := 0; i < tenants; i++ {
+			qpsA = append(qpsA, ctxA.CreateQP(pdA, rnic.RC, sendCQ, sendCQ, nil, caps))
+			qpsB = append(qpsB, ctxB.CreateQP(pdB, rnic.RC, recvCQ, recvCQ, nil, caps))
+		}
+		connect := func(qp *QP, peerNode string, peerQPN uint32) {
+			for _, a := range []rnic.ModifyAttr{
+				{State: rnic.StateInit},
+				{State: rnic.StateRTR, RemoteNode: peerNode, RemoteQPN: peerQPN},
+				{State: rnic.StateRTS},
+			} {
+				if err := qp.Modify(a); err != nil {
+					t.Fatalf("modify: %v", err)
+				}
+			}
+		}
+		for i := 0; i < tenants; i++ {
+			connect(qpsA[i], "hostB", qpsB[i].QPN())
+			connect(qpsB[i], "hostA", qpsA[i].QPN())
+		}
+
+		// Pre-post every receive, WRIDs tagged with the owning tenant.
+		for seq := 0; seq < perQP; seq++ {
+			for ten, qp := range qpsB {
+				off := mem.Addr(0x100000 + ten*0x10000 + seq*0x100)
+				if err := qp.PostRecv(rnic.RecvWR{WRID: wrid(ten, seq),
+					SGEs: []rnic.SGE{{Addr: off, Len: 0x100, LKey: mrB.LKey()}}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Interleave sends round-robin across the tenant QPs.
+		for seq := 0; seq < perQP; seq++ {
+			for ten, qp := range qpsA {
+				off := mem.Addr(0x100000 + ten*0x10000 + seq*0x100)
+				asA.Write(off, []byte(fmt.Sprintf("t%02d-%02d", ten, seq)))
+				if err := qp.PostSend(rnic.SendWR{WRID: wrid(ten, seq), Opcode: rnic.OpSend,
+					Signaled: true, SGEs: []rnic.SGE{{Addr: off, Len: 64, LKey: mrA.LKey()}}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		want := tenants * perQP
+		collect := func(cq *CQ) []rnic.CQE {
+			var out []rnic.CQE
+			for len(out) < want {
+				cq.WaitNonEmpty()
+				out = append(out, cq.Poll(want-len(out))...)
+			}
+			return out
+		}
+		sendCQEs := collect(sendCQ)
+		recvCQEs := collect(recvCQ)
+
+		// (1) Exactly-once, and the CQE's QPN is the posting tenant's QP.
+		check := func(side string, cqes []rnic.CQE, qps []*QP) {
+			seen := map[uint64]bool{}
+			for _, e := range cqes {
+				if e.Status != rnic.WCSuccess {
+					t.Fatalf("%s CQE status %v (wrid %#x)", side, e.Status, e.WRID)
+				}
+				if seen[e.WRID] {
+					t.Fatalf("%s WRID %#x completed twice", side, e.WRID)
+				}
+				seen[e.WRID] = true
+				ten := int(e.WRID >> 32)
+				if ten >= tenants || e.QPN != qps[ten].QPN() {
+					t.Fatalf("%s CQE wrid %#x surfaced on QPN %#x, want tenant %d's %#x",
+						side, e.WRID, e.QPN, ten, qps[ten].QPN())
+				}
+			}
+		}
+		check("send", sendCQEs, qpsA)
+		check("recv", recvCQEs, qpsB)
+
+		// (2) The shadow ring recorded the interleaved arrivals in order.
+		ringSlot := func(as *mem.AddressSpace, ring mem.Addr, i, cap int) (uint64, uint32) {
+			var slot [16]byte
+			if err := as.Read(ring+mem.Addr((i%cap)*64), slot[:]); err != nil {
+				t.Fatalf("ring read: %v", err)
+			}
+			return binary.LittleEndian.Uint64(slot[:8]), binary.LittleEndian.Uint32(slot[8:12])
+		}
+		for i, e := range sendCQEs {
+			w, q := ringSlot(asA, sendCQ.ring, i, 64)
+			if w != e.WRID || q != e.QPN {
+				t.Fatalf("send shadow slot %d = (wrid %#x, qpn %#x), want (%#x, %#x)",
+					i, w, q, e.WRID, e.QPN)
+			}
+		}
+
+		// (3) Per-QP SQ rings hold their own tenant's WRIDs at seq%depth.
+		for ten, qp := range qpsA {
+			for seq := 0; seq < perQP; seq++ {
+				var slot [8]byte
+				if err := asA.Read(qp.sqRing+mem.Addr((seq%depth)*wqeSlotSize), slot[:]); err != nil {
+					t.Fatalf("sq ring read: %v", err)
+				}
+				if got := binary.LittleEndian.Uint64(slot[:]); got != wrid(ten, seq) {
+					t.Fatalf("tenant %d SQ slot %d = %#x, want %#x", ten, seq, got, wrid(ten, seq))
+				}
+			}
+		}
+	})
+	s.Run()
+}
