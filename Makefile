@@ -25,7 +25,13 @@ BENCH7_PKGS = . ./internal/sim
 # records the scaling sweep in BENCH_8.json.
 BENCH8_PATTERN = ^(BenchmarkTenancySessions250|BenchmarkTenancySessions1000|BenchmarkTenancySessions2000|BenchmarkTenancyPlugForward2000)$$
 
-.PHONY: all build vet test test-race chaos chaos-abort chaos-plug chaos-tenant fuzz check bench bench-smoke bench-cutover bench-parallel bench-tenancy
+# Transfer-pipeline benchmarks: monolithic vs pipelined page channel at
+# the Fig. 4(a) message sizes (blackout, stop-and-copy wire bytes,
+# elided pages) plus the 2000-session tenancy point under both transfer
+# modes. `make bench-pagechan` records the contrast in BENCH_9.json.
+BENCH9_PATTERN = ^(BenchmarkPageChanMono2K|BenchmarkPageChanPipe2K|BenchmarkPageChanMono8K|BenchmarkPageChanPipe8K|BenchmarkPageChanMono32K|BenchmarkPageChanPipe32K|BenchmarkTenancyTransferMono2000|BenchmarkTenancyTransferPipe2000)$$
+
+.PHONY: all build vet test test-race chaos chaos-abort chaos-plug chaos-tenant chaos-pagechan fuzz check bench bench-smoke bench-cutover bench-parallel bench-tenancy bench-pagechan trajectory
 
 all: build
 
@@ -77,6 +83,16 @@ chaos-tenant:
 	$(GO) test ./internal/chaos -run 'TestTenant'
 	$(GO) test ./internal/tenant
 
+# Pipelined-transfer tier: the page-channel fault schedules (loss,
+# reorder, rate-drop across the streamed rounds, chunk-protocol
+# invariants) across 32 seeds, plus the mid-chunk fail-and-recover
+# sweep over every abort point. Replay a failure with
+#   go run ./cmd/migrchaos -transfer pipelined -schedule <name> -seed <n> -v
+#   go run ./cmd/migrchaos -transfer pipelined -abort-at <round#chunk> -seed <n> -v
+chaos-pagechan:
+	$(GO) run ./cmd/migrchaos -transfer pipelined -seeds 32 -parallel 4
+	$(GO) run ./cmd/migrchaos -transfer pipelined -abort-at all -seeds 8 -parallel 4
+
 # Fuzz smoke over the wire-format decoder and the transport fault-script
 # harness (go test fuzzes one target per invocation).
 fuzz:
@@ -110,11 +126,23 @@ bench-tenancy:
 	$(GO) test -run '^$$' -bench '$(BENCH8_PATTERN)' -benchtime 3x -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -out BENCH_8.json
 
+# Record the transfer-pipeline contrast in BENCH_9.json. -benchtime 3x
+# gives each (transfer, size) point three replica seeds; the reported
+# row is the median by blackout.
+bench-pagechan:
+	$(GO) test -run '^$$' -bench '$(BENCH9_PATTERN)' -benchtime 3x -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -out BENCH_9.json
+
+# Render the cross-PR perf trajectory: current/baseline deltas from
+# every checked-in BENCH_*.json, one column per file.
+trajectory:
+	$(GO) run ./cmd/benchjson -trajectory
+
 # One-iteration smoke over the same benchmarks: catches bench rot
 # (compile errors, setup panics) without timing flakiness. CI runs this.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench '$(BENCH6_PATTERN)' -benchtime 1x .
-	$(GO) test -run '^$$' -bench '^BenchmarkTenancySessions250$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench '^(BenchmarkTenancySessions250|BenchmarkPageChanPipe2K)$$' -benchtime 1x .
 
-check: vet test bench-smoke chaos chaos-plug chaos-tenant fuzz test-race
+check: vet test bench-smoke chaos chaos-plug chaos-tenant chaos-pagechan fuzz test-race

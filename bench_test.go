@@ -272,6 +272,71 @@ func BenchmarkTenancyPlugForward2000(b *testing.B) {
 	benchTenancy(b, runc.CutoverPlugForward, 2000)
 }
 
+// --- Transfer pipeline: monolithic vs pipelined page channel -------------------
+
+// benchPageChan migrates a latency-mode SEND server carrying the
+// page-hog working set under one transfer mode and reports the
+// pipeline contrast's headline numbers: the blackout, the
+// stop-and-copy wire bytes (the blackout's transfer share), the total
+// migration-channel volume and the pages the content-hash table kept
+// off the wire. Iterations run distinct derived seeds and the reported
+// row is the median by blackout, matching the cutover/tenancy replica
+// discipline.
+func benchPageChan(b *testing.B, mode runc.TransferMode, msgSize int) {
+	b.Helper()
+	rows := make([]experiments.PageChanRow, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunPageChanSeeded(mode, msgSize, 2, 400, experiments.PageChanSeedFor(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Blackout < rows[j].Blackout })
+	med := rows[(len(rows)-1)/2]
+	b.ReportMetric(float64(med.Blackout)/1e6, "blackout-ms")
+	b.ReportMetric(float64(med.FinalWireBytes), "finalwire-bytes")
+	b.ReportMetric(float64(med.WireBytes), "wire-bytes")
+	b.ReportMetric(float64(med.PagesElided), "elided-pages")
+	b.ReportMetric(float64(med.Rounds), "rounds")
+}
+
+func BenchmarkPageChanMono2K(b *testing.B)  { benchPageChan(b, runc.TransferMonolithic, 2048) }
+func BenchmarkPageChanPipe2K(b *testing.B)  { benchPageChan(b, runc.TransferPipelined, 2048) }
+func BenchmarkPageChanMono8K(b *testing.B)  { benchPageChan(b, runc.TransferMonolithic, 8192) }
+func BenchmarkPageChanPipe8K(b *testing.B)  { benchPageChan(b, runc.TransferPipelined, 8192) }
+func BenchmarkPageChanMono32K(b *testing.B) { benchPageChan(b, runc.TransferMonolithic, 32768) }
+func BenchmarkPageChanPipe32K(b *testing.B) { benchPageChan(b, runc.TransferPipelined, 32768) }
+
+// benchTenancyTransfer is the consolidation scale point of the same
+// contrast: 2000 tenant sessions with a churning session table,
+// migrated through plug-and-forward under each transfer mode.
+func benchTenancyTransfer(b *testing.B, transfer runc.TransferMode) {
+	b.Helper()
+	rows := make([]experiments.TenancyRow, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunTenancyTransferSeeded(
+			runc.CutoverPlugForward, transfer, 2000, experiments.TenancySeedFor(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Blackout < rows[j].Blackout })
+	med := rows[(len(rows)-1)/2]
+	b.ReportMetric(float64(med.Blackout)/1e6, "blackout-ms")
+	b.ReportMetric(float64(med.FinalWire), "finalwire-bytes")
+	b.ReportMetric(float64(med.Acked), "acked-ops")
+	b.ReportMetric(float64(med.DrainAfter)/1e3, "drain-us")
+}
+
+func BenchmarkTenancyTransferMono2000(b *testing.B) {
+	benchTenancyTransfer(b, runc.TransferMonolithic)
+}
+func BenchmarkTenancyTransferPipe2000(b *testing.B) {
+	benchTenancyTransfer(b, runc.TransferPipelined)
+}
+
 // --- Parallel engine: sweep fan-out -------------------------------------------
 
 // benchFig4aSweep times the Fig. 4(a) sweep (two QP points × two

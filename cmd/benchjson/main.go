@@ -10,6 +10,14 @@
 // "current" (the numbers of the tree the tool just ran on). On the
 // first run, or with -set-baseline, the parsed results become both
 // sections.
+//
+// With -trajectory the tool reads no stdin: it aggregates the BENCH
+// files named as arguments (default: every BENCH_*.json in the
+// working directory) into one per-benchmark metric-delta trend table,
+// one column per PR's file:
+//
+//	go run ./cmd/benchjson -trajectory
+//	go run ./cmd/benchjson -trajectory BENCH_4.json BENCH_9.json
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -83,11 +93,116 @@ func computeDeltas(baseline, current *Section) map[string]map[string]float64 {
 	return out
 }
 
+// trajColumn is one BENCH file's contribution to the trend table: its
+// label (the file stem) and its current/baseline ratios. A file with
+// no usable baseline keeps its column — every cell renders "-" — so a
+// missing capture is visible in the table instead of silently absent.
+type trajColumn struct {
+	label  string
+	deltas map[string]map[string]float64
+}
+
+// loadTrajColumn reads one BENCH_<pr>.json. Unreadable or malformed
+// files are errors; a file without a baseline section is the guarded
+// case and comes back as an empty column plus a warning string.
+func loadTrajColumn(path string) (trajColumn, string, error) {
+	col := trajColumn{label: strings.TrimSuffix(filepath.Base(path), ".json")}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return col, "", err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return col, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Baseline == nil {
+		return col, fmt.Sprintf("%s: no baseline section; column left blank", path), nil
+	}
+	col.deltas = f.Deltas
+	if col.deltas == nil {
+		// Older files may predate the deltas field: recompute.
+		col.deltas = computeDeltas(f.Baseline, f.Current)
+	}
+	return col, "", nil
+}
+
+// renderTrajectory formats the trend table: one row per
+// (benchmark, metric) pair seen in any column, one ratio column per
+// file, "-" where a file never recorded that pair.
+func renderTrajectory(cols []trajColumn) []string {
+	type key struct{ bench, unit string }
+	seen := map[key]bool{}
+	for _, c := range cols {
+		for b, ms := range c.deltas {
+			for u := range ms {
+				seen[key{b, u}] = true
+			}
+		}
+	}
+	keys := make([]key, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].unit < keys[j].unit
+	})
+	header := fmt.Sprintf("%-42s %-16s", "benchmark", "metric")
+	for _, c := range cols {
+		header += fmt.Sprintf(" %10s", c.label)
+	}
+	lines := []string{header}
+	for _, k := range keys {
+		row := fmt.Sprintf("%-42s %-16s", k.bench, k.unit)
+		for _, c := range cols {
+			if v, ok := c.deltas[k.bench][k.unit]; ok {
+				row += fmt.Sprintf(" %9.3fx", v)
+			} else {
+				row += fmt.Sprintf(" %10s", "-")
+			}
+		}
+		lines = append(lines, row)
+	}
+	return lines
+}
+
 func main() {
 	out := flag.String("out", "BENCH_4.json", "output file; an existing baseline section is preserved")
 	setBaseline := flag.Bool("set-baseline", false, "record the parsed results as the baseline section too")
 	note := flag.String("note", "", "annotation stored on the section(s) written")
+	trajectory := flag.Bool("trajectory", false, "aggregate the named BENCH files (default BENCH_*.json) into a delta trend table instead of reading stdin")
 	flag.Parse()
+
+	if *trajectory {
+		paths := flag.Args()
+		if len(paths) == 0 {
+			paths, _ = filepath.Glob("BENCH_*.json")
+			sort.Strings(paths)
+		}
+		if len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -trajectory found no BENCH_*.json files")
+			os.Exit(1)
+		}
+		var cols []trajColumn
+		for _, p := range paths {
+			col, warn, err := loadTrajColumn(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			if warn != "" {
+				fmt.Fprintf(os.Stderr, "benchjson: %s\n", warn)
+			}
+			cols = append(cols, col)
+		}
+		fmt.Println("current/baseline ratio per PR's BENCH file (lower is better for ns/op-style metrics)")
+		for _, line := range renderTrajectory(cols) {
+			fmt.Println(line)
+		}
+		return
+	}
 
 	parsed := Section{Note: *note, Benchmarks: map[string]Result{}}
 	sc := bufio.NewScanner(os.Stdin)

@@ -3,6 +3,9 @@ package main
 import (
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -79,6 +82,92 @@ func TestComputeDeltasNonFiniteInputs(t *testing.T) {
 	}}
 	if d := computeDeltas(baseline, current); d != nil {
 		t.Errorf("non-finite inputs produced deltas %v", d)
+	}
+}
+
+// TestRenderTrajectory: pairs absent from a column render "-", columns
+// keep file order, and an all-blank (guarded missing-baseline) column
+// still appears in the header.
+func TestRenderTrajectory(t *testing.T) {
+	cols := []trajColumn{
+		{label: "BENCH_4", deltas: map[string]map[string]float64{
+			"BenchmarkA": {"ns/op": 0.8},
+		}},
+		{label: "BENCH_9", deltas: map[string]map[string]float64{
+			"BenchmarkA": {"ns/op": 0.5, "blackout-ms": 0.9},
+			"BenchmarkB": {"ns/op": 1.2},
+		}},
+		{label: "BENCH_X"}, // missing-baseline guard: nil deltas
+	}
+	lines := renderTrajectory(cols)
+	if len(lines) != 4 { // header + 3 (bench, metric) rows
+		t.Fatalf("%d lines, want 4:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	for _, lbl := range []string{"BENCH_4", "BENCH_9", "BENCH_X"} {
+		if !strings.Contains(lines[0], lbl) {
+			t.Errorf("header missing column %s: %q", lbl, lines[0])
+		}
+	}
+	// Rows sort by benchmark then metric: A/blackout-ms, A/ns-op, B/ns-op.
+	if !strings.Contains(lines[1], "blackout-ms") || !strings.Contains(lines[1], "0.900") {
+		t.Errorf("row 1: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "0.800") || !strings.Contains(lines[2], "0.500") {
+		t.Errorf("row 2 should carry both files' ns/op ratios: %q", lines[2])
+	}
+	// BENCH_4 never saw BenchmarkB, BENCH_X saw nothing: dashes.
+	if strings.Count(lines[3], "-") < 2 {
+		t.Errorf("row 3 should dash the absent cells: %q", lines[3])
+	}
+	if strings.Count(lines[1], "-") < 2 {
+		t.Errorf("row 1 should dash BENCH_4 and BENCH_X: %q", lines[1])
+	}
+}
+
+// TestLoadTrajColumn: a well-formed file yields its deltas (recomputed
+// when the field is absent), a baseline-less file is the guarded
+// warning case, and corrupt JSON is an error.
+func TestLoadTrajColumn(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f File) string {
+		buf, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// No deltas field on disk: loadTrajColumn must recompute them.
+	p := write("BENCH_7.json", File{
+		Baseline: &Section{Benchmarks: map[string]Result{
+			"BenchmarkA": {Metrics: map[string]float64{"ns/op": 200}}}},
+		Current: &Section{Benchmarks: map[string]Result{
+			"BenchmarkA": {Metrics: map[string]float64{"ns/op": 100}}}},
+	})
+	col, warn, err := loadTrajColumn(p)
+	if err != nil || warn != "" {
+		t.Fatalf("load: err=%v warn=%q", err, warn)
+	}
+	if col.label != "BENCH_7" || col.deltas["BenchmarkA"]["ns/op"] != 0.5 {
+		t.Errorf("col = %+v", col)
+	}
+
+	// Missing baseline: warning, empty column, no error.
+	p = write("BENCH_8.json", File{Current: &Section{}})
+	col, warn, err = loadTrajColumn(p)
+	if err != nil || warn == "" || col.deltas != nil {
+		t.Errorf("missing baseline: err=%v warn=%q deltas=%v", err, warn, col.deltas)
+	}
+
+	// Corrupt JSON: error.
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, _, err := loadTrajColumn(bad); err == nil {
+		t.Error("corrupt file loaded without error")
 	}
 }
 

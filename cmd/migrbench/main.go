@@ -10,6 +10,7 @@
 //	migrbench -exp concurrent -k 4 -conc 2
 //	migrbench -exp cutover
 //	migrbench -exp tenancy -sessions 250,500,1000,2000
+//	migrbench -exp pagechan
 //	migrbench -exp ablation-keytable|ablation-wbs|ablation-rkey|ablation-partner
 //
 // Output is a textual rendition of each table/figure: the same rows or
@@ -27,10 +28,11 @@ import (
 	"time"
 
 	"migrrdma/internal/experiments"
+	"migrrdma/internal/runc"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss, cutover, tenancy")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss, cutover, tenancy, pagechan")
 	sessions := flag.String("sessions", "250,500,1000,2000", "comma-separated tenant session counts for the tenancy sweep")
 	qps := flag.String("qps", "16,64,256,1024", "comma-separated QP counts for fig3/fig4a/migros")
 	sizes := flag.String("sizes", "512,4096,65536,524288", "message sizes for fig4b")
@@ -237,6 +239,27 @@ func main() {
 			}
 			for _, r := range rows {
 				fmt.Println(r)
+			}
+			return nil
+		})
+	}
+	if want("pagechan") {
+		run("Transfer pipeline — monolithic vs pipelined page channel", func() error {
+			rows, err := experiments.PageChanComparison([]int{2048, 8192, 32768}, 2, 400)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
+			}
+			// The consolidation scale point: 2000 tenant sessions with a
+			// churning session table, both transfer modes.
+			for _, mode := range []runc.TransferMode{runc.TransferMonolithic, runc.TransferPipelined} {
+				row, err := experiments.RunTenancyTransferSeeded(runc.CutoverPlugForward, mode, 2000, experiments.TenancySeedFor(0))
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%s  transfer=%-12s finalwire=%d\n", row, mode, row.FinalWire)
 			}
 			return nil
 		})

@@ -11,12 +11,17 @@
 //	migrchaos -abort-at finalize -seed 3 -v      # replay one abort run
 //	migrchaos -cutover plug            # plug-forward tier: server migrations, plug schedules
 //	migrchaos -cutover plug -abort-at all        # plug-forward fail-and-recover sweep
+//	migrchaos -transfer pipelined      # page-channel tier: pipelined-transfer schedules
+//	migrchaos -transfer pipelined -abort-at all  # mid-chunk abort sweep
+//	migrchaos -transfer pipelined -abort-at final#2 -seed 3 -v   # replay one mid-chunk abort
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"migrrdma/internal/chaos"
 	"migrrdma/internal/runc"
@@ -64,6 +69,7 @@ func main() {
 	cap := flag.Int("cap", 3, "admission cap for -concurrent runs")
 	abortAt := flag.String("abort-at", "", "fail-and-recover sweep: inject a hard fault at the named workflow phase (or \"all\")")
 	cutover := flag.String("cutover", "", "cutover mode: go-back-n (default tier) or plug-forward (server-migration plug tier)")
+	transfer := flag.String("transfer", "", "transfer mode: monolithic (default tier) or pipelined (page-channel tier)")
 	parallel := flag.Int("parallel", 1, "worker pool size; every (schedule, seed) run is an independent simulation, output order is unchanged")
 	flag.Parse()
 
@@ -72,9 +78,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	tmode, err := runc.ParseTransferMode(*transfer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	plugTier := mode == runc.CutoverPlugForward
+	pipeTier := tmode == runc.TransferPipelined
 	if plugTier && *concurrent {
 		fmt.Fprintln(os.Stderr, "-cutover plug-forward and -concurrent are separate tiers; pick one")
+		os.Exit(2)
+	}
+	if pipeTier && (plugTier || *concurrent) {
+		fmt.Fprintln(os.Stderr, "-transfer pipelined is its own tier; drop -cutover/-concurrent")
 		os.Exit(2)
 	}
 
@@ -86,6 +102,9 @@ func main() {
 		if plugTier {
 			all = chaos.PlugSchedules()
 		}
+		if pipeTier {
+			all = chaos.PipelinedSchedules()
+		}
 		for _, s := range all {
 			fmt.Printf("%-22s %d faults\n", s.Name, len(s.Faults))
 			for _, f := range s.Faults {
@@ -95,6 +114,57 @@ func main() {
 				}
 				fmt.Printf("    %-10s node=%-8s %s for %v\n", f.Kind, f.Node, when, f.Duration)
 			}
+		}
+		return
+	}
+
+	if *abortAt != "" && pipeTier {
+		// Pipelined aborts are mid-chunk points, "round#chunk", not
+		// workflow phases.
+		points := chaos.PipelinedAbortPoints()
+		if *abortAt != "all" {
+			parts := strings.SplitN(*abortAt, "#", 2)
+			found := false
+			if len(parts) == 2 {
+				if n, perr := strconv.Atoi(parts[1]); perr == nil {
+					for _, pt := range points {
+						if pt.Round == parts[0] && pt.Chunk == n {
+							points = points[:0]
+							points = append(points, pt)
+							found = true
+							break
+						}
+					}
+				}
+			}
+			if !found {
+				var have []string
+				for _, pt := range chaos.PipelinedAbortPoints() {
+					have = append(have, fmt.Sprintf("%s#%d", pt.Round, pt.Chunk))
+				}
+				fmt.Fprintf(os.Stderr, "unknown abort point %q (have %v, or \"all\")\n", *abortAt, have)
+				os.Exit(2)
+			}
+		}
+		lo, hi := int64(1), *seeds
+		if *seed != 0 {
+			lo, hi = *seed, *seed
+		}
+		var jobs []func() sweepResult
+		for _, pt := range points {
+			for s := lo; s <= hi; s++ {
+				pt, s := pt, s
+				jobs = append(jobs, func() sweepResult {
+					rep := chaos.RunPipelinedAbort(s, pt.Round, pt.Chunk)
+					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
+						replay: fmt.Sprintf("migrchaos -transfer pipelined -abort-at %s#%d -seed %d -v", pt.Round, pt.Chunk, s)}
+				})
+			}
+		}
+		runs, failures := runSweep(jobs, *parallel, *verbose)
+		fmt.Printf("%d runs, %d failures\n", runs, failures)
+		if failures > 0 {
+			os.Exit(1)
 		}
 		return
 	}
@@ -155,6 +225,10 @@ func main() {
 		schedules = chaos.PlugSchedules()
 		byName = chaos.PlugScheduleByName
 	}
+	if pipeTier {
+		schedules = chaos.PipelinedSchedules()
+		byName = chaos.PipelinedScheduleByName
+	}
 	if *scheduleName != "" {
 		s, ok := byName(*scheduleName)
 		if !ok {
@@ -182,6 +256,10 @@ func main() {
 					rep := chaos.RunPlug(s, sched)
 					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
 						replay: fmt.Sprintf("migrchaos -cutover plug -schedule %s -seed %d -v", sched.Name, s)}
+				case pipeTier:
+					rep := chaos.RunPipelined(s, sched)
+					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
+						replay: fmt.Sprintf("migrchaos -transfer pipelined -schedule %s -seed %d -v", sched.Name, s)}
 				default:
 					rep := chaos.Run(s, sched)
 					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,

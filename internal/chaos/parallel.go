@@ -99,6 +99,27 @@ func GoldenJobs() []GoldenJob {
 				}})
 		}
 	}
+	for _, sched := range PipelinedSchedules() {
+		for _, seed := range GoldenSeeds {
+			sched, seed := sched, seed
+			jobs = append(jobs, GoldenJob{Mode: "pipelined", Schedule: sched.Name, Seed: seed,
+				Run: func() (string, string) {
+					rep := RunPipelined(seed, sched)
+					return rep.TraceHash, rep.Metrics.Hash()
+				}})
+		}
+	}
+	for _, pt := range PipelinedAbortPoints() {
+		for _, seed := range GoldenSeeds {
+			pt, seed := pt, seed
+			jobs = append(jobs, GoldenJob{Mode: "pipelined-abort",
+				Schedule: "pipe-abort@" + pt.Round + "#" + strconv.Itoa(pt.Chunk), Seed: seed,
+				Run: func() (string, string) {
+					rep := RunPipelinedAbort(seed, pt.Round, pt.Chunk)
+					return rep.TraceHash, rep.Metrics.Hash()
+				}})
+		}
+	}
 	return jobs
 }
 

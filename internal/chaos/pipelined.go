@@ -1,0 +1,460 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/mem"
+	"migrrdma/internal/metrics"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// Pipelined-tier runs exercise the page-channel transfer mode
+// (internal/pagechan): dump, wire, and apply overlap across bounded
+// chunks on K streams, zero pages ship header-only, and a content-hash
+// table elides dirty-bit false positives. The tier pins the channel's
+// determinism (chunk sequencing enters the trace hash via the page tap)
+// and its exactly-once chunk protocol under the same fabric faults the
+// monolithic tier survives.
+
+// Chaos memhog: a deterministic writer attached to the migrated client
+// so pipelined runs always exercise every elision path — hot pages that
+// genuinely change, zero scratch pages, and constant-content rewrites
+// (dirty-bit false positives). Sized small to keep ledger volume down.
+const (
+	pipeHogPages    = 32
+	pipeHogHot      = 4
+	pipeHogZero     = 4
+	pipeHogBase     = mem.Addr(0x5300_0000_0000)
+	pipeHogInterval = 100 * time.Microsecond
+)
+
+// startPipeHog maps the writer's region on p and rewrites it every
+// epoch until the process exits, pausing while frozen.
+func startPipeHog(cl *cluster.Cluster, p *task.Process) error {
+	if _, err := p.AS.Map(pipeHogBase, pipeHogPages*mem.PageSize, "appstate"); err != nil {
+		return err
+	}
+	cl.Sched.Go("pipe-hog", func() {
+		buf := make([]byte, mem.PageSize)
+		for epoch := 1; !p.Exited(); epoch++ {
+			if !p.Frozen() {
+				for i := 0; i < pipeHogPages; i++ {
+					switch {
+					case i < pipeHogHot:
+						for j := range buf {
+							buf[j] = byte(epoch + i + j)
+						}
+					case i < pipeHogHot+pipeHogZero:
+						for j := range buf {
+							buf[j] = 0
+						}
+					default:
+						for j := range buf {
+							buf[j] = byte(i)
+						}
+					}
+					a := pipeHogBase + mem.Addr(i*mem.PageSize)
+					if err := p.AS.Write(a, buf); err != nil {
+						return // unmapped mid-teardown
+					}
+				}
+			}
+			cl.Sched.Sleep(pipeHogInterval)
+		}
+	})
+	return nil
+}
+
+// PipelinedSchedules returns the fault library the pipelined golden
+// tier runs. Clean pins the channel's baseline determinism; the fault
+// schedules stress the chunk streams under loss, reordering, and a
+// degraded destination link during the streamed transfer.
+func PipelinedSchedules() []Schedule {
+	return []Schedule{
+		{Name: "pipe-clean"},
+		{Name: "pipe-loss-burst", Faults: []Fault{
+			{Kind: FaultLoss, Node: "src", Prob: 0.25, At: Warmup, Duration: 2 * time.Millisecond},
+			{Kind: FaultLoss, Node: "partner", Prob: 0.25, Phase: "resume", Duration: time.Millisecond},
+		}},
+		{Name: "pipe-reorder", Faults: []Fault{
+			{Kind: FaultReorder, Node: "partner", Prob: 0.2, Delay: 20 * time.Microsecond, At: Warmup, Duration: 5 * time.Millisecond},
+			{Kind: FaultReorder, Node: "src", Prob: 0.2, Delay: 20 * time.Microsecond, Phase: "partial-restore", Duration: 3 * time.Millisecond},
+		}},
+		{Name: "pipe-rate-drop", Faults: []Fault{
+			// The destination link degrades 10× through the streamed
+			// pre-copy rounds (armed at partial-restore, the stage event
+			// immediately before streaming starts): chunks stack in the
+			// bounded window and the dump throttles to wire speed.
+			{Kind: FaultRateDrop, Node: "dst", Rate: 10e9, Phase: "partial-restore", Duration: 10 * time.Millisecond},
+		}},
+	}
+}
+
+// PipelinedScheduleByName returns the named pipelined schedule, or false.
+func PipelinedScheduleByName(name string) (Schedule, bool) {
+	for _, s := range PipelinedSchedules() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// PipelinedAbortPoints lists the (round, chunk) mid-stream fault sites
+// the pipelined abort tier injects at: the first and a later chunk of
+// the first streamed round, and of the stop-and-copy round — the
+// latter aborts while the destination holds a partially applied final
+// image that the compensations must tear down.
+func PipelinedAbortPoints() []struct {
+	Round string
+	Chunk int
+} {
+	return []struct {
+		Round string
+		Chunk int
+	}{
+		{"predump", 1},
+		{"predump", 3},
+		{"final", 1},
+		{"final", 2},
+	}
+}
+
+// RunPipelined executes one pipelined-transfer chaos run. It mirrors
+// Run — same testbed, traffic, fault injection, and transport
+// invariants — with the migration in TransferPipelined mode, the chaos
+// memhog writer attached, and the page channel's chunk events folded
+// into the trace hash. Beyond Run's checks it asserts the chunk
+// protocol: every chunk is received and applied exactly once, no chunk
+// stays staged after the run, and the elision machinery demonstrably
+// fired (vacuity guard).
+func RunPipelined(seed int64, schedule Schedule) *Report {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cl := cluster.New(cfg, "src", "dst", "partner")
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+	}
+	srv := perftest.NewServer(sched, "srv", opts)
+	cli := perftest.NewClient(sched, "cli", opts, perftest.Target{Node: "partner", Name: "srv"})
+	srvCont := runc.NewContainer(cl.Host("partner"), "server")
+	srvCont.Start(func(tp *task.Process) { srv.Run(tp, daemons["partner"]) })
+	cliCont := runc.NewContainer(cl.Host("src"), "client")
+	sched.Go("chaos-start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, daemons["src"]) })
+	})
+
+	inj := &injector{sched: sched, net: cl.Net, rec: rec}
+	rep := &Report{Seed: seed, Schedule: schedule.Name}
+	var (
+		mrep   *runc.Report
+		migErr error
+		atMig  int64
+		done   bool
+		hogErr error
+	)
+	sched.Go("chaos-pipe-driver", func() {
+		cli.WaitReady()
+		hogErr = startPipeHog(cl, cliCont.Procs[0])
+		sched.Sleep(Warmup)
+		for _, f := range schedule.Faults {
+			if f.Phase != "" {
+				continue
+			}
+			f := f
+			d := f.At - sched.Now()
+			if d < 0 {
+				d = 0
+			}
+			sched.AfterFunc(d, func() { inj.arm(f) })
+		}
+		o := runc.DefaultMigrateOptions()
+		o.Transfer = runc.TransferPipelined
+		o.ChunkPages = 8 // small chunks so every round streams several
+		m := &runc.Migrator{
+			C:    cliCont,
+			Dst:  cl.Host("dst"),
+			Plug: core.NewPlugin(daemons["src"], daemons["dst"]),
+			Opts: o,
+		}
+		m.PageTap = func(ev string, seq uint64) {
+			rec.add(event{kind: "pchan", wrid: seq, note: ev})
+		}
+		m.OnStage = func(stage string) {
+			rec.add(event{kind: "stage", note: stage})
+			for _, f := range schedule.Faults {
+				if f.Phase == stage {
+					inj.arm(f)
+				}
+			}
+		}
+		mrep, migErr = m.Migrate()
+		rep.FinalStage = m.Stage
+		atMig = cli.Stats.Completed
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
+		sched.Sleep(settle)
+		inj.clearAll()
+		sched.Sleep(settle)
+		cli.Stop()
+		cli.Wait()
+		sched.Sleep(settle)
+		srv.Stop()
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	rep.Migration = mrep
+	rep.Completed = cli.Stats.Completed
+	rep.ServerRecv = srv.Stats.Completed
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.Duplicated = snap.Sum("fabric", "duplicated_frames")
+	rep.Reordered = snap.Sum("fabric", "reordered_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
+	for _, e := range rec.events {
+		if e.kind == "fault" && e.ok {
+			rep.FaultsArmed++
+		}
+	}
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+	rep.Violations = check(rec, cli, srv, done, migErr, atMig)
+	if hogErr != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("memhog setup failed: %v", hogErr))
+	}
+	rep.Violations = append(rep.Violations, checkChunks(rec, snap, mrep, false)...)
+	return rep
+}
+
+// RunPipelinedAbort executes one pipelined fail-and-recover run: the
+// channel's FailAt hook aborts the migration after `chunk` chunks of
+// the named streamed round, mid-stream. The checks mirror RunAbort's —
+// service recovered in place on the source, no residue anywhere — plus
+// the channel-specific ones: the error names the injected fault, the
+// abort event entered the ledger, and no chunk stayed staged on the
+// destination (the compensation drained the channel).
+//
+// Deterministic: same (seed, round, chunk) ⇒ same TraceHash.
+func RunPipelinedAbort(seed int64, round string, chunk int) *Report {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cl := cluster.New(cfg, "src", "dst", "partner")
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+	}
+	srv := perftest.NewServer(sched, "srv", opts)
+	cli := perftest.NewClient(sched, "cli", opts, perftest.Target{Node: "partner", Name: "srv"})
+	srvCont := runc.NewContainer(cl.Host("partner"), "server")
+	srvCont.Start(func(tp *task.Process) { srv.Run(tp, daemons["partner"]) })
+	cliCont := runc.NewContainer(cl.Host("src"), "client")
+	sched.Go("chaos-start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, daemons["src"]) })
+	})
+
+	rep := &Report{Seed: seed, Schedule: fmt.Sprintf("pipe-abort@%s#%d", round, chunk)}
+	var (
+		mrep   *runc.Report
+		migErr error
+		atMig  int64
+		done   bool
+		hogErr error
+	)
+	sched.Go("chaos-pipe-abort-driver", func() {
+		cli.WaitReady()
+		hogErr = startPipeHog(cl, cliCont.Procs[0])
+		sched.Sleep(Warmup)
+		o := runc.DefaultMigrateOptions()
+		o.Transfer = runc.TransferPipelined
+		o.ChunkPages = 4 // several chunks per round, so mid-stream faults land
+		o.FailAtRound = round
+		o.FailAtChunk = chunk
+		m := &runc.Migrator{
+			C:    cliCont,
+			Dst:  cl.Host("dst"),
+			Plug: core.NewPlugin(daemons["src"], daemons["dst"]),
+			Opts: o,
+		}
+		m.PageTap = func(ev string, seq uint64) {
+			rec.add(event{kind: "pchan", wrid: seq, note: ev})
+		}
+		m.OnStage = func(stage string) {
+			rec.add(event{kind: "stage", note: stage})
+		}
+		mrep, migErr = m.Migrate()
+		rep.FinalStage = m.Stage
+		atMig = cli.Stats.Completed
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
+		sched.Sleep(settle)
+		sched.Sleep(settle)
+		cli.Stop()
+		cli.Wait()
+		sched.Sleep(settle)
+		srv.Stop()
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	rep.Migration = mrep
+	rep.Completed = cli.Stats.Completed
+	rep.ServerRecv = srv.Stats.Completed
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.Duplicated = snap.Sum("fabric", "duplicated_frames")
+	rep.Reordered = snap.Sum("fabric", "reordered_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+
+	// --- Invariants ---------------------------------------------------
+	var v []string
+	if !done {
+		rep.Violations = []string{"run did not complete within the horizon"}
+		return rep
+	}
+	if hogErr != nil {
+		v = append(v, fmt.Sprintf("memhog setup failed: %v", hogErr))
+	}
+	switch {
+	case migErr == nil:
+		v = append(v, fmt.Sprintf("migration succeeded despite mid-chunk fault at %s#%d", round, chunk))
+	case !strings.Contains(migErr.Error(), "injected mid-chunk fault"):
+		v = append(v, fmt.Sprintf("abort error does not name the channel fault: %v", migErr))
+	}
+	if rep.FinalStage != "aborted" {
+		v = append(v, fmt.Sprintf("final stage %q, want aborted", rep.FinalStage))
+	}
+	// Recovered in place: exactly-once in-order delivery, progress after
+	// the abort, client session back on the source.
+	v = append(v, checkPair(cli, srv, atMig, "src", "")...)
+	v = append(v, checkLedger(rec)...)
+	if cliCont.Host != cl.Host("src") {
+		v = append(v, fmt.Sprintf("client container on %s, want src", cliCont.Host.Name))
+	}
+	// No migration residue anywhere in the cluster.
+	if n := daemons["dst"].StagedRestores(); n != 0 {
+		v = append(v, fmt.Sprintf("destination still holds %d staged restores", n))
+	}
+	for _, n := range cl.Names() {
+		d := daemons[n]
+		if sp := d.PendingSpares("m0"); sp != 0 {
+			v = append(v, fmt.Sprintf("%s still holds %d pre-setup spare QPs", n, sp))
+		}
+		if sq := d.SuspendedQPs(); sq != 0 {
+			v = append(v, fmt.Sprintf("%s still has %d suspended QPs", n, sq))
+		}
+		if _, ok := d.PartnerWBSResult("m0"); ok {
+			v = append(v, fmt.Sprintf("%s still holds a partner-WBS result for m0", n))
+		}
+	}
+	if got := snap.Sum("migr", "migrations_aborted"); got != 1 {
+		v = append(v, fmt.Sprintf("migrations_aborted = %d, want 1", got))
+	}
+	v = append(v, checkChunks(rec, snap, mrep, true)...)
+	rep.Violations = append(v, rep.Violations...)
+	return rep
+}
+
+// checkChunks validates the page channel's chunk protocol against the
+// pchan ledger events and final metrics: every chunk sequence is sent
+// at most once, received at most once and only after being sent,
+// applied at most once and only after being received; nothing stays
+// staged; and (for successful runs) the channel demonstrably streamed
+// chunks and elided pages, so the tier can never pass vacuously.
+func checkChunks(rec *recorder, snap *metrics.Snapshot, mrep *runc.Report, aborted bool) []string {
+	var v []string
+	badf := func(format string, args ...interface{}) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	sent := make(map[uint64]int)
+	recv := make(map[uint64]int)
+	applied := make(map[uint64]int)
+	abortEvents := 0
+	for _, e := range rec.events {
+		if e.kind != "pchan" {
+			continue
+		}
+		switch e.note {
+		case "send":
+			sent[e.wrid]++
+			if sent[e.wrid] > 1 {
+				badf("chunk %d enqueued %d times", e.wrid, sent[e.wrid])
+			}
+		case "recv":
+			recv[e.wrid]++
+			if recv[e.wrid] > 1 {
+				badf("chunk %d received %d times", e.wrid, recv[e.wrid])
+			}
+			if sent[e.wrid] == 0 {
+				badf("chunk %d received before being sent", e.wrid)
+			}
+		case "apply":
+			applied[e.wrid]++
+			if applied[e.wrid] > 1 {
+				badf("chunk %d applied %d times", e.wrid, applied[e.wrid])
+			}
+			if recv[e.wrid] == 0 {
+				badf("chunk %d applied before being received", e.wrid)
+			}
+		case "abort":
+			abortEvents++
+		}
+	}
+	if staged := snap.Sum("pagechan", "staged_chunks"); staged != 0 {
+		badf("%d chunks still staged after the run", staged)
+	}
+	if aborted {
+		if abortEvents == 0 {
+			badf("no channel abort event despite an injected mid-chunk fault")
+		}
+		return v
+	}
+	// Successful run: exactly-once end to end, and the tier exercised
+	// the machinery it exists to pin (vacuity guards).
+	if len(sent) == 0 {
+		badf("pipelined run streamed no chunks")
+	}
+	for seq := range sent {
+		if recv[seq] != 1 {
+			badf("chunk %d sent but received %d times", seq, recv[seq])
+		}
+	}
+	if snap.Sum("pagechan", "pages_elided") == 0 {
+		badf("no pages elided despite the constant-content/zero memhog")
+	}
+	if mrep != nil && len(mrep.Rounds) < 2 {
+		badf("only %d streamed rounds, want at least predump + final", len(mrep.Rounds))
+	}
+	return v
+}

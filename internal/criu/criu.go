@@ -202,6 +202,56 @@ func (t *Tool) Dump(p *task.Process, full bool) *Image {
 	return img
 }
 
+// BeginDump opens a chunked dump for the page channel (pipelined
+// transfer mode). It captures the memory table, selects the pages to
+// ship — every populated page when full, otherwise the dirty diff,
+// device mappings always excluded — resets dirty tracking, and pays
+// the fixed dump overhead plus the superlinear mapping walk up front.
+// Page contents are read (and their per-page cost paid) by subsequent
+// DumpPages calls, so the page channel can overlap dumping with wire
+// time and apply. The total dump cost equals a monolithic Dump of the
+// same pages.
+//
+// A write landing between BeginDump and the batch that reads its page
+// ships the newer bytes AND re-marks the page dirty, so the next round
+// re-dumps it; the channel's content-hash table then elides the resend
+// if the bytes did not change again (the dirty-bit false positive).
+func (t *Tool) BeginDump(p *task.Process, full bool) (*Image, []mem.Addr) {
+	img := &Image{Proc: p.Name}
+	vmas := p.AS.VMAs()
+	for _, v := range vmas {
+		img.VMAs = append(img.VMAs, VMARec{Start: v.Start, Len: v.Len, Name: v.Name, Device: v.Device})
+	}
+	var sel []mem.Addr
+	var pages []mem.Addr
+	if full {
+		pages = p.AS.PopulatedPages()
+	} else {
+		pages = p.AS.DirtyPages()
+	}
+	for _, a := range pages {
+		if v := p.AS.FindVMA(a); v != nil && v.Device {
+			continue
+		}
+		sel = append(sel, a)
+	}
+	p.AS.ClearDirty()
+	walk := time.Duration(float64(t.cfg.DumpPerVMA) * math.Pow(float64(len(vmas)), t.cfg.VMAExponent))
+	t.host.Sleep(t.cfg.DumpBase + walk)
+	return img, sel
+}
+
+// DumpPages reads one batch of page contents at the dump cost model's
+// per-page rate (the chunked counterpart of Dump's page loop).
+func (t *Tool) DumpPages(p *task.Process, addrs []mem.Addr) []PageRec {
+	recs := make([]PageRec, 0, len(addrs))
+	for _, a := range addrs {
+		recs = append(recs, PageRec{Addr: a, Data: p.AS.ReadPage(a)})
+	}
+	t.host.Sleep(time.Duration(len(addrs)) * t.cfg.DumpPerPage)
+	return recs
+}
+
 // DirtyPageCount reports how many pages would be in the next diff dump.
 func (t *Tool) DirtyPageCount(p *task.Process) int { return len(p.AS.DirtyPages()) }
 
@@ -304,6 +354,32 @@ func (r *Restore) applyPages(img *Image) {
 	r.tool.host.Sleep(time.Duration(len(img.Pages)) * r.tool.cfg.RestPerPage)
 }
 
+// zeroPage backs zero-page application on the restore side: elided
+// zero pages ship a header only, but writing the zeros still pays the
+// normal per-page restore cost.
+var zeroPage [mem.PageSize]byte
+
+// ApplyChunk applies one page-channel chunk at its pages' current
+// (possibly temporary) locations: full-content pages plus header-only
+// zero pages. img supplies the round's memory table for address
+// translation. The per-page restore cost matches applyPages.
+func (r *Restore) ApplyChunk(img *Image, pages []PageRec, zeros []mem.Addr) {
+	n := 0
+	for _, pg := range pages {
+		if dst, ok := r.locate(img, pg.Addr); ok {
+			_ = r.AS.WriteClean(dst, pg.Data)
+			n++
+		}
+	}
+	for _, a := range zeros {
+		if dst, ok := r.locate(img, a); ok {
+			_ = r.AS.WriteClean(dst, zeroPage[:])
+			n++
+		}
+	}
+	r.tool.host.Sleep(time.Duration(n) * r.tool.cfg.RestPerPage)
+}
+
 // restorePagesInto writes the pages of one VMA record at an explicit
 // base (used by MapAtOriginal).
 func (r *Restore) restorePagesInto(img *Image, rec VMARec, base mem.Addr) {
@@ -358,6 +434,23 @@ func (r *Restore) Finalize(final *Image) error {
 		return fmt.Errorf("criu: finalize of abandoned restore for %s", r.Proc.Name)
 	}
 	r.applyPages(final)
+	return r.remapTemps()
+}
+
+// FinalizeStreamed completes a restore whose final diff was already
+// applied chunk by chunk through the page channel: only the
+// temporary-area remaps (and their cost) remain. The process stays
+// frozen until FullRestore.
+func (r *Restore) FinalizeStreamed() error {
+	if r.abandoned {
+		return fmt.Errorf("criu: finalize of abandoned restore for %s", r.Proc.Name)
+	}
+	return r.remapTemps()
+}
+
+// remapTemps moves every temporary area to its original virtual
+// address and marks the restore finalized.
+func (r *Restore) remapTemps() error {
 	for orig, tmp := range r.tempOf {
 		if err := r.AS.Remap(tmp, orig); err != nil {
 			return fmt.Errorf("criu: final remap: %w", err)

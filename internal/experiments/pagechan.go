@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/mem"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/sim"
+	"migrrdma/internal/task"
+	"migrrdma/internal/tenant"
+)
+
+// This file is the transfer-pipeline comparison: the same server-side
+// live migration under an identical latency-mode SEND workload, once
+// with the monolithic dump-then-send transfer and once with the
+// pipelined multi-stream page channel. The contrast the experiment
+// exists to show: overlapping dump/wire/apply plus zero-page and
+// duplicate-content elision shrinks the stop-and-copy wire volume (and
+// with it the blackout's transfer share), and the adaptive convergence
+// controller stops iterating as soon as extra rounds stop paying.
+
+// pageHog sizing: the deterministic writer that gives the migrated
+// service a realistic page mix — hot pages that change every epoch,
+// zero scratch pages, and constant-content rewrites the dirty-bit
+// tracker flags but the content-hash table elides.
+const (
+	pageHogPages    = 192
+	pageHogHot      = 24
+	pageHogZero     = 24
+	pageHogBase     = mem.Addr(0x5400_0000_0000)
+	pageHogInterval = 200 * time.Microsecond
+)
+
+// startPageHog attaches the writer to p until the process exits or the
+// returned stop function is called (so the writer never pins the event
+// queue past the end of the measured run), pausing while frozen.
+func startPageHog(r *Rig, p *task.Process) (stop func(), err error) {
+	if _, err := p.AS.Map(pageHogBase, pageHogPages*mem.PageSize, "appstate"); err != nil {
+		return nil, err
+	}
+	stopped := false
+	r.CL.Sched.Go("page-hog", func() {
+		buf := make([]byte, mem.PageSize)
+		for epoch := 1; !p.Exited() && !stopped; epoch++ {
+			if !p.Frozen() {
+				for i := 0; i < pageHogPages; i++ {
+					switch {
+					case i < pageHogHot:
+						for j := range buf {
+							buf[j] = byte(epoch + i + j)
+						}
+					case i < pageHogHot+pageHogZero:
+						for j := range buf {
+							buf[j] = 0
+						}
+					default:
+						for j := range buf {
+							buf[j] = byte(i)
+						}
+					}
+					a := pageHogBase + mem.Addr(i*mem.PageSize)
+					if err := p.AS.Write(a, buf); err != nil {
+						return // unmapped mid-teardown
+					}
+				}
+			}
+			r.CL.Sched.Sleep(pageHogInterval)
+		}
+	})
+	return func() { stopped = true }, nil
+}
+
+// PageChanRow is one (transfer mode, message size) measurement.
+type PageChanRow struct {
+	Transfer runc.TransferMode
+	MsgSize  int
+
+	Samples  int
+	P50      time.Duration
+	P99      time.Duration
+	Blackout time.Duration
+	Total    time.Duration
+
+	// PagesTransferred counts per-round page shipments (re-sends
+	// included); DistinctPages the unique pages; PagesElided the pages
+	// whose content stayed off the wire entirely.
+	PagesTransferred int
+	DistinctPages    int
+	PagesElided      int
+	// WireBytes is the migration channel's total image/chunk volume;
+	// FinalWireBytes the stop-and-copy round alone (the blackout's
+	// transfer share).
+	WireBytes      int64
+	FinalWireBytes int64
+	// Rounds is the number of streamed rounds (pipelined) or dump
+	// iterations (monolithic, from PreCopyIterations + predump + final).
+	Rounds int
+}
+
+// String renders one row.
+func (r PageChanRow) String() string {
+	return fmt.Sprintf("%-12s msg=%-6d ops=%-5d p50=%-9v p99=%-9v blackout=%-9v pages=%-5d distinct=%-5d elided=%-5d wire=%-9d finalwire=%-8d rounds=%d",
+		r.Transfer, r.MsgSize, r.Samples,
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.Blackout.Round(time.Microsecond),
+		r.PagesTransferred, r.DistinctPages, r.PagesElided,
+		r.WireBytes, r.FinalWireBytes, r.Rounds)
+}
+
+// pagechanSeed fixes the comparison's determinism.
+const pagechanSeed = 83
+
+// PageChanSeedFor returns replica rep's seed, anchored at the
+// canonical pagechanSeed the same way as the other replicated
+// experiments.
+func PageChanSeedFor(rep int) int64 {
+	if rep == 0 {
+		return pagechanSeed
+	}
+	return sim.DeriveSeed(pagechanSeed, rep)
+}
+
+// RunPageChan measures one transfer configuration at the canonical seed.
+func RunPageChan(mode runc.TransferMode, msgSize, qps, messages int) (PageChanRow, error) {
+	return RunPageChanSeeded(mode, msgSize, qps, messages, pagechanSeed)
+}
+
+// RunPageChanSeeded live-migrates a latency-mode SEND server carrying
+// the page-hog working set, under the given transfer mode.
+func RunPageChanSeeded(mode runc.TransferMode, msgSize, qps, messages int, seed int64) (PageChanRow, error) {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cfg.NIC.MaxRetries = 1 << 20
+	r := NewRigCfg(cfg, "src", "dst", "partner")
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: msgSize, NumQPs: qps, Messages: messages,
+		LatencyMode: true, PostGap: 250 * time.Microsecond, RecvDepth: 64,
+	}
+	// The SERVER migrates src → dst mid-stream, carrying the page hog.
+	pair := r.StartPair("partner", "src", opts)
+	stopHog, err := startPageHog(r, pair.ServerCont.Procs[0])
+	if err != nil {
+		return PageChanRow{}, err
+	}
+	mopts := runc.DefaultMigrateOptions()
+	mopts.Transfer = mode
+	var rep *runc.Report
+	r.CL.Sched.Go("pagechan-driver", func() {
+		pair.Client.WaitReady()
+		r.CL.Sched.Sleep(2 * time.Millisecond)
+		rep, err = r.Migrate(pair.ServerCont, "src", "dst", mopts)
+		pair.Client.Wait()
+		stopHog()
+		pair.Server.Stop()
+	})
+	r.CL.Sched.RunFor(10 * time.Minute)
+	if err != nil {
+		return PageChanRow{}, err
+	}
+	if rep == nil {
+		return PageChanRow{}, fmt.Errorf("pagechan: migration did not complete")
+	}
+	if n := len(pair.Client.Stats.Errors); n != 0 {
+		return PageChanRow{}, fmt.Errorf("pagechan: %d client errors: %s", n, pair.Client.Stats.Errors[0])
+	}
+	rounds := len(rep.Rounds)
+	if mode == runc.TransferMonolithic {
+		rounds = rep.PreCopyIterations + 2 // predump + final
+	}
+	return PageChanRow{
+		Transfer: mode, MsgSize: msgSize,
+		Samples:          len(pair.Client.Stats.LatSamples),
+		P50:              pair.Client.Stats.LatPercentile(50),
+		P99:              pair.Client.Stats.LatPercentile(99),
+		Blackout:         rep.ServiceBlackout,
+		Total:            rep.Total,
+		PagesTransferred: rep.PagesTransferred,
+		DistinctPages:    rep.DistinctPages,
+		PagesElided:      rep.PagesElided,
+		WireBytes:        rep.WireBytes,
+		FinalWireBytes:   rep.FinalWireBytes,
+		Rounds:           rounds,
+	}, nil
+}
+
+// PageChanComparison sweeps both transfer modes over the given message
+// sizes (the Fig. 4a points). Rows come out grouped by size with the
+// monolithic row directly before its pipelined counterpart.
+func PageChanComparison(sizes []int, qps, messages int) ([]PageChanRow, error) {
+	var rows []PageChanRow
+	for _, sz := range sizes {
+		for _, mode := range []runc.TransferMode{runc.TransferMonolithic, runc.TransferPipelined} {
+			row, err := RunPageChan(mode, sz, qps, messages)
+			if err != nil {
+				return nil, fmt.Errorf("msg=%d transfer=%s: %w", sz, mode, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RunTenancyTransferSeeded is RunTenancySeeded with an explicit
+// transfer mode: the 2000-session consolidation point under the
+// pipelined channel is the PR's scale datapoint (BENCH_9). Unlike the
+// BENCH_8 run, the service carries the page-hog writer so session
+// state churns while the migration streams — the tenant bursts alone
+// leave the memory image static by the time pre-copy starts, which
+// would make the transfer mode unobservable.
+func RunTenancyTransferSeeded(mode runc.CutoverMode, transfer runc.TransferMode, sessions int, seed int64) (TenancyRow, error) {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cfg.NIC.MaxRetries = 1 << 20
+	r := NewRigCfg(cfg, "src", "dst", "gw")
+	opts := tenant.Options{
+		Sessions: sessions, Lanes: 8, LaneDepth: 64,
+		Credits: 16, RefillAmount: 16, RefillEvery: 20 * time.Microsecond,
+	}
+	svc := tenant.NewService(r.CL.Sched, "svc", opts)
+	gw := tenant.NewGateway(r.CL.Sched, "gw", opts, tenant.Target{Node: "src", Name: "svc"})
+	svcCont := runc.NewContainer(r.CL.Host("src"), "svc-cont")
+	svcCont.Start(func(tp *task.Process) { svc.Run(tp, r.Daemons["src"]) })
+	gwCont := runc.NewContainer(r.CL.Host("gw"), "gw-cont")
+	r.CL.Sched.Go("tenancy-start-gw", func() {
+		svc.WaitReady()
+		gwCont.Start(func(tp *task.Process) { gw.Run(tp, r.Daemons["gw"]) })
+	})
+	stopHog, err := startPageHog(r, svcCont.Procs[0])
+	if err != nil {
+		return TenancyRow{}, err
+	}
+
+	mopts := runc.DefaultMigrateOptions()
+	mopts.Cutover = mode
+	mopts.Transfer = transfer
+	sched := r.CL.Sched
+	var (
+		rep        *runc.Report
+		drainAfter time.Duration
+	)
+	sched.Go("tenancy-driver", func() {
+		gw.WaitReady()
+		gw.SubmitAll(tenancyBurst)
+		sched.Sleep(settle)
+		rep, err = r.Migrate(svcCont, "src", "dst", mopts)
+		start := sched.Now()
+		gw.SubmitAll(tenancyBurst)
+		gw.Drain()
+		drainAfter = sched.Now() - start
+		stopHog()
+		gw.Stop()
+		gw.Wait()
+		svc.Stop()
+	})
+	sched.RunFor(10 * time.Minute)
+	if err != nil {
+		return TenancyRow{}, err
+	}
+	if rep == nil {
+		return TenancyRow{}, fmt.Errorf("tenancy: migration did not complete")
+	}
+	if v := gw.CheckInvariants(); len(v) != 0 {
+		return TenancyRow{}, fmt.Errorf("tenancy: %d invariant violations: %s", len(v), v[0])
+	}
+	if want := int64(sessions * 2 * tenancyBurst); gw.Stats.AckedOK != want {
+		return TenancyRow{}, fmt.Errorf("tenancy: %d ops acked, want %d", gw.Stats.AckedOK, want)
+	}
+	snap := r.CL.Metrics.Snapshot()
+	return TenancyRow{
+		Sessions: sessions, Mode: mode, Transfer: transfer,
+		Blackout:   rep.ServiceBlackout,
+		ReplayRDMA: rep.RestoreRDMA,
+		Total:      rep.Total,
+		Pages:      rep.PagesTransferred,
+		WireBytes:  snap.Sum("rnic", "tx_bytes"),
+		FinalWire:  rep.FinalWireBytes,
+		Acked:      gw.Stats.AckedOK,
+		DrainAfter: drainAfter,
+	}, nil
+}

@@ -27,6 +27,9 @@ import (
 type TenancyRow struct {
 	Sessions int
 	Mode     runc.CutoverMode
+	// Transfer is the page-transfer mode the migration ran under
+	// (monolithic unless a transfer-mode variant set it).
+	Transfer runc.TransferMode
 
 	// Blackout is the migration's service blackout; ReplayRDMA the
 	// RDMA-state restore (replay) time; Total the whole migration.
@@ -34,9 +37,12 @@ type TenancyRow struct {
 	ReplayRDMA time.Duration
 	Total      time.Duration
 	// Pages is the container image size transferred (memory footprint
-	// proxy); WireBytes the cluster-wide rnic tx total.
+	// proxy); WireBytes the cluster-wide rnic tx total; FinalWire the
+	// stop-and-copy round's migration-channel bytes (the blackout's
+	// transfer share).
 	Pages     int
 	WireBytes int64
+	FinalWire int64
 
 	// Acked counts tenant data operations acknowledged end-to-end;
 	// DrainAfter is how long the post-cutover burst took to drain.
@@ -139,6 +145,7 @@ func RunTenancySeeded(mode runc.CutoverMode, sessions int, seed int64) (TenancyR
 		Total:      rep.Total,
 		Pages:      rep.PagesTransferred,
 		WireBytes:  snap.Sum("rnic", "tx_bytes"),
+		FinalWire:  rep.FinalWireBytes,
 		Acked:      gw.Stats.AckedOK,
 		DrainAfter: drainAfter,
 	}, nil

@@ -325,6 +325,24 @@ func (as *AddressSpace) PopulatedPages() []Addr {
 	return out
 }
 
+// AllZero reports whether every byte of buf is zero. The page channel
+// uses it to detect zero pages, which ship as a header instead of full
+// content (CRIU's zero-page image optimization).
+func AllZero(buf []byte) bool {
+	for len(buf) >= 8 {
+		if binary.LittleEndian.Uint64(buf) != 0 {
+			return false
+		}
+		buf = buf[8:]
+	}
+	for _, c := range buf {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // ReadPage returns a copy of the page at a (which must be page-aligned).
 func (as *AddressSpace) ReadPage(a Addr) []byte {
 	buf := make([]byte, PageSize)

@@ -449,6 +449,75 @@ func TestPlugForwardThroughManager(t *testing.T) {
 	}
 }
 
+// TestPipelinedTransferThroughManager submits a SERVER migration with
+// the pipelined page channel through the manager: the transfer mode
+// must thread from Spec.Opts down through the migrator's phase engine,
+// stream the image in rounds (the report carries per-round stats), and
+// leave no staged chunks on the destination once the job is done.
+func TestPipelinedTransferThroughManager(t *testing.T) {
+	r := newRig(34, "src", "dst", "partner")
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+		RecvDepth: 64,
+	}
+	srv := perftest.NewServer(r.cl.Sched, "srv", opts)
+	cli := perftest.NewClient(r.cl.Sched, "cli", opts, perftest.Target{Node: "src", Name: "srv"})
+	srvCont := runc.NewContainer(r.cl.Host("src"), "server")
+	srvCont.Start(func(tp *task.Process) { srv.Run(tp, r.daemons["src"]) })
+	cliCont := runc.NewContainer(r.cl.Host("partner"), "client")
+	r.cl.Sched.Go("start-client", func() {
+		srv.WaitReady()
+		cliCont.Start(func(tp *task.Process) { cli.Run(tp, r.daemons["partner"]) })
+	})
+
+	mgr := New(r.cl, r.daemons, 1)
+	mopts := runc.DefaultMigrateOptions()
+	mopts.Transfer = runc.TransferPipelined
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		j := mgr.Submit(Spec{C: srvCont, Dst: "dst", Opts: mopts})
+		j.Wait()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		cli.Stop()
+		cli.Wait()
+		srv.Stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+
+	jobs := mgr.Jobs()
+	if len(jobs) != 1 || jobs[0].State() != Done {
+		t.Fatalf("job state: %+v", jobs)
+	}
+	if len(cli.Stats.Errors) != 0 || len(srv.Stats.Errors) != 0 {
+		t.Fatalf("workload errors: cli=%v srv=%v", cli.Stats.Errors, srv.Stats.Errors)
+	}
+	rep := jobs[0].Report
+	if rep == nil {
+		t.Fatal("job has no report")
+	}
+	if len(rep.Rounds) < 2 {
+		t.Errorf("report has %d streamed rounds, want >= 2 (predump + final)", len(rep.Rounds))
+	}
+	if rep.FinalWireBytes <= 0 || rep.WireBytes <= rep.FinalWireBytes {
+		t.Errorf("wire accounting: final=%d total=%d, want 0 < final < total",
+			rep.FinalWireBytes, rep.WireBytes)
+	}
+	snap := r.cl.Metrics.Snapshot()
+	if got := snap.Sum("pagechan", "staged_chunks"); got != 0 {
+		t.Errorf("%d staged chunks left on the destination after the job", got)
+	}
+	if got := snap.Sum("pagechan", "chunks_sent"); got == 0 {
+		t.Error("no chunks went over the page channel; the transfer mode never threaded through")
+	}
+}
+
 // TestSlotBalanceAcrossAbortRetry pins the admission-slot accounting
 // under abort+retry contention: every attempt acquires the slot exactly
 // once and releases it exactly once, so the observed running count never

@@ -1,0 +1,95 @@
+package pagechan
+
+import (
+	"testing"
+	"time"
+)
+
+// round fabricates a RoundStats with the given dump volume and elapsed
+// time — the two inputs the controller's rate model consumes.
+func round(pages int, elapsed time.Duration) RoundStats {
+	return RoundStats{PagesDumped: pages, Elapsed: elapsed}
+}
+
+func TestControllerStopsAtFloor(t *testing.T) {
+	c := NewController(64)
+	if c.Continue(64) {
+		t.Error("Continue(floor) = true, want converged")
+	}
+	if c.Continue(10) {
+		t.Error("Continue(below floor) = true, want converged")
+	}
+	if !c.Continue(65) {
+		t.Error("Continue(above floor, no model) = false, want one measuring round")
+	}
+}
+
+func TestControllerStopsAtSafetyCap(t *testing.T) {
+	c := NewController(1)
+	// A workload that shrinks nicely every round must still stop at the
+	// cap: shipping 1000 pages per 1ms round with only 100 re-dirtied
+	// (shrink factor 0.1) never converges to the floor here.
+	dirty := 1 << 30
+	rounds := 0
+	for c.Continue(dirty) {
+		c.Observe(round(1000, time.Millisecond), 100)
+		rounds++
+		if rounds > DefaultMaxIters+1 {
+			t.Fatalf("no stop after %d rounds", rounds)
+		}
+	}
+	if rounds != DefaultMaxIters {
+		t.Errorf("stopped after %d rounds, want the %d cap", rounds, DefaultMaxIters)
+	}
+}
+
+func TestControllerStopsWhenDiverging(t *testing.T) {
+	c := NewController(64)
+	// The round shipped 500 pages in 1ms while the workload dirtied
+	// 800: iterating can never shrink the final transfer.
+	c.Observe(round(500, time.Millisecond), 800)
+	if c.Continue(800) {
+		t.Error("Continue = true for a diverging workload")
+	}
+}
+
+func TestControllerStopsWhenShrinkStalls(t *testing.T) {
+	c := NewController(64)
+	// Shrink factor dirty/sent = 0.9 > 1-Epsilon (0.75): the predicted
+	// final transfer is barely shrinking — stop and take the blackout.
+	c.Observe(round(1000, time.Millisecond), 900)
+	if c.Continue(900) {
+		t.Error("Continue = true with a stalled shrink factor")
+	}
+	// Factor 0.5: each round halves the final transfer — keep going.
+	c2 := NewController(64)
+	c2.Observe(round(1000, time.Millisecond), 500)
+	if !c2.Continue(500) {
+		t.Error("Continue = false with a healthy shrink factor")
+	}
+}
+
+func TestControllerConvergingWorkloadRunsToFloor(t *testing.T) {
+	c := NewController(64)
+	dirty := 4000
+	rounds := 0
+	for c.Continue(dirty) {
+		// Each round ships the dirty set in proportionate time and the
+		// workload re-dirties a quarter of it.
+		el := time.Duration(dirty) * time.Microsecond
+		next := dirty / 4
+		c.Observe(round(dirty, el), next)
+		dirty = next
+		rounds++
+		if rounds > DefaultMaxIters {
+			t.Fatalf("runaway: %d rounds", rounds)
+		}
+	}
+	if dirty > 64 {
+		t.Errorf("stopped at %d dirty pages, want convergence to the 64 floor", dirty)
+	}
+	// 4000 → 1000 → 250 → 62: three rounds.
+	if rounds != 3 {
+		t.Errorf("took %d rounds, want 3", rounds)
+	}
+}

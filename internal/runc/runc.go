@@ -13,7 +13,9 @@ import (
 	"migrrdma/internal/cluster"
 	"migrrdma/internal/core"
 	"migrrdma/internal/criu"
+	"migrrdma/internal/mem"
 	"migrrdma/internal/metrics"
+	"migrrdma/internal/pagechan"
 	"migrrdma/internal/sim"
 	"migrrdma/internal/task"
 	"migrrdma/internal/trace"
@@ -100,6 +102,40 @@ func ParseCutoverMode(s string) (CutoverMode, error) {
 	return 0, fmt.Errorf("runc: unknown cutover mode %q (want go-back-n or plug-forward)", s)
 }
 
+// TransferMode selects how checkpoint images move to the destination.
+type TransferMode int
+
+const (
+	// TransferMonolithic (the paper's workflow) dumps a whole image,
+	// ships it in one blocking transfer, then applies it — dump, wire
+	// time, and apply sum.
+	TransferMonolithic TransferMode = iota
+	// TransferPipelined streams chunk-sized page batches over K
+	// concurrent link streams while the destination applies chunks as
+	// they land (internal/pagechan), with zero-page and duplicate-page
+	// elision and adaptive pre-copy convergence.
+	TransferPipelined
+)
+
+// String renders the mode the way the CLIs spell it.
+func (t TransferMode) String() string {
+	if t == TransferPipelined {
+		return "pipelined"
+	}
+	return "monolithic"
+}
+
+// ParseTransferMode parses the CLI spelling of a transfer mode.
+func ParseTransferMode(s string) (TransferMode, error) {
+	switch s {
+	case "", "monolithic", "mono":
+		return TransferMonolithic, nil
+	case "pipelined", "pipe":
+		return TransferPipelined, nil
+	}
+	return 0, fmt.Errorf("runc: unknown transfer mode %q (want monolithic or pipelined)", s)
+}
+
 // MigrateOptions tunes a live migration.
 type MigrateOptions struct {
 	// PreSetup enables RDMA communication pre-setup during partial
@@ -117,6 +153,24 @@ type MigrateOptions struct {
 	// PlugLimit bounds the destination plug buffer in frames
 	// (plug-forward only); 0 takes the fabric default.
 	PlugLimit int
+	// Transfer selects the image transfer path; the zero value is the
+	// paper's monolithic dump-then-send workflow. Pipelined mode
+	// replaces the MaxPreCopyIters bound with the page channel's
+	// adaptive convergence controller (DirtyPageThreshold remains the
+	// convergence floor).
+	Transfer TransferMode
+	// Streams is the number of concurrent page-channel link streams
+	// (pipelined only); 0 takes pagechan.DefaultStreams.
+	Streams int
+	// ChunkPages is the page-channel chunk size in pages (pipelined
+	// only); 0 takes pagechan.DefaultChunkPages.
+	ChunkPages int
+	// FailAtRound/FailAtChunk inject a mid-chunk page-channel abort
+	// after FailAtChunk chunks of the named round ("predump",
+	// "precopy", "final") have shipped — pipelined only; the chaos
+	// fail-and-recover harness uses it. Zero values disable it.
+	FailAtRound string
+	FailAtChunk int
 }
 
 // DefaultMigrateOptions mirrors the paper's configuration.
@@ -148,6 +202,26 @@ type Report struct {
 
 	PreCopyIterations int
 	PagesTransferred  int
+
+	// DistinctPages counts unique page addresses shipped across all
+	// rounds. PagesTransferred counts per-round page records, so the
+	// gap between the two is the re-send volume — including the
+	// final-dump double-count of pages already shipped in the last
+	// pre-copy diff and unchanged since.
+	DistinctPages int
+	// WireBytes is the total on-wire image volume across all rounds
+	// (framing + page content + plugin blob).
+	WireBytes int64
+	// FinalWireBytes is the stop-and-copy round's on-wire volume — the
+	// number iterative pre-copy exists to shrink.
+	FinalWireBytes int64
+	// PagesElided counts pages whose full content stayed off the wire
+	// (zero pages shipped header-only plus content-hash duplicates).
+	// Always 0 in monolithic mode.
+	PagesElided int
+	// Rounds carries the page channel's per-round stats (pipelined
+	// transfer only).
+	Rounds []pagechan.RoundStats
 
 	// PlugFlushed is the number of frames released from the destination
 	// plug at RESUME (plug-forward cutover only).
@@ -209,6 +283,10 @@ type Migrator struct {
 	// at that phase and roll back. Tests and the chaos fail-and-recover
 	// harness use it to exercise the compensation path.
 	Inject func(phase string) error
+
+	// PageTap observes page-channel events (pipelined transfer only);
+	// the chaos harness folds them into its event ledger.
+	PageTap func(ev string, seq uint64)
 }
 
 // setStage records a stage transition and notifies the observer.
@@ -284,12 +362,25 @@ func (m *Migrator) Migrate() (*Report, error) {
 			}
 			total.Total += rep.Total
 			total.PagesTransferred += rep.PagesTransferred
+			total.DistinctPages += rep.DistinctPages
+			total.WireBytes += rep.WireBytes
+			total.FinalWireBytes += rep.FinalWireBytes
+			total.PagesElided += rep.PagesElided
+			total.Rounds = append(total.Rounds, rep.Rounds...)
 			if rep.WBS.Elapsed > total.WBS.Elapsed {
 				total.WBS = rep.WBS
 			}
 		}
 	}
 	return total, nil
+}
+
+// imageHeaderBytes is an image's on-wire size excluding page content —
+// what the pipelined path ships once the pages have streamed. The
+// constants match criu.Image.ByteSize so the two transfer modes'
+// wire-byte totals are directly comparable.
+func imageHeaderBytes(img *criu.Image) int {
+	return 256 + len(img.PluginBlob) + 64*len(img.VMAs)
 }
 
 // migrateProc runs the workflow for one process. moveContainer marks
@@ -323,14 +414,78 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 		svcStart          time.Duration
 		frozen            bool
 		fullRestoreOpen   bool
+		finalAddrs        []mem.Addr
 	)
+
+	// Transfer-path plumbing. Monolithic mode must stay byte-identical
+	// (the chaos goldens pin it), so the page-channel session — and its
+	// lazy metric registrations — exist only in pipelined mode.
+	pipelined := m.Opts.Transfer == TransferPipelined
+	var pchan *pagechan.Session
+	if pipelined {
+		pchan = pagechan.NewSession(sched, src, dst.Name, pagechan.Config{
+			Streams:     m.Opts.Streams,
+			ChunkPages:  m.Opts.ChunkPages,
+			FailAtRound: m.Opts.FailAtRound,
+			FailAtChunk: m.Opts.FailAtChunk,
+			Metrics:     src.Metrics,
+			MigID:       m.ID,
+			Tap:         m.PageTap,
+		})
+	}
+	abortChannel := func() {
+		if pchan != nil {
+			pchan.Abort()
+		}
+	}
+	distinct := make(map[mem.Addr]struct{})
+	addDistinct := func(addrs []mem.Addr) {
+		for _, a := range addrs {
+			distinct[a] = struct{}{}
+		}
+	}
+	// noteImage folds one monolithic round into the wire/distinct
+	// accounting (pure bookkeeping — no scheduler events).
+	noteImage := func(img *criu.Image) {
+		for _, pg := range img.Pages {
+			distinct[pg.Addr] = struct{}{}
+		}
+		rep.WireBytes += int64(img.ByteSize())
+	}
+	// noteRound folds one streamed round into the report.
+	noteRound := func(st pagechan.RoundStats) {
+		rep.Rounds = append(rep.Rounds, st)
+		rep.WireBytes += st.WireBytes
+		rep.PagesElided += st.Elided()
+	}
+	dumpBatch := func(b []mem.Addr) []criu.PageRec { return srcTool.DumpPages(p, b) }
 
 	phases := []phase{
 		// ①: pre-dump memory and (with pre-setup) RDMA state. Read-only
-		// on the source — a retried migration re-dumps in full — so there
-		// is nothing to compensate.
+		// on the source — a retried migration re-dumps in full — so the
+		// only compensation is draining the page channel's in-flight
+		// chunks (pipelined mode).
 		{name: "predump", stage: "predump", run: func() error {
-			fullImg = srcTool.Dump(p, true)
+			if pipelined {
+				// No restore exists yet, so the predump round overlaps
+				// dump with wire time only; the streamed pages accumulate
+				// in the image for PartialRestore to apply.
+				var addrs []mem.Addr
+				fullImg, addrs = srcTool.BeginDump(p, true)
+				addDistinct(addrs)
+				st, err := pchan.Stream("predump", addrs, func(b []mem.Addr) []criu.PageRec {
+					recs := dumpBatch(b)
+					fullImg.Pages = append(fullImg.Pages, recs...)
+					return recs
+				}, nil)
+				noteRound(st)
+				if err != nil {
+					return err
+				}
+				rep.PagesTransferred += st.PagesDumped
+			} else {
+				fullImg = srcTool.Dump(p, true)
+			}
 			if hasRDMA && m.Opts.PreSetup {
 				var err error
 				tl.Measure("predump-rdma", func() {
@@ -340,10 +495,19 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 					return err
 				}
 			}
-			srcTool.Send(fullImg, dst.Name)
-			rep.PagesTransferred += len(fullImg.Pages)
+			if pipelined {
+				// The pages already streamed; ship the memory table and
+				// the plugin blob.
+				hdr := imageHeaderBytes(fullImg)
+				src.TransferTo(dst.Name, hdr)
+				rep.WireBytes += int64(hdr)
+			} else {
+				srcTool.Send(fullImg, dst.Name)
+				rep.PagesTransferred += len(fullImg.Pages)
+				noteImage(fullImg)
+			}
 			return nil
-		}},
+		}, compensate: abortChannel},
 
 		// ②: partial restore on the destination, with RDMA pre-setup
 		// replaying the roadmap in parallel with memory restoration.
@@ -391,19 +555,51 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 		// barrier. Stage-silent: the pre-engine workflow reported it
 		// under partial-restore, and the chaos goldens pin that sequence.
 		{name: "precopy", run: func() error {
-			for i := 0; i < m.Opts.MaxPreCopyIters; i++ {
-				if srcTool.DirtyPageCount(p) <= m.Opts.DirtyPageThreshold {
-					break
+			if pipelined {
+				// Adaptive convergence: keep iterating only while the
+				// dirty-rate model predicts the final transfer is still
+				// shrinking (replaces the fixed MaxPreCopyIters bound).
+				ctl := pagechan.NewController(m.Opts.DirtyPageThreshold)
+				for ctl.Continue(srcTool.DirtyPageCount(p)) {
+					img, addrs := srcTool.BeginDump(p, false)
+					if len(addrs) == 0 {
+						// Every remaining dirty page is device memory —
+						// the plugin's job, nothing the channel can ship.
+						break
+					}
+					addDistinct(addrs)
+					st, err := pchan.Stream("precopy", addrs, dumpBatch,
+						func(ch *pagechan.Chunk) { restore.ApplyChunk(img, ch.Pages, ch.Zeros) })
+					noteRound(st)
+					if err != nil {
+						return err
+					}
+					rep.PagesTransferred += st.PagesDumped
+					rep.PreCopyIterations++
+					ctl.Observe(st, srcTool.DirtyPageCount(p))
 				}
-				diff := srcTool.Dump(p, false)
-				srcTool.Send(diff, dst.Name)
-				restore.ApplyDiff(diff)
-				rep.PagesTransferred += len(diff.Pages)
-				rep.PreCopyIterations++
+			} else {
+				for i := 0; i < m.Opts.MaxPreCopyIters; i++ {
+					if srcTool.DirtyPageCount(p) <= m.Opts.DirtyPageThreshold {
+						break
+					}
+					diff := srcTool.Dump(p, false)
+					if len(diff.Pages) == 0 {
+						// Every dirty page was device memory: skip the
+						// zero-payload Send/ApplyDiff round-trip.
+						rep.PreCopyIterations++
+						continue
+					}
+					srcTool.Send(diff, dst.Name)
+					restore.ApplyDiff(diff)
+					rep.PagesTransferred += len(diff.Pages)
+					rep.PreCopyIterations++
+					noteImage(diff)
+				}
 			}
 			preSetup.Wait()
 			return preSetupErr
-		}},
+		}, compensate: abortChannel},
 
 		// ③: suspension + wait-before-stop on the source and all
 		// partners, in parallel (§3.4).
@@ -471,7 +667,14 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 				})
 			}
 			tl.Measure("dump-others", func() {
-				finalImg = srcTool.Dump(p, false)
+				if pipelined {
+					// Only the table walk happens here; page reads move
+					// into the transfer phase, where they overlap the
+					// wire and the destination's apply.
+					finalImg, finalAddrs = srcTool.BeginDump(p, false)
+				} else {
+					finalImg = srcTool.Dump(p, false)
+				}
 			})
 			wg.Wait()
 			if dumpErr != nil {
@@ -479,14 +682,40 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 			}
 			finalImg.PluginBlob = finalBlob
 			finalImg.Final = true
-			rep.PagesTransferred += len(finalImg.Pages)
+			if !pipelined {
+				rep.PagesTransferred += len(finalImg.Pages)
+			}
 			return nil
-		}},
+		}, compensate: abortChannel},
 
 		{name: "transfer", stage: "transfer", run: func() error {
-			tl.Measure("transfer", func() { srcTool.Send(finalImg, dst.Name) })
+			if !pipelined {
+				tl.Measure("transfer", func() { srcTool.Send(finalImg, dst.Name) })
+				noteImage(finalImg)
+				rep.FinalWireBytes = int64(finalImg.ByteSize())
+				return nil
+			}
+			addDistinct(finalAddrs)
+			var st pagechan.RoundStats
+			var err error
+			tl.Measure("transfer", func() {
+				st, err = pchan.Stream("final", finalAddrs, dumpBatch,
+					func(ch *pagechan.Chunk) { restore.ApplyChunk(finalImg, ch.Pages, ch.Zeros) })
+				if err != nil {
+					return
+				}
+				hdr := imageHeaderBytes(finalImg)
+				src.TransferTo(dst.Name, hdr)
+				st.WireBytes += int64(hdr)
+			})
+			noteRound(st)
+			if err != nil {
+				return err
+			}
+			rep.PagesTransferred += st.PagesDumped
+			rep.FinalWireBytes = st.WireBytes
 			return nil
-		}},
+		}, compensate: abortChannel},
 
 		// ⑥: final iteration of memory restoration; with pre-setup, ⑥'
 		// (mapping the new RDMA resources into the restored process)
@@ -496,7 +725,15 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 			run: func() error {
 				tl.Begin("full-restore")
 				fullRestoreOpen = true
-				if err := restore.Finalize(finalImg); err != nil {
+				var err error
+				if pipelined {
+					// The final diff already streamed chunk by chunk;
+					// only the temporary-area remaps remain.
+					err = restore.FinalizeStreamed()
+				} else {
+					err = restore.Finalize(finalImg)
+				}
+				if err != nil {
 					return err
 				}
 				if hasRDMA && m.Opts.PreSetup {
@@ -624,6 +861,7 @@ func (m *Migrator) migrateProc(p *task.Process, plug *core.Plugin, moveContainer
 		return nil, err
 	}
 	m.setStage("done")
+	rep.DistinctPages = len(distinct)
 	rep.ServiceBlackout = sched.Now() - svcStart
 	rep.CommBlackout = sched.Now() - commStart
 	if reg := src.Metrics; reg != nil {
