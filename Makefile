@@ -31,7 +31,13 @@ BENCH8_PATTERN = ^(BenchmarkTenancySessions250|BenchmarkTenancySessions1000|Benc
 # modes. `make bench-pagechan` records the contrast in BENCH_9.json.
 BENCH9_PATTERN = ^(BenchmarkPageChanMono2K|BenchmarkPageChanPipe2K|BenchmarkPageChanMono8K|BenchmarkPageChanPipe8K|BenchmarkPageChanMono32K|BenchmarkPageChanPipe32K|BenchmarkTenancyTransferMono2000|BenchmarkTenancyTransferPipe2000)$$
 
-.PHONY: all build vet test test-race chaos chaos-abort chaos-plug chaos-tenant chaos-pagechan fuzz check bench bench-smoke bench-cutover bench-parallel bench-tenancy bench-pagechan trajectory
+# Rack-drain benchmarks: orchestrated 32-of-128-host evacuation on the
+# two-tier fabric, same-rack vs cross-rack placement × MaxParallel 1
+# vs 8 (blackout percentiles, drain window, spine bytes).
+# `make bench-drain` records the contrast in BENCH_10.json.
+BENCH10_PATTERN = ^(BenchmarkDrainSameRackPar1|BenchmarkDrainSameRackPar8|BenchmarkDrainCrossRackPar1|BenchmarkDrainCrossRackPar8)$$
+
+.PHONY: all build vet test test-race chaos chaos-abort chaos-plug chaos-tenant chaos-pagechan chaos-drain fuzz check bench bench-smoke bench-cutover bench-parallel bench-tenancy bench-pagechan bench-drain trajectory
 
 all: build
 
@@ -93,6 +99,17 @@ chaos-pagechan:
 	$(GO) run ./cmd/migrchaos -transfer pipelined -seeds 32 -parallel 4
 	$(GO) run ./cmd/migrchaos -transfer pipelined -abort-at all -seeds 8 -parallel 4
 
+# Drain-orchestrator tier: rack evacuations on the two-tier fabric under
+# the drain fault schedules (uplink partition/flap mid-drain, host-cap
+# conflicts, retry exhaustion, SLO pressure) across the golden seeds,
+# plus the workers-matrix determinism replay of the drain golden jobs.
+# Replay a failure with
+#   go run ./cmd/migrchaos -drain -schedule <name> -seed <n> -v
+chaos-drain:
+	$(GO) run ./cmd/migrchaos -drain -seeds 32 -parallel 4
+	$(GO) test ./internal/chaos -run 'TestDrain'
+	$(GO) test ./internal/orchestrator
+
 # Fuzz smoke over the wire-format decoder and the transport fault-script
 # harness (go test fuzzes one target per invocation).
 fuzz:
@@ -133,6 +150,13 @@ bench-pagechan:
 	$(GO) test -run '^$$' -bench '$(BENCH9_PATTERN)' -benchtime 3x -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -out BENCH_9.json
 
+# Record the rack-drain contrast in BENCH_10.json. -benchtime 3x gives
+# each (placement, MaxParallel) point three replica seeds; the reported
+# row is the median by p99 blackout.
+bench-drain:
+	$(GO) test -run '^$$' -bench '$(BENCH10_PATTERN)' -benchtime 3x -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -out BENCH_10.json
+
 # Render the cross-PR perf trajectory: current/baseline deltas from
 # every checked-in BENCH_*.json, one column per file.
 trajectory:
@@ -143,6 +167,6 @@ trajectory:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench '$(BENCH6_PATTERN)' -benchtime 1x .
-	$(GO) test -run '^$$' -bench '^(BenchmarkTenancySessions250|BenchmarkPageChanPipe2K)$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench '^(BenchmarkTenancySessions250|BenchmarkPageChanPipe2K|BenchmarkDrainSameRackPar8)$$' -benchtime 1x .
 
-check: vet test bench-smoke chaos chaos-plug chaos-tenant chaos-pagechan fuzz test-race
+check: vet test bench-smoke chaos chaos-plug chaos-tenant chaos-pagechan chaos-drain fuzz test-race

@@ -360,3 +360,41 @@ func benchFig4aSweep(b *testing.B, workers int) {
 
 func BenchmarkFig4aSweepSeq(b *testing.B)       { benchFig4aSweep(b, 1) }
 func BenchmarkFig4aSweepParallel8(b *testing.B) { benchFig4aSweep(b, 8) }
+
+// --- Rack drain: orchestrated evacuation on the two-tier fabric ----------------
+
+// benchDrain drains 32 of 128 hosts (16 racks × 8) carrying 2048 live
+// QPs through the orchestrator and reports the drain's headline
+// numbers: the blackout percentiles across the herd, the wall-clock
+// drain window, how many migrations the placement policy kept inside
+// the source rack, and the spine traffic the window added. The
+// half-racks variant leaves same-rack headroom (prefer-same-rack keeps
+// every migration off the spine); whole-racks evacuates entire racks
+// so every placement must cross it. Iterations run distinct derived
+// seeds and the reported row is the median by P99 blackout, matching
+// the other replicated benchmarks' discipline.
+func benchDrain(b *testing.B, variant string, maxParallel int) {
+	b.Helper()
+	rows := make([]experiments.DrainPoint, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunDrainExpSeeded(variant, maxParallel, experiments.DrainSeedFor(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].P99 < rows[j].P99 })
+	med := rows[(len(rows)-1)/2]
+	b.ReportMetric(float64(med.P50)/1e6, "p50-ms")
+	b.ReportMetric(float64(med.P99)/1e6, "p99-ms")
+	b.ReportMetric(float64(med.Max)/1e6, "max-ms")
+	b.ReportMetric(float64(med.Elapsed)/1e6, "elapsed-ms")
+	b.ReportMetric(float64(med.SameRackDst), "samerack")
+	b.ReportMetric(float64(med.SpineBytes)/1e6, "spine-mb")
+	b.ReportMetric(float64(med.SLOMisses), "slo-misses")
+}
+
+func BenchmarkDrainSameRackPar1(b *testing.B)  { benchDrain(b, experiments.DrainHalfRacks, 1) }
+func BenchmarkDrainSameRackPar8(b *testing.B)  { benchDrain(b, experiments.DrainHalfRacks, 8) }
+func BenchmarkDrainCrossRackPar1(b *testing.B) { benchDrain(b, experiments.DrainWholeRacks, 1) }
+func BenchmarkDrainCrossRackPar8(b *testing.B) { benchDrain(b, experiments.DrainWholeRacks, 8) }

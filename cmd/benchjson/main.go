@@ -105,6 +105,30 @@ type trajColumn struct {
 // loadTrajColumn reads one BENCH_<pr>.json. Unreadable or malformed
 // files are errors; a file without a baseline section is the guarded
 // case and comes back as an empty column plus a warning string.
+// sortBenchPaths orders BENCH files by their PR number so BENCH_10
+// lands after BENCH_9, not between BENCH_1 and BENCH_2 the way a
+// lexicographic sort would put it. Files without a parseable number
+// sort after the numbered ones, by name.
+func sortBenchPaths(paths []string) {
+	num := func(p string) (int, bool) {
+		base := strings.TrimSuffix(filepath.Base(p), ".json")
+		n, err := strconv.Atoi(strings.TrimPrefix(base, "BENCH_"))
+		return n, err == nil
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		ni, oki := num(paths[i])
+		nj, okj := num(paths[j])
+		switch {
+		case oki && okj:
+			return ni < nj
+		case oki != okj:
+			return oki
+		default:
+			return paths[i] < paths[j]
+		}
+	})
+}
+
 func loadTrajColumn(path string) (trajColumn, string, error) {
 	col := trajColumn{label: strings.TrimSuffix(filepath.Base(path), ".json")}
 	buf, err := os.ReadFile(path)
@@ -179,7 +203,7 @@ func main() {
 		paths := flag.Args()
 		if len(paths) == 0 {
 			paths, _ = filepath.Glob("BENCH_*.json")
-			sort.Strings(paths)
+			sortBenchPaths(paths)
 		}
 		if len(paths) == 0 {
 			fmt.Fprintln(os.Stderr, "benchjson: -trajectory found no BENCH_*.json files")

@@ -184,3 +184,20 @@ func TestParseBenchLine(t *testing.T) {
 		t.Fatal("non-bench line parsed")
 	}
 }
+
+func TestSortBenchPaths(t *testing.T) {
+	paths := []string{
+		"BENCH_9.json", "BENCH_10.json", "BENCH_4.json",
+		"sub/BENCH_6.json", "BENCH_extra.json", "BENCH_11.json",
+	}
+	sortBenchPaths(paths)
+	want := []string{
+		"BENCH_4.json", "sub/BENCH_6.json", "BENCH_9.json",
+		"BENCH_10.json", "BENCH_11.json", "BENCH_extra.json",
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, paths[i], want[i], paths)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	migrbench -exp cutover
 //	migrbench -exp tenancy -sessions 250,500,1000,2000
 //	migrbench -exp pagechan
+//	migrbench -exp drain -drainpar 1,2,4,8
 //	migrbench -exp ablation-keytable|ablation-wbs|ablation-rkey|ablation-partner
 //
 // Output is a textual rendition of each table/figure: the same rows or
@@ -32,7 +33,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss, cutover, tenancy, pagechan")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4a, fig4b, fig4c, fig5, fig6, table4, migros, latency, concurrent, ablation-keytable, ablation-wbs, ablation-rkey, ablation-partner, loss, cutover, tenancy, pagechan, drain")
+	drainpar := flag.String("drainpar", "1,2,4,8", "comma-separated Drain.MaxParallel values for the drain sweep")
 	sessions := flag.String("sessions", "250,500,1000,2000", "comma-separated tenant session counts for the tenancy sweep")
 	qps := flag.String("qps", "16,64,256,1024", "comma-separated QP counts for fig3/fig4a/migros")
 	sizes := flag.String("sizes", "512,4096,65536,524288", "message sizes for fig4b")
@@ -260,6 +262,18 @@ func main() {
 					return err
 				}
 				fmt.Printf("%s  transfer=%-12s finalwire=%d\n", row, mode, row.FinalWire)
+			}
+			return nil
+		})
+	}
+	if want("drain") {
+		run("Rack drain — 32-host evacuation on the two-tier fabric", func() error {
+			rows, err := experiments.DrainSweep(ints(*drainpar))
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Println(r)
 			}
 			return nil
 		})

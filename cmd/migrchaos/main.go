@@ -14,6 +14,8 @@
 //	migrchaos -transfer pipelined      # page-channel tier: pipelined-transfer schedules
 //	migrchaos -transfer pipelined -abort-at all  # mid-chunk abort sweep
 //	migrchaos -transfer pipelined -abort-at final#2 -seed 3 -v   # replay one mid-chunk abort
+//	migrchaos -drain                   # drain tier: rack evacuation over the two-tier topology
+//	migrchaos -drain -schedule drain-uplink-partition -seed 5 -v # replay one drain run
 package main
 
 import (
@@ -70,6 +72,7 @@ func main() {
 	abortAt := flag.String("abort-at", "", "fail-and-recover sweep: inject a hard fault at the named workflow phase (or \"all\")")
 	cutover := flag.String("cutover", "", "cutover mode: go-back-n (default tier) or plug-forward (server-migration plug tier)")
 	transfer := flag.String("transfer", "", "transfer mode: monolithic (default tier) or pipelined (page-channel tier)")
+	drain := flag.Bool("drain", false, "run the drain-orchestrator schedules (rack evacuation over the two-tier topology)")
 	parallel := flag.Int("parallel", 1, "worker pool size; every (schedule, seed) run is an independent simulation, output order is unchanged")
 	flag.Parse()
 
@@ -93,6 +96,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-transfer pipelined is its own tier; drop -cutover/-concurrent")
 		os.Exit(2)
 	}
+	if *drain && (plugTier || pipeTier || *concurrent) {
+		fmt.Fprintln(os.Stderr, "-drain is its own tier; drop -cutover/-transfer/-concurrent")
+		os.Exit(2)
+	}
+	if *drain && *abortAt != "" {
+		fmt.Fprintln(os.Stderr, "-drain has no -abort-at sweep; the drain-abort-retry schedule covers aborts")
+		os.Exit(2)
+	}
 
 	if *list {
 		all := chaos.Schedules()
@@ -104,6 +115,9 @@ func main() {
 		}
 		if pipeTier {
 			all = chaos.PipelinedSchedules()
+		}
+		if *drain {
+			all = chaos.DrainSchedules()
 		}
 		for _, s := range all {
 			fmt.Printf("%-22s %d faults\n", s.Name, len(s.Faults))
@@ -229,6 +243,10 @@ func main() {
 		schedules = chaos.PipelinedSchedules()
 		byName = chaos.PipelinedScheduleByName
 	}
+	if *drain {
+		schedules = chaos.DrainSchedules()
+		byName = chaos.DrainScheduleByName
+	}
 	if *scheduleName != "" {
 		s, ok := byName(*scheduleName)
 		if !ok {
@@ -260,6 +278,10 @@ func main() {
 					rep := chaos.RunPipelined(s, sched)
 					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
 						replay: fmt.Sprintf("migrchaos -transfer pipelined -schedule %s -seed %d -v", sched.Name, s)}
+				case *drain:
+					rep := chaos.RunDrain(s, sched)
+					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,
+						replay: fmt.Sprintf("migrchaos -drain -schedule %s -seed %d -v", sched.Name, s)}
 				default:
 					rep := chaos.Run(s, sched)
 					return sweepResult{ok: rep.OK(), line: rep.String(), violations: rep.Violations,

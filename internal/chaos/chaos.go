@@ -23,6 +23,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"time"
 
 	"migrrdma/internal/cluster"
@@ -54,6 +55,15 @@ const (
 	// channels stay up — the only partition a migration can survive,
 	// and what "partition inside the checkpoint window" means here.
 	FaultBlackhole FaultKind = "blackhole"
+	// FaultUplinkLoss drops frames crossing Rack's ToR↔spine link with
+	// probability Prob. Like node faults it defaults to the RDMA port:
+	// the cross-rack control and image channels model TCP and have no
+	// retransmit to recover with.
+	FaultUplinkLoss FaultKind = "uplink-loss"
+	// FaultUplinkPartition blackholes Rack's spine link for the RDMA
+	// port — a whole rack cut off from cross-rack RDMA while drains are
+	// in flight, the drain tier's partition-inside-the-window.
+	FaultUplinkPartition FaultKind = "uplink-partition"
 )
 
 // Fault is one scheduled fault.
@@ -63,6 +73,9 @@ type Fault struct {
 	Prob  float64       // loss / duplicate / reorder probability
 	Delay time.Duration // reorder hold-back
 	Rate  int64         // rate-drop bits per second
+	// Rack targets the uplink fault kinds at one rack's spine link;
+	// node-level kinds ignore it.
+	Rack int
 
 	// Port selects the mux port the fault applies to; empty means the
 	// RDMA data port. Plug-forward schedules use it to perturb the
@@ -224,6 +237,8 @@ type injector struct {
 		SetPortDuplicate(name, port string, p float64)
 		SetPortReorder(name, port string, p float64, delay time.Duration)
 		SetRate(name string, bps int64)
+		SetUplinkLoss(rack int, port string, p float64)
+		SetUplinkBlackhole(rack int, port string, on bool)
 	}
 	rec   *recorder
 	armed []Fault
@@ -256,6 +271,11 @@ func (in *injector) apply(f Fault, on bool) {
 		// data-port fault can never alias in the trace hash; the default
 		// keeps its historical rendering (goldens predate Fault.Port).
 		note += "@" + port
+	}
+	if f.Kind == FaultUplinkLoss || f.Kind == FaultUplinkPartition {
+		// Rack faults have no node; the rack enters the note instead so
+		// two racks' faults never alias in the trace hash.
+		note += "#rack" + strconv.Itoa(f.Rack)
 	}
 	in.rec.add(event{kind: "fault", node: f.Node, ok: on, note: note})
 	switch f.Kind {
@@ -292,6 +312,14 @@ func (in *injector) apply(f Fault, on bool) {
 			p = 0
 		}
 		in.net.SetPortLoss(f.Node, port, p)
+	case FaultUplinkLoss:
+		p := f.Prob
+		if !on {
+			p = 0
+		}
+		in.net.SetUplinkLoss(f.Rack, port, p)
+	case FaultUplinkPartition:
+		in.net.SetUplinkBlackhole(f.Rack, port, on)
 	default:
 		panic("chaos: unknown fault kind " + string(f.Kind))
 	}

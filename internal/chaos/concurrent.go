@@ -155,7 +155,10 @@ func RunConcurrent(seed int64, schedule Schedule, cap int) *ConcurrentReport {
 			}
 		}
 		for _, p := range pairs {
-			j := mgr.Submit(migmgr.Spec{C: p.cont, Dst: p.dst, Opts: runc.DefaultMigrateOptions()})
+			j, err := mgr.Submit(migmgr.Spec{C: p.cont, Dst: p.dst, Opts: runc.DefaultMigrateOptions()})
+			if err != nil {
+				panic("chaos: submit " + p.cont.Name + ": " + err.Error())
+			}
 			jobPair[j.ID] = p
 		}
 		mgr.WaitAll()

@@ -1,0 +1,333 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/metrics"
+	"migrrdma/internal/orchestrator"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// The drain tier validates the orchestrator control plane over the
+// two-tier topology: a 4-rack × 4-host cluster (16 hosts — the same
+// surface the cluster determinism test pins), rack-0 clients streaming
+// order-checked SEND traffic to rack-3 servers across the spine, and a
+// declarative Drain evacuating rack 0 under MaxParallel while
+// rack-uplink faults — loss and RDMA-port partition on the shared
+// spine links — land mid-drain. Invariants are checked per migration
+// (exactly-once, in-order, resumed on the placed destination) plus the
+// drain-level ones: every accepted migration completes off the drained
+// rack within its retry budget, conflicts only where the schedule
+// provokes them, and the whole run replays byte-identically from
+// (seed, schedule).
+
+// DrainRacks × DrainHostsPerRack is the drain-tier topology.
+const (
+	DrainRacks        = 4
+	DrainHostsPerRack = 4
+	// DrainGoldenParallel is the MaxParallel golden drain runs use.
+	DrainGoldenParallel = 2
+)
+
+// drainSLO is the golden blackout SLO: generous against the
+// fast-checkpoint calibration so only a genuine stall breaches it.
+const drainSLO = 200 * time.Millisecond
+
+// DrainOutcome summarises one migration of a drain run.
+type DrainOutcome struct {
+	ID       string
+	Src, Dst string
+	State    string
+	Attempts int
+	Blackout time.Duration
+	SLOMet   bool
+	// AtSwitch is the client's completion count at the "done" stage.
+	AtSwitch int64
+	Err      error
+}
+
+// DrainReport summarises one drain chaos run.
+type DrainReport struct {
+	Seed     int64
+	Schedule string
+	// TraceHash is a SHA-256 over the run's event ledger; same
+	// (seed, schedule) ⇒ identical hash.
+	TraceHash string
+	Events    int
+
+	Accepted, Conflicted int
+	Migrations           []DrainOutcome
+
+	Dropped       int64
+	UplinkDropped int64
+	FaultsArmed   int
+	Metrics       *metrics.Snapshot
+
+	Violations []string
+}
+
+// OK reports whether every invariant held.
+func (r *DrainReport) OK() bool { return len(r.Violations) == 0 }
+
+// String renders a one-line summary.
+func (r *DrainReport) String() string {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = fmt.Sprintf("FAIL(%d)", len(r.Violations))
+	}
+	return fmt.Sprintf("seed=%-4d schedule=%-24s %s migs=%d dropped=%d uplink=%d hash=%s",
+		r.Seed, r.Schedule, verdict, len(r.Migrations), r.Dropped, r.UplinkDropped, r.TraceHash[:16])
+}
+
+// RunDrain executes one drain chaos run. Deterministic: the same
+// (seed, schedule) always yields a byte-identical TraceHash.
+func RunDrain(seed int64, schedule Schedule) *DrainReport {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cfg.Fabric.Topology = fabric.Topology{
+		Racks: DrainRacks, HostsPerRack: DrainHostsPerRack,
+		// 2:1 rack oversubscription at the paper's 100 Gbps host links.
+		UplinkRate: 200e9,
+	}
+	var names []string
+	for r := 0; r < DrainRacks; r++ {
+		for h := 0; h < DrainHostsPerRack; h++ {
+			names = append(names, fmt.Sprintf("r%dh%d", r, h))
+		}
+	}
+	cl := cluster.New(cfg, names...)
+	sched := cl.Sched
+	daemons := make(map[string]*core.Daemon)
+	for _, n := range cl.Names() {
+		daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	rec := &recorder{sched: sched}
+	for _, n := range cl.Names() {
+		cl.Host(n).Dev.SetTap(rec.tap())
+	}
+
+	// One client per rack-0 host, each talking to its own server across
+	// the spine on rack 3 — so the drain moves every container of the
+	// rack and each migration has live cross-rack RDMA to disturb.
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+	}
+	type pair struct {
+		cli  *perftest.Client
+		srv  *perftest.Server
+		cont *runc.Container
+	}
+	var pairs []*pair
+	for i := 0; i < DrainHostsPerRack; i++ {
+		name := fmt.Sprintf("%d", i)
+		cNode := fmt.Sprintf("r0h%d", i)
+		sNode := fmt.Sprintf("r3h%d", i)
+		p := &pair{
+			srv: perftest.NewServer(sched, "srv"+name, opts),
+			cli: perftest.NewClient(sched, "cli"+name, opts, perftest.Target{Node: sNode, Name: "srv" + name}),
+		}
+		srvCont := runc.NewContainer(cl.Host(sNode), "srv"+name+"-cont")
+		srvCont.Start(func(tp *task.Process) { p.srv.Run(tp, daemons[sNode]) })
+		p.cont = runc.NewContainer(cl.Host(cNode), "cli"+name+"-cont")
+		sched.Go("drain-start-cli"+name, func() {
+			p.srv.WaitReady()
+			p.cont.Start(func(tp *task.Process) { p.cli.Run(tp, daemons[cNode]) })
+		})
+		pairs = append(pairs, p)
+	}
+
+	inj := &injector{sched: sched, net: cl.Net, rec: rec}
+	rep := &DrainReport{Seed: seed, Schedule: schedule.Name}
+	orch := orchestrator.New(orchestrator.Config{
+		CL: cl, Daemons: daemons, Opts: runc.DefaultMigrateOptions(),
+		BackoffBase: time.Millisecond,
+	})
+	retries := 0
+	for i, p := range pairs {
+		w := orchestrator.Workload{C: p.cont}
+		if schedule.Name == "drain-abort-retry" && i == 0 {
+			// The first container's first attempt aborts mid-workflow: the
+			// orchestrator must roll it back, back off, and retry — with
+			// the abort and both attempts in the golden trace.
+			attempt := 0
+			w.Inject = func(ph string) error {
+				if ph == "predump" {
+					attempt++
+				}
+				if ph == "suspend-wbs" && attempt == 1 {
+					return fmt.Errorf("drain chaos abort")
+				}
+				return nil
+			}
+			retries = 1
+		}
+		orch.Register(w)
+	}
+	atSwitch := make(map[*orchestrator.Migration]int64)
+	migPair := make(map[*orchestrator.Migration]*pair)
+	var d *orchestrator.Drain
+	done := false
+	sched.Go("drain-driver", func() {
+		for _, p := range pairs {
+			p.cli.WaitReady()
+		}
+		sched.Sleep(Warmup)
+		for _, f := range schedule.Faults {
+			if f.Phase != "" {
+				continue
+			}
+			f := f
+			dl := f.At - sched.Now()
+			if dl < 0 {
+				dl = 0
+			}
+			sched.AfterFunc(dl, func() { inj.arm(f) })
+		}
+		orch.OnStage = func(m *orchestrator.Migration, stage string) {
+			rec.add(event{kind: "stage", note: m.ID + ":" + stage})
+			if stage == "done" {
+				atSwitch[m] = migPair[m].cli.Stats.Completed
+			}
+			for _, f := range schedule.Faults {
+				if f.Phase == stage && (f.Mig == "" || f.Mig == m.ID) {
+					inj.arm(f)
+				}
+			}
+		}
+		d = orch.Submit(&orchestrator.Drain{
+			Selector:    func(h *cluster.Host) bool { return h.Rack == 0 },
+			BlackoutSLO: drainSLO, MaxParallel: DrainGoldenParallel,
+			Retries: retries,
+		})
+		for _, m := range d.Migrations {
+			for _, p := range pairs {
+				if p.cont == m.C {
+					migPair[m] = p
+				}
+			}
+		}
+		d.Wait()
+		// Mid-run metrics checkpoint, as in the other tiers.
+		rec.add(event{kind: "metrics", note: cl.Metrics.Snapshot().Hash()})
+		sched.Sleep(settle)
+		inj.clearAll()
+		sched.Sleep(settle)
+		for _, p := range pairs {
+			p.cli.Stop()
+			p.cli.Wait()
+		}
+		sched.Sleep(settle)
+		for _, p := range pairs {
+			p.srv.Stop()
+		}
+		done = true
+	})
+	sched.RunFor(horizon)
+
+	snap := cl.Metrics.Snapshot()
+	rep.Metrics = snap
+	rep.Dropped = snap.Sum("fabric", "dropped_frames")
+	rep.UplinkDropped = snap.Sum("fabric", "uplink_dropped_frames")
+	rec.add(event{kind: "metrics", note: snap.Hash()})
+	for _, e := range rec.events {
+		if e.kind == "fault" && e.ok {
+			rep.FaultsArmed++
+		}
+	}
+	rep.Events = len(rec.events)
+	rep.TraceHash = rec.hash()
+
+	if d != nil {
+		rep.Accepted = d.Accepted()
+		rep.Conflicted = d.Conflicted()
+		for _, m := range d.Migrations {
+			rep.Migrations = append(rep.Migrations, DrainOutcome{
+				ID: m.ID, Src: m.Src, Dst: m.Dst, State: m.State().String(),
+				Attempts: m.Attempts, Blackout: m.Blackout, SLOMet: m.SLOMet,
+				AtSwitch: atSwitch[m], Err: m.Err,
+			})
+		}
+	}
+	if !done {
+		rep.Violations = []string{"drain run did not complete within the horizon"}
+		for _, o := range rep.Migrations {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s: state %s after %d attempts", o.ID, o.State, o.Attempts))
+		}
+		return rep
+	}
+
+	// Drain-level invariants.
+	if rep.Accepted != DrainHostsPerRack || rep.Conflicted != 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("expansion: accepted=%d conflicted=%d, want %d/0",
+				rep.Accepted, rep.Conflicted, DrainHostsPerRack))
+	}
+	for _, m := range d.Migrations {
+		label := m.ID + ": "
+		if m.State() != orchestrator.Done {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%smigration %s: %v", label, m.State(), m.Err))
+			continue
+		}
+		if cl.Host(m.Dst).Rack == 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%splaced on %s inside the drained rack", label, m.Dst))
+		}
+		if !m.SLOMet {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%sblackout %v breaches the %v SLO", label, m.Blackout, drainSLO))
+		}
+		p := migPair[m]
+		rep.Violations = append(rep.Violations,
+			checkPair(p.cli, p.srv, atSwitch[m], m.Dst, label)...)
+	}
+	rep.Violations = append(rep.Violations, checkLedger(rec)...)
+	return rep
+}
+
+// DrainScheduleByName returns the named schedule from DrainSchedules,
+// or false.
+func DrainScheduleByName(name string) (Schedule, bool) {
+	for _, s := range DrainSchedules() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// DrainSchedules returns the drain-tier fault library. The uplink
+// faults stay on the RDMA port and inside transport retry budgets for
+// the same reason the node-level library does: the simulated TCP
+// control/image channels have no retransmit, and RDMA loss longer than
+// MaxRetries×RTO kills QPs instead of testing recovery.
+func DrainSchedules() []Schedule {
+	return []Schedule{
+		{Name: "drain-clean"},
+		{Name: "drain-uplink-loss", Faults: []Fault{
+			// Lossy spine links on both the drained rack and the server
+			// rack while migrations are in flight.
+			{Kind: FaultUplinkLoss, Rack: 0, Prob: 0.2, At: Warmup, Duration: 2 * time.Millisecond},
+			{Kind: FaultUplinkLoss, Rack: 3, Prob: 0.2, Phase: "transfer", Duration: time.Millisecond},
+		}},
+		{Name: "drain-uplink-partition", Faults: []Fault{
+			// The drained rack's spine link blackholes RDMA for 1 ms inside
+			// the 7 × 500 µs retry budget — cross-rack traffic stalls and
+			// must recover via go-back-N; the image transfer keeps flowing.
+			{Kind: FaultUplinkPartition, Rack: 0, Phase: "suspend-wbs", Duration: time.Millisecond},
+		}},
+		{Name: "drain-abort-retry", Faults: []Fault{
+			// Node-level loss on a server host while the aborted first
+			// attempt (injected in RunDrain) rolls back and retries.
+			{Kind: FaultLoss, Node: "r3h0", Prob: 0.2, At: Warmup, Duration: 2 * time.Millisecond},
+		}},
+	}
+}

@@ -120,6 +120,16 @@ func GoldenJobs() []GoldenJob {
 				}})
 		}
 	}
+	for _, sched := range DrainSchedules() {
+		for _, seed := range GoldenSeeds {
+			sched, seed := sched, seed
+			jobs = append(jobs, GoldenJob{Mode: "drain", Schedule: sched.Name, Seed: seed,
+				Run: func() (string, string) {
+					rep := RunDrain(seed, sched)
+					return rep.TraceHash, rep.Metrics.Hash()
+				}})
+		}
+	}
 	return jobs
 }
 

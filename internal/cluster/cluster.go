@@ -21,7 +21,11 @@ import (
 type Host struct {
 	Name string
 	// Shard is the host's shard index under NewSharded (0 otherwise).
-	Shard   int
+	// With a two-tier topology shards align with racks, so Shard == Rack.
+	Shard int
+	// Rack is the host's rack under a two-tier fabric topology (0 on a
+	// flat fabric).
+	Rack    int
 	Sched   *sim.Scheduler
 	Net     *fabric.Network
 	Mux     *fabric.Mux
@@ -75,10 +79,11 @@ func New(cfg Config, names ...string) *Cluster {
 	nicCfg.Metrics = reg
 	net := fabric.New(s, fabCfg)
 	c := &Cluster{Sched: s, Net: net, Hosts: make(map[string]*Host), Metrics: reg}
-	for _, name := range names {
+	for i, name := range names {
 		mux := fabric.NewMux(net, name)
 		h := &Host{
 			Name:     name,
+			Rack:     rackOf(fabCfg.Topology, i),
 			Sched:    s,
 			Net:      net,
 			Mux:      mux,
@@ -91,9 +96,27 @@ func New(cfg Config, names ...string) *Cluster {
 		h.CRIU = criu.New(h, cfg.CRIU)
 		mux.Register(portXfer, h.onXfer)
 		mux.Register(portXferAck, h.onXferAck)
+		net.SetRack(name, h.Rack)
 		c.Hosts[name] = h
 	}
 	return c
+}
+
+// rackOf places host i in its topology rack: hosts are assigned to
+// racks in declaration-order blocks of HostsPerRack. Flat topologies
+// put everything in rack 0.
+func rackOf(t fabric.Topology, i int) int {
+	if t.Flat() {
+		return 0
+	}
+	if t.HostsPerRack <= 0 {
+		panic("cluster: two-tier topology needs HostsPerRack > 0")
+	}
+	r := i / t.HostsPerRack
+	if r >= t.Racks {
+		panic("cluster: more hosts than Racks×HostsPerRack")
+	}
+	return r
 }
 
 // Host returns the named host, panicking if absent.

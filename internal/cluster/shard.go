@@ -19,6 +19,12 @@ import (
 // The returned Cluster has Group and IC set and Sched/Net/Metrics nil:
 // sharded consumers must talk to a specific host's Sched/Net/Metrics,
 // which is exactly the discipline that keeps windows data-race-free.
+//
+// With a two-tier topology shards align with racks instead of hosts
+// (the shard-by-rack alignment the fabric's rackLink single-owner
+// contract requires): the group gets one shard per rack, hosts of the
+// same rack share that shard's scheduler, Network and registry, and
+// cross-shard frames are exactly the cross-rack spine crossings.
 func NewSharded(cfg Config, names ...string) *Cluster {
 	seed := cfg.Seed
 	if seed == 0 {
@@ -28,32 +34,43 @@ func NewSharded(cfg Config, names ...string) *Cluster {
 	if fabCfg.PropDelay == 0 {
 		fabCfg.PropDelay = fabric.DefaultConfig().PropDelay
 	}
-	// Conservative lookahead = the minimum cross-host latency, which in
-	// this single-switch fabric is the per-hop propagation delay.
-	g := sim.NewShardGroup(seed, len(names), fabCfg.PropDelay)
+	shards := len(names)
+	if !fabCfg.Topology.Flat() {
+		shards = fabCfg.Topology.Racks
+	}
+	// Conservative lookahead = the minimum cross-shard latency: the
+	// per-hop propagation delay, whether the next hop is the single
+	// switch (flat) or the source ToR (two-tier).
+	g := sim.NewShardGroup(seed, shards, fabCfg.PropDelay)
 	ic := fabric.NewInterconnect(g, fabCfg)
 	c := &Cluster{Group: g, IC: ic, Hosts: make(map[string]*Host)}
 	for i, name := range names {
-		s := g.Shard(i)
-		net := ic.Net(i)
+		shard := i
+		if !fabCfg.Topology.Flat() {
+			shard = rackOf(fabCfg.Topology, i)
+		}
+		s := g.Shard(shard)
+		net := ic.Net(shard)
 		nicCfg := cfg.NIC
-		nicCfg.Metrics = ic.Registry(i)
+		nicCfg.Metrics = ic.Registry(shard)
 		mux := fabric.NewMux(net, name)
 		h := &Host{
 			Name:     name,
-			Shard:    i,
+			Shard:    shard,
+			Rack:     rackOf(fabCfg.Topology, i),
 			Sched:    s,
 			Net:      net,
 			Mux:      mux,
 			Dev:      rnic.NewDevice(net, mux, name, nicCfg),
 			Hub:      oob.NewHub(net, mux, name),
-			Metrics:  ic.Registry(i),
+			Metrics:  ic.Registry(shard),
 			xferWait: make(map[uint64]*sim.Cond),
 			rxCount:  make(map[uint64]struct{}),
 		}
 		h.CRIU = criu.New(h, cfg.CRIU)
 		mux.Register(portXfer, h.onXfer)
 		mux.Register(portXferAck, h.onXferAck)
+		net.SetRack(name, h.Rack)
 		c.Hosts[name] = h
 	}
 	return c

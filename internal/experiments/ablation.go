@@ -210,6 +210,9 @@ func AblationRKeyCache(messages int) (RKeyCacheRow, error) {
 			pair.Client.Wait()
 			elapsed = r.CL.Sched.Now() - start
 			pair.Server.Stop()
+			// All measured; skip the idle tail to the horizon (parked CQ
+			// pollers re-arm wait slices until then).
+			r.CL.Sched.Stop()
 		})
 		r.CL.Sched.RunFor(5 * time.Minute)
 		if elapsed == 0 {
@@ -338,6 +341,7 @@ func MigrationUnderLoss(loss float64, wbsTimeout time.Duration) (LossRow, error)
 		pair.Client.Wait()
 		r.CL.Sched.Sleep(5 * time.Millisecond)
 		pair.Server.Stop()
+		r.CL.Sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	r.CL.Sched.RunFor(10 * time.Minute)
 	if err != nil {

@@ -92,11 +92,14 @@ func ConcurrentMigrations(k, cap int) (*ConcurrentResult, error) {
 		before := r.CL.Metrics.Snapshot().Sum("rnic", "tx_bytes")
 		start := r.CL.Sched.Now()
 		for i := 0; i < k; i++ {
-			mgr.Submit(migmgr.Spec{
+			if _, err := mgr.Submit(migmgr.Spec{
 				C:    pairs[i].ClientCont,
 				Dst:  names[(i+1)%k],
 				Opts: runc.DefaultMigrateOptions(),
-			})
+			}); err != nil {
+				runErr = err
+				return
+			}
 		}
 		mgr.WaitAll()
 		elapsed := r.CL.Sched.Now() - start
@@ -122,6 +125,7 @@ func ConcurrentMigrations(k, cap int) (*ConcurrentResult, error) {
 			})
 		}
 		res = out
+		r.CL.Sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	r.CL.Sched.RunFor(10 * time.Minute)
 	if runErr != nil {

@@ -98,6 +98,7 @@ func RunCutoverSeeded(mode runc.CutoverMode, msgSize, qps, messages int, seed in
 		rep, err = r.Migrate(pair.ServerCont, "src", "dst", mopts)
 		pair.Client.Wait() // the bounded message count drains
 		pair.Server.Stop()
+		r.CL.Sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	r.CL.Sched.RunFor(10 * time.Minute)
 	if err != nil {

@@ -87,6 +87,7 @@ func Fig3(n int, sender, preSetup bool) (Fig3Row, error) {
 		pair.Client.Stop()
 		pair.Client.Wait()
 		pair.Server.Stop()
+		r.CL.Sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	r.CL.Sched.RunFor(10 * time.Minute)
 	if err != nil {

@@ -78,6 +78,7 @@ func Fig5(migrateSender bool) (Fig5Result, error) {
 		pair.Client.Stop()
 		pair.Client.Wait()
 		pair.Server.Stop()
+		r.CL.Sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	r.CL.Sched.RunFor(10 * time.Minute)
 	if err != nil {

@@ -103,6 +103,7 @@ func Fig6(kind hdfs.JobKind, scenario string) (Fig6Row, error) {
 			f.worker.Kill()
 		}
 		res = f.master.Wait()
+		r.CL.Sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	r.CL.Sched.RunFor(30 * time.Minute)
 	if mErr != nil {

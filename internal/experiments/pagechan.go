@@ -155,6 +155,7 @@ func RunPageChanSeeded(mode runc.TransferMode, msgSize, qps, messages int, seed 
 		pair.Client.Wait()
 		stopHog()
 		pair.Server.Stop()
+		r.CL.Sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	r.CL.Sched.RunFor(10 * time.Minute)
 	if err != nil {
@@ -253,6 +254,7 @@ func RunTenancyTransferSeeded(mode runc.CutoverMode, transfer runc.TransferMode,
 		gw.Stop()
 		gw.Wait()
 		svc.Stop()
+		sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	sched.RunFor(10 * time.Minute)
 	if err != nil {

@@ -123,6 +123,7 @@ func RunTenancySeeded(mode runc.CutoverMode, sessions int, seed int64) (TenancyR
 		gw.Stop()
 		gw.Wait()
 		svc.Stop()
+		sched.Stop() // all measured; skip the idle tail to the horizon
 	})
 	sched.RunFor(10 * time.Minute)
 	if err != nil {

@@ -39,6 +39,9 @@ type Config struct {
 	Rate int64
 	// PropDelay is the one-way propagation delay per hop (default 1 µs).
 	PropDelay time.Duration
+	// Topology declares the two-tier rack/spine fabric (topology.go).
+	// The zero value is the classic flat single-switch network.
+	Topology Topology
 	// Metrics, when set, receives the per-port counters. A nil registry
 	// gets replaced by a detached one so increments are always valid.
 	Metrics *metrics.Registry
@@ -64,6 +67,10 @@ type Network struct {
 	// classic single-scheduler fabric.
 	ic    *Interconnect
 	shard int
+
+	// racks holds the per-rack spine links of a two-tier topology; nil
+	// on a flat network, so the classic Send path never consults it.
+	racks []*rackLink
 
 	// freeDeliveries recycles the per-frame delivery events scheduled by
 	// deliverAt, so the steady-state data path allocates no event state
@@ -136,6 +143,9 @@ type port struct {
 	// rate overrides the network link rate for this port (0 = default),
 	// modelling a degraded or renegotiated link.
 	rate int64
+	// rack is the port's ToR assignment under a two-tier topology
+	// (topology.go); always 0 on a flat network.
+	rack int
 	// plug, when installed, queues matching frames instead of delivering
 	// them (plug-and-forward cutover; see plug.go).
 	plug *plug
@@ -169,7 +179,11 @@ func New(sched *sim.Scheduler, cfg Config) *Network {
 	if reg == nil {
 		reg = metrics.New(sched.Now)
 	}
-	return &Network{sched: sched, cfg: cfg, reg: reg, ports: make(map[string]*port)}
+	n := &Network{sched: sched, cfg: cfg, reg: reg, ports: make(map[string]*port)}
+	if !cfg.Topology.Flat() {
+		n.initTopology()
+	}
+	return n
 }
 
 // Scheduler returns the scheduler the network runs on.
@@ -337,6 +351,21 @@ func (n *Network) Send(f Frame) {
 		return
 	}
 	arriveSwitch := n.serializeUplink(src, f.Size) + n.cfg.PropDelay
+	if n.racks != nil && src.rack != dst.rack {
+		// Two-tier crossing: ToR→spine on the source rack's uplink,
+		// spine→ToR on the destination rack's downlink (topology.go).
+		atSpine, ok := n.bookSpineUp(src.rack, f, arriveSwitch)
+		if !ok {
+			dst.drop()
+			return
+		}
+		atDstToR, ok := n.bookSpineDown(dst.rack, f, atSpine)
+		if !ok {
+			dst.drop()
+			return
+		}
+		arriveSwitch = atDstToR
+	}
 	n.deliverDownlink(dst, f, arriveSwitch, now)
 }
 

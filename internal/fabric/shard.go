@@ -40,6 +40,12 @@ type remoteFrame struct {
 	f            Frame
 	arriveSwitch time.Duration
 	drop         bool
+	// spine marks a frame that crossed a two-tier topology's spine: the
+	// source shard already booked the ToR→spine uplink, and
+	// arriveSwitch is the arrival time at the spine; the destination
+	// shard still owes the spine→ToR downlink booking. Always false on
+	// a flat interconnect.
+	spine bool
 }
 
 // Interconnect owns the shard Networks of one ShardGroup.
@@ -72,6 +78,21 @@ func NewInterconnect(g *sim.ShardGroup, cfg Config) *Interconnect {
 	}
 	if cfg.PropDelay < g.Lookahead() {
 		panic("fabric: link PropDelay below the shard group's lookahead breaks conservative delivery")
+	}
+	if !cfg.Topology.Flat() {
+		// Shard-by-rack alignment: one shard per rack, so every
+		// rackLink half stays single-owner (topology.go). SetRack
+		// enforces the per-node side of the same contract.
+		if cfg.Topology.Racks != g.Shards() {
+			panic("fabric: sharded topology needs one shard per rack")
+		}
+		spine := cfg.Topology.SpineDelay
+		if spine == 0 {
+			spine = cfg.PropDelay
+		}
+		if spine < g.Lookahead() {
+			panic("fabric: SpineDelay below the shard group's lookahead breaks conservative delivery")
+		}
 	}
 	ic := &Interconnect{
 		group: g,
@@ -148,6 +169,19 @@ func (ic *Interconnect) sendRemote(n *Network, src *port, f Frame) {
 		return
 	}
 	arriveSwitch := n.serializeUplink(src, f.Size) + ic.cfg.PropDelay
+	if n.racks != nil && src.rack != dstShard {
+		// Cross-rack crossing (under shard-by-rack alignment cross-shard
+		// is cross-rack): book the source rack's ToR→spine uplink here,
+		// on its owning shard; the destination shard books the
+		// spine→ToR half when it drains the mailbox.
+		atSpine, ok := n.bookSpineUp(src.rack, f, arriveSwitch)
+		if !ok {
+			m.Put(atSpine, &remoteFrame{f: f, drop: true})
+			return
+		}
+		m.Put(atSpine, &remoteFrame{f: f, arriveSwitch: atSpine, spine: true})
+		return
+	}
 	m.Put(arriveSwitch, &remoteFrame{f: f, arriveSwitch: arriveSwitch})
 }
 
@@ -160,5 +194,16 @@ func (n *Network) arriveRemote(rf *remoteFrame) {
 		dst.drop()
 		return
 	}
-	n.deliverDownlink(dst, rf.f, rf.arriveSwitch, n.sched.Now())
+	arrive := rf.arriveSwitch
+	if rf.spine {
+		// Destination half of a spine crossing: book the spine→ToR
+		// downlink of the destination rack on its owning shard.
+		atDstToR, ok := n.bookSpineDown(dst.rack, rf.f, rf.arriveSwitch)
+		if !ok {
+			dst.drop()
+			return
+		}
+		arrive = atDstToR
+	}
+	n.deliverDownlink(dst, rf.f, arrive, n.sched.Now())
 }

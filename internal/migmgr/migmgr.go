@@ -7,6 +7,7 @@
 package migmgr
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -104,6 +105,12 @@ func (j *Job) Wait() {
 	}
 }
 
+// ErrConflict rejects a Submit whose container already has an active
+// (queued or running) migration in this manager. A container can only
+// be drained once at a time; callers that want a follow-up move must
+// wait for the active job to finish.
+var ErrConflict = errors.New("migmgr: container already has an active migration")
+
 // Manager admits migrations under a concurrency cap.
 type Manager struct {
 	sched   *sim.Scheduler
@@ -128,6 +135,12 @@ type Manager struct {
 	// OnStage, when set, observes every stage transition of every
 	// managed migration; it runs on the migration's driver proc.
 	OnStage func(j *Job, stage string)
+
+	// IDPrefix, when set before the first Submit, prefixes every job ID
+	// ("r0h1/" ⇒ "r0h1/m1"). The orchestrator runs one executor per
+	// source host and needs their IDs — which flow into daemon state,
+	// timeline labels and metric labels — to stay distinguishable.
+	IDPrefix string
 }
 
 // New creates a manager over the cluster's daemons admitting at most
@@ -156,11 +169,21 @@ func New(cl *cluster.Cluster, daemons map[string]*core.Daemon, max int) *Manager
 
 // Submit enqueues a migration and returns its job. IDs are assigned in
 // submission order per manager ("m1", "m2", …) — deterministic under a
-// fixed schedule, unlike a process-global counter.
-func (m *Manager) Submit(spec Spec) *Job {
+// fixed schedule, unlike a process-global counter. A container with a
+// migration already queued or running is rejected with ErrConflict
+// rather than silently queued behind it.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if m.busy[spec.C] {
+		return nil, ErrConflict
+	}
+	for _, q := range m.queue {
+		if q.Spec.C == spec.C {
+			return nil, ErrConflict
+		}
+	}
 	m.nextID++
 	j := &Job{
-		ID:        "m" + strconv.Itoa(m.nextID),
+		ID:        m.IDPrefix + "m" + strconv.Itoa(m.nextID),
 		Spec:      spec,
 		mgr:       m,
 		state:     Queued,
@@ -173,7 +196,7 @@ func (m *Manager) Submit(spec Spec) *Job {
 		m.mQueued.Set(int64(len(m.queue)))
 	}
 	m.pump()
-	return j
+	return j, nil
 }
 
 // Jobs returns every job in submission order.
@@ -202,7 +225,8 @@ func (m *Manager) WaitAll() {
 
 // pump starts queued jobs while capacity allows. A job whose container
 // is already migrating is skipped (it stays queued, later jobs may
-// overtake it); the container can only be drained once at a time.
+// overtake it) — Submit rejects such conflicts up front, so this guard
+// only matters for the internal abort-retry requeue path.
 func (m *Manager) pump() {
 	for i := 0; i < len(m.queue) && m.running < m.max; {
 		j := m.queue[i]

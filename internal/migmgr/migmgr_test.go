@@ -59,6 +59,16 @@ func (r *rig) startPair(name, cNode, sNode string) *workload {
 	return w
 }
 
+// submit is the test-side Submit wrapper: none of these tests expect a
+// conflict, so an ErrConflict here is itself a failure.
+func submit(mgr *Manager, spec Spec) *Job {
+	j, err := mgr.Submit(spec)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
 func (w *workload) stop() {
 	w.cli.Stop()
 	w.cli.Wait()
@@ -82,7 +92,7 @@ func TestManagerCapAndQueueing(t *testing.T) {
 		}
 		r.cl.Sched.Sleep(2 * time.Millisecond)
 		for _, w := range ws {
-			mgr.Submit(Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions()})
+			submit(mgr, Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions()})
 		}
 		mgr.WaitAll()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
@@ -159,8 +169,8 @@ func TestOppositeDirections(t *testing.T) {
 		w1.cli.WaitReady()
 		w2.cli.WaitReady()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
-		j1 = mgr.Submit(Spec{C: w1.cont, Dst: "y", Opts: runc.DefaultMigrateOptions()})
-		j2 = mgr.Submit(Spec{C: w2.cont, Dst: "x", Opts: runc.DefaultMigrateOptions()})
+		j1 = submit(mgr, Spec{C: w1.cont, Dst: "y", Opts: runc.DefaultMigrateOptions()})
+		j2 = submit(mgr, Spec{C: w2.cont, Dst: "x", Opts: runc.DefaultMigrateOptions()})
 		mgr.WaitAll()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
 		w1.stop()
@@ -198,10 +208,13 @@ func TestOppositeDirections(t *testing.T) {
 	}
 }
 
-// TestBusyContainerSerializes submits two migrations of the same
-// container; the second must wait for the first and then drain from the
-// container's new home (source resolved at start, not submission).
-func TestBusyContainerSerializes(t *testing.T) {
+// TestBusyContainerConflicts is the ErrConflict regression test: a
+// second Spec naming the same source container while the first is
+// still active must be rejected with the typed error (it used to
+// silently queue behind the first), and a resubmission after the first
+// finishes must drain from the container's new home (source resolved
+// at start, not submission).
+func TestBusyContainerConflicts(t *testing.T) {
 	r := newRig(23, "x", "y", "s")
 	w := r.startPair("rt", "x", "s")
 	mgr := New(r.cl, r.daemons, 2)
@@ -210,8 +223,12 @@ func TestBusyContainerSerializes(t *testing.T) {
 	r.cl.Sched.Go("driver", func() {
 		w.cli.WaitReady()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
-		there = mgr.Submit(Spec{C: w.cont, Dst: "y", Opts: runc.DefaultMigrateOptions()})
-		back = mgr.Submit(Spec{C: w.cont, Dst: "x", Opts: runc.DefaultMigrateOptions()})
+		there = submit(mgr, Spec{C: w.cont, Dst: "y", Opts: runc.DefaultMigrateOptions()})
+		if _, err := mgr.Submit(Spec{C: w.cont, Dst: "x", Opts: runc.DefaultMigrateOptions()}); err != ErrConflict {
+			t.Errorf("second submit of an active container: err = %v, want ErrConflict", err)
+		}
+		there.Wait()
+		back = submit(mgr, Spec{C: w.cont, Dst: "x", Opts: runc.DefaultMigrateOptions()})
 		mgr.WaitAll()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
 		w.stop()
@@ -223,10 +240,6 @@ func TestBusyContainerSerializes(t *testing.T) {
 	}
 	if there.State() != Done || back.State() != Done {
 		t.Fatalf("states: %v (%v), %v (%v)", there.State(), there.Err, back.State(), back.Err)
-	}
-	if back.Started < there.Finished {
-		t.Fatalf("second migration of the container started at %v before the first finished at %v",
-			back.Started, there.Finished)
 	}
 	if there.Src != "x" || back.Src != "y" {
 		t.Fatalf("sources = %s, %s; want x then y (resolved at start time)", there.Src, back.Src)
@@ -245,7 +258,7 @@ func TestSubmitUnknownDestinationFails(t *testing.T) {
 	mgr := New(r.cl, r.daemons, 1)
 	ran := false
 	r.cl.Sched.Go("driver", func() {
-		j := mgr.Submit(Spec{C: cont, Dst: "ghost", Opts: runc.DefaultMigrateOptions()})
+		j := submit(mgr, Spec{C: cont, Dst: "ghost", Opts: runc.DefaultMigrateOptions()})
 		j.Wait()
 		if j.State() != Failed {
 			t.Errorf("state = %v, want failed", j.State())
@@ -278,14 +291,14 @@ func TestFailedMigrationFreesSlot(t *testing.T) {
 		w1.cli.WaitReady()
 		w2.cli.WaitReady()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
-		j1 = mgr.Submit(Spec{C: w1.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
+		j1 = submit(mgr, Spec{C: w1.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
 			Inject: func(ph string) error {
 				if ph == "suspend-wbs" {
 					return fmt.Errorf("boom")
 				}
 				return nil
 			}})
-		j2 = mgr.Submit(Spec{C: w2.cont, Dst: "b", Opts: runc.DefaultMigrateOptions()})
+		j2 = submit(mgr, Spec{C: w2.cont, Dst: "b", Opts: runc.DefaultMigrateOptions()})
 		mgr.WaitAll()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
 		w1.stop()
@@ -337,7 +350,7 @@ func TestRetryBudgetRequeues(t *testing.T) {
 		w.cli.WaitReady()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
 		attempt := 0
-		j = mgr.Submit(Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
+		j = submit(mgr, Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
 			Retries: 2,
 			Inject: func(ph string) error {
 				if ph == "predump" {
@@ -415,7 +428,7 @@ func TestPlugForwardThroughManager(t *testing.T) {
 	r.cl.Sched.Go("driver", func() {
 		cli.WaitReady()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
-		j := mgr.Submit(Spec{C: srvCont, Dst: "dst", Opts: mopts})
+		j := submit(mgr, Spec{C: srvCont, Dst: "dst", Opts: mopts})
 		j.Wait()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
 		cli.Stop()
@@ -478,7 +491,7 @@ func TestPipelinedTransferThroughManager(t *testing.T) {
 	r.cl.Sched.Go("driver", func() {
 		cli.WaitReady()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
-		j := mgr.Submit(Spec{C: srvCont, Dst: "dst", Opts: mopts})
+		j := submit(mgr, Spec{C: srvCont, Dst: "dst", Opts: mopts})
 		j.Wait()
 		r.cl.Sched.Sleep(2 * time.Millisecond)
 		cli.Stop()
@@ -549,7 +562,7 @@ func TestSlotBalanceAcrossAbortRetry(t *testing.T) {
 		r.cl.Sched.Sleep(2 * time.Millisecond)
 		for i, w := range ws {
 			attempt := 0
-			mgr.Submit(Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
+			submit(mgr, Spec{C: w.cont, Dst: "b", Opts: runc.DefaultMigrateOptions(),
 				Retries: 1,
 				Inject: func(ph string) error {
 					if ph == "predump" {

@@ -1,0 +1,298 @@
+package orchestrator
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"migrrdma/internal/cluster"
+	"migrrdma/internal/core"
+	"migrrdma/internal/fabric"
+	"migrrdma/internal/perftest"
+	"migrrdma/internal/rnic"
+	"migrrdma/internal/runc"
+	"migrrdma/internal/task"
+)
+
+// rig is a topology testbed: racks×perRack hosts named rRhH, one
+// daemon each.
+type rig struct {
+	cl      *cluster.Cluster
+	daemons map[string]*core.Daemon
+}
+
+func newRig(seed int64, racks, perRack int) *rig {
+	cfg := cluster.FastCheckpointTestbed(seed)
+	cfg.Fabric.Topology = fabric.Topology{
+		Racks: racks, HostsPerRack: perRack, UplinkRate: 50e9,
+	}
+	var names []string
+	for r := 0; r < racks; r++ {
+		for h := 0; h < perRack; h++ {
+			names = append(names, fmt.Sprintf("r%dh%d", r, h))
+		}
+	}
+	cl := cluster.New(cfg, names...)
+	rg := &rig{cl: cl, daemons: make(map[string]*core.Daemon)}
+	for _, n := range cl.Names() {
+		rg.daemons[n] = core.NewDaemon(cl.Host(n))
+	}
+	return rg
+}
+
+type workload struct {
+	cli  *perftest.Client
+	srv  *perftest.Server
+	cont *runc.Container
+}
+
+// startPair launches a perftest server on sNode and a client container
+// on cNode; the client container is the drain target.
+func (r *rig) startPair(name, cNode, sNode string) *workload {
+	opts := perftest.Options{
+		Verb: rnic.OpSend, MsgSize: 2048, QueueDepth: 8, NumQPs: 2,
+		Messages: 0, CheckOrder: true, PostGap: 50 * time.Microsecond,
+	}
+	w := &workload{
+		srv: perftest.NewServer(r.cl.Sched, "srv-"+name, opts),
+		cli: perftest.NewClient(r.cl.Sched, "cli-"+name, opts, perftest.Target{Node: sNode, Name: "srv-" + name}),
+	}
+	srvCont := runc.NewContainer(r.cl.Host(sNode), "srv-"+name+"-cont")
+	srvCont.Start(func(tp *task.Process) { w.srv.Run(tp, r.daemons[sNode]) })
+	w.cont = runc.NewContainer(r.cl.Host(cNode), "cli-"+name+"-cont")
+	r.cl.Sched.Go("start-"+name, func() {
+		w.srv.WaitReady()
+		w.cont.Start(func(tp *task.Process) { w.cli.Run(tp, r.daemons[cNode]) })
+	})
+	return w
+}
+
+func (w *workload) stop() {
+	w.cli.Stop()
+	w.cli.Wait()
+	w.srv.Stop()
+}
+
+func rackSelector(rack int) func(h *cluster.Host) bool {
+	return func(h *cluster.Host) bool { return h.Rack == rack }
+}
+
+func hostSelector(name string) func(h *cluster.Host) bool {
+	return func(h *cluster.Host) bool { return h.Name == name }
+}
+
+// TestDrainEvacuatesRack drains all of rack 0: every registered
+// container there must land on a non-rack-0 host, within MaxParallel,
+// and a second drain claiming one of the same containers mid-flight
+// must expand to Conflict.
+func TestDrainEvacuatesRack(t *testing.T) {
+	r := newRig(41, 2, 3)
+	w0 := r.startPair("p0", "r0h0", "r1h2")
+	w1 := r.startPair("p1", "r0h1", "r1h2")
+	o := New(Config{CL: r.cl, Daemons: r.daemons, Opts: runc.DefaultMigrateOptions()})
+	o.Register(Workload{C: w0.cont})
+	o.Register(Workload{C: w1.cont})
+	var d, overlap *Drain
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		w0.cli.WaitReady()
+		w1.cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		d = o.Submit(&Drain{Selector: rackSelector(0), MaxParallel: 2, BlackoutSLO: time.Second})
+		overlap = o.Submit(&Drain{Selector: hostSelector("r0h0")})
+		d.Wait()
+		overlap.Wait()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		w0.stop()
+		w1.stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	if d.Accepted() != 2 || d.Conflicted() != 0 {
+		t.Fatalf("drain expansion: accepted=%d conflicted=%d, want 2/0", d.Accepted(), d.Conflicted())
+	}
+	for _, m := range d.Migrations {
+		if m.State() != Done {
+			t.Fatalf("%s state = %v (err %v), want done", m.ID, m.State(), m.Err)
+		}
+		if r.cl.Host(m.Dst).Rack == 0 {
+			t.Errorf("%s placed on %s, still in the draining rack", m.ID, m.Dst)
+		}
+		if m.Attempts != 1 {
+			t.Errorf("%s attempts = %d, want 1", m.ID, m.Attempts)
+		}
+		if !m.SLOMet || m.Blackout <= 0 {
+			t.Errorf("%s blackout %v under SLO 1s: SLOMet=%v", m.ID, m.Blackout, m.SLOMet)
+		}
+	}
+	// The overlapping drain saw r0h0's container already claimed.
+	if overlap.Conflicted() != 1 || overlap.Accepted() != 0 {
+		t.Fatalf("overlap expansion: accepted=%d conflicted=%d, want 0/1",
+			overlap.Accepted(), overlap.Conflicted())
+	}
+	if len(d.SLOViolations()) != 0 {
+		t.Errorf("unexpected SLO violations: %v", d.SLOViolations())
+	}
+	// Workloads survived the drain.
+	for _, w := range []*workload{w0, w1} {
+		if len(w.cli.Stats.Errors) != 0 || len(w.srv.Stats.Errors) != 0 {
+			t.Errorf("workload errors: cli=%v srv=%v", w.cli.Stats.Errors, w.srv.Stats.Errors)
+		}
+	}
+	snap := r.cl.Metrics.Snapshot()
+	if got := snap.Sum("orchestrator", "migrations_done"); got != 2 {
+		t.Errorf("migrations_done = %d, want 2", got)
+	}
+	if got := snap.Sum("orchestrator", "migrations_conflicted"); got != 1 {
+		t.Errorf("migrations_conflicted = %d, want 1", got)
+	}
+}
+
+// TestDrainPrefersSameRack drains one host of a rack with spare
+// same-rack capacity: the same-rack spare must win over equally loaded
+// cross-rack hosts, keeping the move off the spine.
+func TestDrainPrefersSameRack(t *testing.T) {
+	r := newRig(42, 2, 3)
+	w := r.startPair("p0", "r0h0", "r1h2")
+	o := New(Config{CL: r.cl, Daemons: r.daemons, Opts: runc.DefaultMigrateOptions()})
+	o.Register(Workload{C: w.cont})
+	var d *Drain
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		w.cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		before0, _ := r.cl.Net.UplinkBytes(0)
+		d = o.Submit(&Drain{Selector: hostSelector("r0h0")})
+		d.Wait()
+		after0, _ := r.cl.Net.UplinkBytes(0)
+		if after0-before0 > 1<<20 {
+			t.Errorf("same-rack drain pushed %d bytes over the rack 0 uplink", after0-before0)
+		}
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		w.stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	m := d.Migrations[0]
+	if m.State() != Done {
+		t.Fatalf("state = %v (err %v)", m.State(), m.Err)
+	}
+	if m.Dst != "r0h1" {
+		t.Errorf("placed on %s, want the same-rack spare r0h1", m.Dst)
+	}
+	if w.cont.Host.Name != m.Dst {
+		t.Errorf("container lives on %s, migration says %s", w.cont.Host.Name, m.Dst)
+	}
+}
+
+// TestDrainRetriesWithBackoff: an attempt that aborts mid-workflow
+// must roll back, wait out the exponential backoff, and retry — and
+// the executor job IDs must carry the per-host prefix.
+func TestDrainRetriesWithBackoff(t *testing.T) {
+	r := newRig(43, 2, 2)
+	w := r.startPair("p0", "r0h0", "r1h1")
+	o := New(Config{
+		CL: r.cl, Daemons: r.daemons, Opts: runc.DefaultMigrateOptions(),
+		BackoffBase: 2 * time.Millisecond,
+	})
+	attempt := 0
+	o.Register(Workload{C: w.cont, Inject: func(ph string) error {
+		if ph == "predump" {
+			attempt++
+		}
+		if ph == "suspend-wbs" && attempt == 1 {
+			return fmt.Errorf("chaos abort")
+		}
+		return nil
+	}})
+	var stages []string
+	o.OnStage = func(m *Migration, stage string) { stages = append(stages, m.ID+":"+stage) }
+	var d *Drain
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		w.cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		d = o.Submit(&Drain{Selector: hostSelector("r0h0"), Retries: 2})
+		d.Wait()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		w.stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	m := d.Migrations[0]
+	if m.State() != Done {
+		t.Fatalf("state = %v (err %v), want done after retry", m.State(), m.Err)
+	}
+	if m.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", m.Attempts)
+	}
+	if m.LastErr == nil || !strings.Contains(m.LastErr.Error(), "chaos abort") {
+		t.Errorf("LastErr = %v, want the aborted attempt's error", m.LastErr)
+	}
+	if len(stages) == 0 {
+		t.Fatal("OnStage observed nothing")
+	}
+	snap := r.cl.Metrics.Snapshot()
+	if got := snap.Sum("orchestrator", "migrations_retried"); got != 1 {
+		t.Errorf("migrations_retried = %d, want 1", got)
+	}
+	// The per-host executor's jobs carry the source-host ID prefix.
+	found := false
+	for _, j := range o.execs["r0h0"].Jobs() {
+		if strings.HasPrefix(j.ID, "r0h0/m") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("executor job IDs missing the r0h0/ prefix")
+	}
+}
+
+// TestDrainAllHostsFails: a drain selecting every host leaves no
+// placement candidates; its migrations must fail cleanly with the
+// no-destination error rather than wedge.
+func TestDrainAllHostsFails(t *testing.T) {
+	r := newRig(44, 1, 3)
+	w := r.startPair("p0", "r0h0", "r0h2")
+	o := New(Config{CL: r.cl, Daemons: r.daemons, Opts: runc.DefaultMigrateOptions()})
+	o.Register(Workload{C: w.cont})
+	var d *Drain
+	ran := false
+	r.cl.Sched.Go("driver", func() {
+		w.cli.WaitReady()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		d = o.Submit(&Drain{Selector: func(h *cluster.Host) bool { return true }})
+		d.Wait()
+		r.cl.Sched.Sleep(2 * time.Millisecond)
+		w.stop()
+		ran = true
+	})
+	r.cl.Sched.RunFor(time.Minute)
+	if !ran {
+		t.Fatal("driver did not finish")
+	}
+	m := d.Migrations[0]
+	if m.State() != Failed {
+		t.Fatalf("state = %v, want failed", m.State())
+	}
+	if m.Err == nil || !strings.Contains(m.Err.Error(), "no feasible destination") {
+		t.Fatalf("err = %v, want no-feasible-destination", m.Err)
+	}
+	if got := r.cl.Metrics.Snapshot().Sum("orchestrator", "migrations_failed"); got != 1 {
+		t.Errorf("migrations_failed = %d, want 1", got)
+	}
+	// The workload is untouched on its original host.
+	if w.cont.Host.Name != "r0h0" {
+		t.Errorf("container moved to %s despite the failed drain", w.cont.Host.Name)
+	}
+}

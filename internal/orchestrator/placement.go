@@ -1,0 +1,60 @@
+package orchestrator
+
+// Candidate is one destination host offered to a placement policy.
+type Candidate struct {
+	Host string
+	// Rack is the host's rack under the two-tier fabric topology (0 on
+	// a flat fabric).
+	Rack int
+	// Load is the orchestrator's score for the host: resident
+	// registered containers plus in-flight migrations targeting it.
+	Load int
+}
+
+// PlacementPolicy picks a destination for a migration off src.
+// Candidates arrive in sorted host-name order and never include src or
+// a draining host; implementations must be deterministic functions of
+// their input (the chaos golden hashes replay drains byte-for-byte).
+// Returning "" means no feasible destination — the migration fails.
+type PlacementPolicy interface {
+	Place(src Candidate, cands []Candidate) string
+}
+
+// LeastLoaded picks the least-loaded candidate. With PreferSameRack it
+// breaks load ties toward the source's rack, keeping drain traffic off
+// the oversubscribed spine uplinks; remaining ties go to the
+// lexicographically first host, which together with the sorted
+// candidate order makes placement fully deterministic.
+type LeastLoaded struct {
+	PreferSameRack bool
+}
+
+// Place implements PlacementPolicy.
+func (p LeastLoaded) Place(src Candidate, cands []Candidate) string {
+	best := -1
+	for i, c := range cands {
+		if best < 0 || p.better(src, c, cands[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return cands[best].Host
+}
+
+// better reports whether a beats b for a migration off src: lower load
+// first, then (optionally) same-rack, then the earlier (smaller) name —
+// a strict order, so the first optimum in candidate order wins.
+func (p LeastLoaded) better(src, a, b Candidate) bool {
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	if p.PreferSameRack {
+		aSame, bSame := a.Rack == src.Rack, b.Rack == src.Rack
+		if aSame != bSame {
+			return aSame
+		}
+	}
+	return a.Host < b.Host
+}
